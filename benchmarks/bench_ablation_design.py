@@ -1,0 +1,107 @@
+"""Ablations over KARMA's design choices (DESIGN.md's ablation index):
+
+* blocking solver: uniform blocks vs the DP+portfolio search;
+* recompute interleave: on vs off (Opt-2's contribution);
+* prefetch discipline: none vs one-ahead vs eager (the Fig. 2 ladder);
+* swap-path bandwidth: PCIe 16 GB/s vs NVLink 50 vs calibrated 100 GB/s
+  (the substitution study).
+"""
+
+import pytest
+
+from repro.core import BlockPolicy, make_plan, plan, solve_blocking
+from repro.costs import profile_graph
+from repro.eval import default_platform, render_table
+from repro.hardware import (
+    TransferModel,
+    abci_host,
+    karma_swap_link,
+    nvlink2,
+    pcie_gen3_x16,
+    v100_sxm2_16gb,
+)
+from repro.models import resnet200
+from repro.sim import simulate_plan
+
+
+@pytest.fixture(scope="module")
+def r200():
+    return resnet200()
+
+
+def test_ablation_blocking_solver(benchmark, r200):
+    device, _, transfer = default_platform()
+    cost = profile_graph(r200, device, transfer, 16)
+    cap = device.usable_memory
+    uni = solve_blocking(r200, cost, cap, r200.name, 16, method="uniform")
+    auto = solve_blocking(r200, cost, cap, r200.name, 16, method="auto")
+    print()
+    print(render_table([
+        {"solver": "uniform blocks", "makespan (ms)":
+            f"{uni.objective * 1e3:.1f}", "blocks": len(uni.blocks)},
+        {"solver": "DP + portfolio + local search", "makespan (ms)":
+            f"{auto.objective * 1e3:.1f}", "blocks": len(auto.blocks)},
+    ], title="Ablation — Opt-1 blocking solver (ResNet-200 @ 16)"))
+    benchmark(solve_blocking, r200, cost, cap, r200.name, 16, "uniform")
+    assert auto.objective <= uni.objective * 1.001
+
+
+def test_ablation_recompute_interleave(benchmark, r200):
+    rows = []
+    for bs in (12, 20):
+        with_r = plan(r200, batch_size=bs, recompute=True)
+        without = plan(r200, batch_size=bs, recompute=False)
+        t1 = simulate_plan(with_r.plan, with_r.cost, with_r.capacity)
+        t0 = simulate_plan(without.plan, without.cost, without.capacity)
+        rows.append({"batch": bs,
+                     "KARMA (ms)": f"{t0.makespan * 1e3:.1f}",
+                     "KARMA+recompute (ms)": f"{t1.makespan * 1e3:.1f}",
+                     "gain": f"{(1 - t1.makespan / t0.makespan) * 100:.1f}%"})
+        assert t1.makespan <= t0.makespan + 1e-12
+    print()
+    print(render_table(rows, title="Ablation — Opt-2 recompute interleave"))
+    benchmark(lambda: simulate_plan(with_r.plan, with_r.cost,
+                                    with_r.capacity))
+
+
+def test_ablation_prefetch_discipline(benchmark, r200):
+    """The Fig. 2 ladder: eager beats one-ahead beats no prefetch."""
+    device, _, transfer = default_platform()
+    cost = profile_graph(r200, device, transfer, 16)
+    cap = device.usable_memory
+    kp = plan(r200, batch_size=16, recompute=False)
+    rows = []
+    times = {}
+    for mode in ("none", "one_ahead", "eager"):
+        p = make_plan(r200.name, 16, kp.plan.blocks, kp.plan.policies,
+                      prefetch=mode)
+        res = simulate_plan(p, cost, cap)
+        times[mode] = res.makespan
+        rows.append({"prefetch": mode,
+                     "makespan (ms)": f"{res.makespan * 1e3:.1f}",
+                     "occupancy": f"{res.gpu_occupancy * 100:.1f}%"})
+    print()
+    print(render_table(rows, title="Ablation — swap-in prefetch discipline"))
+    benchmark(lambda: simulate_plan(p, cost, cap))
+    assert times["eager"] <= times["one_ahead"] + 1e-12
+    assert times["one_ahead"] <= times["none"] + 1e-12
+
+
+def test_ablation_swap_link_bandwidth(benchmark, r200):
+    """The substitution study: the same KARMA plan priced under PCIe,
+    NVLink, and the calibrated swap path."""
+    device, host = v100_sxm2_16gb(), abci_host()
+    rows = []
+    for link in (pcie_gen3_x16(), nvlink2(), karma_swap_link()):
+        transfer = TransferModel(link=link, device=device, host=host)
+        kp = plan(r200, batch_size=16, device=device, transfer=transfer)
+        res = simulate_plan(kp.plan, kp.cost, kp.capacity)
+        rows.append({"link": link.name,
+                     "BW (GB/s)": f"{link.bandwidth / 1e9:.0f}",
+                     "samples/s": f"{res.samples_per_sec:.1f}",
+                     "occupancy": f"{res.gpu_occupancy * 100:.1f}%"})
+    print()
+    print(render_table(rows, title="Ablation — swap-path bandwidth "
+                                   "(ResNet-200 @ 16)"))
+    benchmark(lambda: simulate_plan(kp.plan, kp.cost, kp.capacity))
+    assert float(rows[0]["samples/s"]) <= float(rows[-1]["samples/s"])

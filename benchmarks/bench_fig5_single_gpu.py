@@ -1,0 +1,68 @@
+"""Fig. 5: single-GPU throughput (samples/s) vs batch size for the six
+Table III models under each method, plus the §IV-B 1.52x headline summary.
+
+Reduced grid by default (three models, three batch points); set
+``KARMA_BENCH_FULL=1`` for all six panels over their full x-axes.
+"""
+
+import pytest
+
+from repro.eval import fig5_sweep, karma_speedup_summary, render_series
+
+METHODS = ("in-core", "vdnn++", "superneurons", "checkmate",
+           "karma", "karma+recompute")
+
+
+@pytest.fixture(scope="module")
+def sweep(grids):
+    if grids:
+        return fig5_sweep(methods=METHODS)
+    return fig5_sweep(model_names=("resnet50", "resnet200", "unet"),
+                      methods=METHODS, batch_limit=3)
+
+
+def test_fig5_throughput_panels(benchmark, sweep):
+    points = sweep
+    models = sorted({p.model for p in points})
+    print()
+    for model in models:
+        mp = [p for p in points if p.model == model]
+        xs = sorted({p.batch_size for p in mp})
+        series = {}
+        for method in METHODS:
+            vals = []
+            for x in xs:
+                match = [p for p in mp
+                         if p.method == method and p.batch_size == x]
+                vals.append(match[0].samples_per_sec
+                            if match and match[0].feasible else None)
+            series[method] = vals
+        print(render_series(f"Fig. 5 — {model} (samples/s)", xs, series,
+                            x_label="batch"))
+        print()
+    # representative kernel for the timing harness
+    from repro.eval import run_method
+    from repro.models import REGISTRY
+    graph = REGISTRY["resnet200"].builder()
+    benchmark(run_method, graph, "checkmate", 12)
+
+    # shape assertions: in-core only at the first batch; KARMA+R leads
+    for model in models:
+        mp = [p for p in points if p.model == model]
+        xs = sorted({p.batch_size for p in mp})
+        incore = {p.batch_size: p.feasible for p in mp
+                  if p.method == "in-core"}
+        assert incore[xs[0]], f"{model}: first batch must fit in-core"
+        assert not any(incore[x] for x in xs[1:]), \
+            f"{model}: only the first batch size fits in-core"
+
+
+def test_fig5_karma_speedup_headline(benchmark, sweep):
+    summary = benchmark(karma_speedup_summary, sweep)
+    print()
+    print("§IV-B headline — KARMA w/ recompute vs best competing method "
+          "(geometric mean over out-of-core points):")
+    for k, v in summary.items():
+        print(f"  {k:24s} {v:.2f}x")
+    assert summary["speedup[mean]"] >= 1.0, \
+        "KARMA must at least match the best competing method on average"

@@ -1,0 +1,36 @@
+"""Fig. 7: the best blocking KARMA finds for ResNet-50/ImageNet at batch
+512 on a 16 GiB V100 — block boundaries, per-block swap/compute balance,
+and the resulting plan string.
+"""
+
+import pytest
+
+from repro.core import plan
+from repro.models import resnet50
+from repro.sim import simulate_plan
+
+
+@pytest.fixture(scope="module")
+def resnet50_plan():
+    graph = resnet50()
+    return plan(graph, batch_size=512)
+
+
+def test_fig7_resnet50_blocking(benchmark, resnet50_plan):
+    kp = resnet50_plan
+    res = simulate_plan(kp.plan, kp.cost, kp.capacity)
+    benchmark(simulate_plan, kp.plan, kp.cost, kp.capacity)
+    print()
+    print("Fig. 7 — best blocking for ResNet-50 @ batch 512 (V100 16 GiB):")
+    for b, (s, e) in enumerate(kp.plan.blocks):
+        policy = kp.plan.policies[b].value
+        stash = kp.cost.block_activation_bytes(s, e) / 2**20
+        t_fw = kp.cost.block_fw_time(s, e) * 1e3
+        layers = f"{kp.cost.graph[s].name} .. {kp.cost.graph[e - 1].name}"
+        print(f"  block {b + 1:3d} [{s:4d},{e:4d}) {policy:12s} "
+              f"stash {stash:9.1f} MiB  fw {t_fw:7.2f} ms  {layers}")
+    print(f"  iteration: {res.summary()}")
+    print(f"  plan: {kp.plan.plan_string()[:400]} ...")
+    assert kp.plan.num_blocks >= 2
+    assert res.gpu_occupancy > 0.5, \
+        "the chosen blocking must keep the device mostly busy"

@@ -1,0 +1,17 @@
+"""Table I: limitations/capabilities of related approaches.
+
+Generated from the scheduler registry's metadata, so the table reflects
+what the code actually implements.
+"""
+
+from repro.baselines import capability_matrix
+from repro.eval import render_table
+
+
+def test_table1_capability_matrix(benchmark):
+    rows = benchmark(capability_matrix)
+    print()
+    print(render_table(rows, title="Table I — Limitations and Restrictions "
+                                   "of Related Approaches"))
+    names = {r["Name"] for r in rows}
+    assert "KARMA" in names and "vDNN++" in names

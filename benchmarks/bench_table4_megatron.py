@@ -1,0 +1,68 @@
+"""Table IV: Megatron-LM configurations under the MP+DP hybrid vs
+data-parallel KARMA at half the GPUs, plus the PPL-parity proxy.
+
+Perplexity note: the 0.7B-8.3B models cannot be trained here; DP-KARMA is
+*numerically identical* to plain data parallelism (see
+tests/test_distributed_numeric.py), so PPL parity is demonstrated by the
+tiny-GPT convergence experiment in bench_accuracy_equivalence.py.
+"""
+
+import pytest
+
+from repro.eval import render_table
+from repro.models.transformer import MEGATRON_CONFIGS
+from repro.sim import hybrid_mp_dp_lm, simulate_dp_karma_lm
+
+# (config key, MP ways, hybrid GPUs, KARMA GPUs) — the Table IV rows
+ROWS = [
+    ("megatron-0.7b", 1, 64, 32),
+    ("megatron-1.2b", 2, 128, 64),
+    ("megatron-2.5b", 4, 256, 128),
+    ("megatron-4.2b", 8, 512, 256),
+    ("megatron-8.3b", 16, 1024, 512),
+]
+PAPER_PERF = {  # (hybrid iter/s, KARMA iter/s) as reported
+    "megatron-0.7b": (5.8, 2.2), "megatron-1.2b": (1.6, 0.73),
+    "megatron-2.5b": (2.9, 1.94), "megatron-4.2b": (5.0, 3.11),
+    "megatron-8.3b": (8.4, 6.3),
+}
+
+
+@pytest.fixture(scope="module")
+def table4(grids):
+    rows = []
+    selected = ROWS if grids else ROWS[1:4]
+    for key, mp, hybrid_gpus, karma_gpus in selected:
+        cfg = MEGATRON_CONFIGS[key]
+        h = hybrid_mp_dp_lm(cfg, hybrid_gpus, mp, per_replica_batch=8)
+        k = simulate_dp_karma_lm(cfg, karma_gpus,
+                                 per_gpu_batch=8 * max(1, mp))
+        paper_h, paper_k = PAPER_PERF[key]
+        h_pergpu = h.global_batch / h.iteration_time / hybrid_gpus
+        k_pergpu = (8 * max(1, mp)) / k.iteration_time
+        rows.append({
+            "eff K/H": f"{k_pergpu / h_pergpu:.2f}",
+            "Config": key, "H": cfg.hidden, "L": cfg.layers,
+            "P (computed)": f"{cfg.analytic_params / 1e9:.2f}B",
+            "MP+DP GPUs": hybrid_gpus,
+            "MP+DP iter/s": f"{1.0 / h.iteration_time:.3f}",
+            "KARMA GPUs": karma_gpus,
+            "KARMA iter/s": f"{1.0 / k.iteration_time:.3f}",
+            "ratio K/H": f"{h.iteration_time / k.iteration_time:.2f}",
+            "paper ratio": f"{paper_k / paper_h:.2f}",
+        })
+    return rows
+
+
+def test_table4_megatron_configurations(benchmark, table4):
+    print()
+    print(render_table(table4, title="Table IV — Megatron-LM: MP+DP hybrid "
+                                     "vs data-parallel KARMA"))
+    cfg = MEGATRON_CONFIGS["megatron-2.5b"]
+    benchmark(simulate_dp_karma_lm, cfg, 128, 32)
+    # shape: per-GPU training efficiency of DP-KARMA is comparable to the
+    # hybrid's (the paper's ratios imply 0.7-1.5x once normalized for
+    # KARMA's larger per-GPU batch)
+    for row in table4:
+        eff = float(row["eff K/H"])
+        assert 0.3 < eff < 3.0, f"{row['Config']}: efficiency {eff} off-shape"

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section, printing the rows/series the paper reports, and times a
+representative kernel with pytest-benchmark.  Sweeps default to a reduced
+grid so the suite completes in minutes; set ``KARMA_BENCH_FULL=1`` for the
+full paper grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_grids() -> bool:
+    return os.environ.get("KARMA_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def grids():
+    return full_grids()
+
+
+def pytest_configure(config):
+    """Show each bench's captured stdout (the regenerated tables/figures
+    are the point of the suite): force the -rA report for bench runs."""
+    chars = config.option.reportchars or ""
+    if "A" not in chars:
+        config.option.reportchars = chars + "A"

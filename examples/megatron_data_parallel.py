@@ -1,0 +1,69 @@
+"""Table IV / Fig. 8-style study: data-parallel KARMA for billion-parameter
+language models, against the Megatron-LM MP+DP hybrid and ZeRO.
+
+Prints the Table IV comparison for the 2.5B and 8.3B configurations, the
+Fig. 8 epoch-time parity curves, and the Turing-NLG ZeRO/KARMA/ZeRO+KARMA
+comparison.
+
+Run: python examples/megatron_data_parallel.py
+"""
+
+from repro.eval import render_series, render_table
+from repro.models.transformer import MEGATRON_CONFIGS, TURING_NLG
+from repro.sim import (
+    hybrid_mp_dp_lm,
+    karma_plus_zero_lm,
+    simulate_dp_karma_lm,
+    zero_hybrid_lm,
+)
+
+EPOCH = 7_200_000
+
+
+def table_iv():
+    rows = []
+    for key, mp, hg, kg in (("megatron-2.5b", 4, 256, 128),
+                            ("megatron-8.3b", 16, 1024, 512)):
+        cfg = MEGATRON_CONFIGS[key]
+        h = hybrid_mp_dp_lm(cfg, hg, mp, 8)
+        k = simulate_dp_karma_lm(cfg, kg, 8 * mp)
+        rows.append({
+            "config": key,
+            "params": f"{cfg.analytic_params / 1e9:.2f}B",
+            "hybrid GPUs": hg,
+            "hybrid iter/s": f"{1 / h.iteration_time:.3f}",
+            "KARMA GPUs": kg,
+            "KARMA iter/s": f"{1 / k.iteration_time:.3f}",
+        })
+    print(render_table(rows, title="Table IV — MP+DP hybrid vs DP-KARMA"))
+
+
+def fig8():
+    gpus = (256, 512, 1024, 2048)
+    cfg = MEGATRON_CONFIGS["megatron-8.3b"]
+    hybrid = [hybrid_mp_dp_lm(cfg, n, 16, 8).epoch_time(EPOCH) / 3600
+              for n in gpus]
+    karma = [simulate_dp_karma_lm(cfg, n, 128).epoch_time(EPOCH) / 3600
+             for n in gpus]
+    print()
+    print(render_series("Fig. 8 — Megatron-8.3B time/epoch (hours)", gpus,
+                        {"MP+DP hybrid": hybrid, "DP KARMA": karma},
+                        x_label="GPUs"))
+
+    zero = [zero_hybrid_lm(TURING_NLG, n, 16, 8).epoch_time(EPOCH) / 3600
+            for n in gpus[1:]]
+    karma_t = [simulate_dp_karma_lm(TURING_NLG, n, 128)
+               .epoch_time(EPOCH) / 3600 for n in gpus[1:]]
+    zk = [karma_plus_zero_lm(TURING_NLG, n, 128).epoch_time(EPOCH) / 3600
+          for n in gpus[1:]]
+    print()
+    print(render_series("Fig. 8 — Turing-NLG 17B time/epoch (hours)",
+                        gpus[1:], {"ZeRO": zero, "KARMA": karma_t,
+                                   "ZeRO+KARMA": zk}, x_label="GPUs"))
+    print(f"\nZeRO+KARMA over ZeRO at 2,048 GPUs: "
+          f"{zero[-1] / zk[-1]:.2f}x (paper: 1.35x)")
+
+
+if __name__ == "__main__":
+    table_iv()
+    fig8()

@@ -1,0 +1,6 @@
+"""Thin setup.py shim so `pip install -e .` / `setup.py develop` work on
+environments whose setuptools lacks PEP-660 editable-wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""KARMA: out-of-core distributed deep learning beyond device memory capacity.
+
+A full reproduction of Wahib et al., "Scaling Distributed Deep Learning
+Workloads beyond the Memory Capacity with KARMA" (SC 2020).
+
+Public entry points:
+
+* :func:`repro.core.planner.plan` — derive a KARMA execution plan for a
+  model graph on a device (blocking + recompute interleave).
+* :mod:`repro.sim` — discrete-event simulation of plans at paper scale.
+* :mod:`repro.runtime` — numeric out-of-core execution (correctness).
+* :mod:`repro.distributed` — data-parallel KARMA (5-stage pipeline).
+* :mod:`repro.baselines` — vDNN++, SuperNeurons, Checkmate, checkpointing.
+* :mod:`repro.models` — the Table III model zoo.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, costs, data, distributed, eval, graph, hardware, models, nn, runtime, sim
+
+__all__ = ["baselines", "core", "costs", "data", "distributed", "eval",
+           "graph", "hardware", "models", "nn", "runtime", "sim", "__version__"]

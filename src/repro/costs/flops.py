@@ -1,0 +1,232 @@
+"""Analytic per-layer operation counts (§III-C, items 1-9).
+
+The paper's proxy for block compute cost is the aggregate number of
+arithmetic operations of the layers in the block; framework-level fusion has
+minimal effect on that aggregate (§III-C, citing Mittal & Vaishay).  We
+implement the paper's formulas literally, per *sample*, and scale by batch
+size at the call site.  A FLOP here counts one arithmetic operation, so one
+multiply-accumulate contributes two.
+
+Backward-pass costs follow the standard accounting: a parametric layer's
+backward computes both input gradients and weight gradients, costing about
+twice its forward; element-wise/non-parametric layers cost about one
+forward.  These factors are exposed (not hard-coded) so ablations can vary
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..graph.layer_graph import LayerKind, LayerSpec
+
+# backward/forward cost ratios per kind (2x for layers with weight grads)
+BACKWARD_FACTOR: Dict[LayerKind, float] = {
+    LayerKind.CONV2D: 2.0,
+    LayerKind.LINEAR: 2.0,
+    LayerKind.LSTM: 2.0,
+    LayerKind.ATTENTION: 2.0,
+    LayerKind.EMBEDDING: 1.0,   # backward is a scatter-add of output grads
+    LayerKind.UPSAMPLE: 2.0,
+    LayerKind.BATCHNORM: 1.5,
+    LayerKind.LAYERNORM: 1.5,
+}
+DEFAULT_BACKWARD_FACTOR = 1.0
+
+
+def conv2d_flops(spec: LayerSpec) -> float:
+    """|Y| * K * K * C_in MACs -> 2 FLOPs each (§III-C.1).
+
+    When an algorithm other than direct convolution is used the count is
+    adjusted by ``attrs['algo_factor']`` (e.g. GEMM-based/Winograd), as the
+    paper adjusts per cuDNN algorithm type.
+    """
+    k = spec.attr("kernel")
+    c_in = spec.attr("in_channels")
+    algo = spec.attr("algo_factor", 1.0)
+    groups = spec.attr("groups", 1.0)
+    macs = spec.output_elems * k * k * (c_in / groups)
+    return 2.0 * macs * algo
+
+
+def relu_flops(spec: LayerSpec) -> float:
+    """|Y| comparison operations (§III-C.2)."""
+    return float(spec.output_elems)
+
+
+def gelu_flops(spec: LayerSpec) -> float:
+    """tanh-approximation GELU: ~8 ops per element."""
+    return 8.0 * spec.output_elems
+
+
+def pool_flops(spec: LayerSpec) -> float:
+    """|Y| * K * K * c ops; c adjusts for max vs average (§III-C.3)."""
+    k = spec.attr("kernel")
+    c = 1.0 if spec.kind is LayerKind.POOL_MAX else 2.0  # avg adds the divide
+    return spec.output_elems * k * k * c
+
+
+def batchnorm_flops(spec: LayerSpec) -> float:
+    """3|B| + 4|X| + 2|Y| (§III-C.4).
+
+    |B| is the per-channel batch statistic count; per sample we charge the
+    per-element normalize (4|X|) and scale/shift (2|Y|) plus the channel
+    statistics contribution.
+    """
+    channels = spec.attr("channels", spec.output_shape[0] if spec.output_shape else 1)
+    return 3.0 * channels + 4.0 * spec.input_elems + 2.0 * spec.output_elems
+
+
+def layernorm_flops(spec: LayerSpec) -> float:
+    """Same accounting as batch-norm with per-token statistics."""
+    return 3.0 * spec.output_elems / max(1.0, spec.attr("dim", 1.0)) \
+        + 4.0 * spec.input_elems + 2.0 * spec.output_elems
+
+
+def lstm_flops(spec: LayerSpec) -> float:
+    """20 * |Y| ops for the gate combination (§III-C.5) plus the 8 GEMM MACs.
+
+    The paper counts the cell-state combination explicitly (20|Y|) and folds
+    the input/recurrent projections into the GEMM accounting; we include
+    both so an LSTM spec is self-contained: per timestep, 4 gates each do
+    (D_in + D_h) * D_h MACs.
+    """
+    t = spec.attr("steps")
+    d_in = spec.attr("input_dim")
+    d_h = spec.attr("hidden_dim")
+    gemm = 2.0 * 4.0 * (d_in + d_h) * d_h * t
+    combine = 20.0 * spec.output_elems
+    return gemm + combine
+
+
+def attention_flops(spec: LayerSpec) -> float:
+    """Self-attention with dot-product compatibility (§III-C.6).
+
+    For sequence length T and model dim D (d_k = D / heads):
+    QKV projections (3 GEMMs), QK^T scores, softmax, attention-weighted V,
+    and the output projection.  The paper's closed form (4 d_k^3 + d_k^2 +
+    2 d_k) is per query-key pair; expanded over the sequence this equals the
+    accounting below.
+    """
+    t = spec.attr("seq_len")
+    d = spec.attr("dim")
+    proj = 2.0 * 3.0 * t * d * d          # Q, K, V projections
+    scores = 2.0 * t * t * d              # Q K^T over all heads
+    softmax = 2.0 * t * t * spec.attr("heads", 1.0)
+    weighted = 2.0 * t * t * d            # scores @ V
+    out_proj = 2.0 * t * d * d
+    return proj + scores + softmax + weighted + out_proj
+
+
+def linear_flops(spec: LayerSpec) -> float:
+    """|W| = |X| x |Y| MACs -> 2 FLOPs each (§III-C.7)."""
+    d_in = spec.attr("in_features")
+    d_out = spec.attr("out_features")
+    tokens = spec.output_elems / d_out if d_out else 0.0
+    return 2.0 * tokens * d_in * d_out
+
+
+def softmax_flops(spec: LayerSpec) -> float:
+    """2|X| operations (§III-C.8)."""
+    return 2.0 * spec.input_elems
+
+
+def embedding_flops(spec: LayerSpec) -> float:
+    """A gather: ~1 op per output element (§III-C.9 'simply inferred')."""
+    return float(spec.output_elems)
+
+
+def dropout_flops(spec: LayerSpec) -> float:
+    return 2.0 * spec.output_elems  # mask draw + multiply
+
+
+def add_flops(spec: LayerSpec) -> float:
+    return float(spec.output_elems)
+
+
+def upsample_flops(spec: LayerSpec) -> float:
+    """Transposed conv / up-conv costed like a conv on the output grid."""
+    k = spec.attr("kernel", 2.0)
+    c_in = spec.attr("in_channels")
+    return 2.0 * spec.output_elems * k * k * c_in
+
+
+_DISPATCH = {
+    LayerKind.INPUT: lambda s: 0.0,
+    LayerKind.CONV2D: conv2d_flops,
+    LayerKind.RELU: relu_flops,
+    LayerKind.GELU: gelu_flops,
+    LayerKind.POOL_MAX: pool_flops,
+    LayerKind.POOL_AVG: pool_flops,
+    LayerKind.BATCHNORM: batchnorm_flops,
+    LayerKind.LAYERNORM: layernorm_flops,
+    LayerKind.LSTM: lstm_flops,
+    LayerKind.ATTENTION: attention_flops,
+    LayerKind.LINEAR: linear_flops,
+    LayerKind.SOFTMAX: softmax_flops,
+    LayerKind.DROPOUT: dropout_flops,
+    LayerKind.EMBEDDING: embedding_flops,
+    LayerKind.ADD: add_flops,
+    LayerKind.CONCAT: lambda s: float(s.output_elems),
+    LayerKind.RESHAPE: lambda s: 0.0,
+    LayerKind.UPSAMPLE: upsample_flops,
+    LayerKind.LOSS: lambda s: 3.0 * s.input_elems,
+}
+
+
+def forward_flops(spec: LayerSpec, batch_size: int = 1) -> float:
+    """Forward-pass FLOPs of one layer for ``batch_size`` samples."""
+    try:
+        per_sample = _DISPATCH[spec.kind](spec)
+    except KeyError as exc:  # pragma: no cover - new kinds must be registered
+        raise NotImplementedError(
+            f"no FLOP formula for layer kind {spec.kind}") from exc
+    return per_sample * batch_size
+
+
+def backward_flops(spec: LayerSpec, batch_size: int = 1) -> float:
+    """Backward-pass FLOPs (forward cost scaled by the kind's factor)."""
+    factor = BACKWARD_FACTOR.get(spec.kind, DEFAULT_BACKWARD_FACTOR)
+    return forward_flops(spec, batch_size) * factor
+
+
+def param_count(spec: LayerSpec) -> int:
+    """Number of trainable scalars in the layer."""
+    kind = spec.kind
+    if kind is LayerKind.CONV2D:
+        k = int(spec.attr("kernel"))
+        c_in = int(spec.attr("in_channels"))
+        c_out = int(spec.attr("out_channels"))
+        groups = int(spec.attr("groups", 1))
+        return k * k * (c_in // groups) * c_out + c_out
+    if kind is LayerKind.BATCHNORM:
+        return 2 * int(spec.attr("channels"))
+    if kind is LayerKind.LAYERNORM:
+        return 2 * int(spec.attr("dim"))
+    if kind is LayerKind.LINEAR:
+        return int(spec.attr("in_features")) * int(spec.attr("out_features")) \
+            + int(spec.attr("out_features"))
+    if kind is LayerKind.LSTM:
+        d_in = int(spec.attr("input_dim"))
+        d_h = int(spec.attr("hidden_dim"))
+        return 4 * (d_in * d_h + d_h * d_h + d_h)
+    if kind is LayerKind.ATTENTION:
+        d = int(spec.attr("dim"))
+        return 4 * d * d + 4 * d  # QKVO projections + biases
+    if kind is LayerKind.EMBEDDING:
+        return int(spec.attr("vocab")) * int(spec.attr("dim"))
+    if kind is LayerKind.UPSAMPLE:
+        k = int(spec.attr("kernel", 2))
+        return k * k * int(spec.attr("in_channels")) * int(spec.attr("out_channels"))
+    return 0
+
+
+def graph_forward_flops(graph, batch_size: int = 1) -> float:
+    """Total forward FLOPs of a :class:`LayerGraph`."""
+    return sum(forward_flops(spec, batch_size) for spec in graph)
+
+
+def graph_param_count(graph) -> int:
+    """Total trainable parameters of a :class:`LayerGraph`."""
+    return sum(param_count(spec) for spec in graph)

@@ -1,0 +1,20 @@
+"""Synthetic datasets with the paper's sample geometry (Table III)."""
+
+from .synthetic import (
+    CIFAR10,
+    DATASETS,
+    IMAGENET,
+    OPENWEBTEXT,
+    SSTEM,
+    DatasetSpec,
+    SyntheticImages,
+    SyntheticSegmentation,
+    SyntheticTokens,
+    dataset_for_model,
+)
+
+__all__ = [
+    "DatasetSpec", "SyntheticImages", "SyntheticSegmentation",
+    "SyntheticTokens", "dataset_for_model",
+    "IMAGENET", "CIFAR10", "SSTEM", "OPENWEBTEXT", "DATASETS",
+]

@@ -1,0 +1,146 @@
+"""Deterministic synthetic datasets shaped like the paper's (Table III).
+
+Schedule and performance behaviour depend on tensor shapes, not pixel
+values, so ImageNet/CIFAR-10/ssTEM/OpenWebText are replaced by seeded
+generators producing the same sample geometry.  For the accuracy-parity
+experiments (§IV-D) the classification sets are *separable by
+construction* (class-conditional Gaussian blobs / planted token bigrams),
+so scaled-down models can be trained to convergence and compared across
+execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Geometry of one dataset (a Table III row)."""
+
+    name: str
+    sample_shape: Tuple[int, ...]
+    num_classes: int
+    num_samples: int
+
+
+IMAGENET = DatasetSpec("imagenet", (3, 224, 224), 1000, 1_280_000)
+CIFAR10 = DatasetSpec("cifar10", (3, 32, 32), 10, 60_000)
+SSTEM = DatasetSpec("sstem", (1, 512, 512), 2, 30)
+OPENWEBTEXT = DatasetSpec("openwebtext", (1024,), 50304, 7_200_000)
+
+DATASETS = {d.name: d for d in (IMAGENET, CIFAR10, SSTEM, OPENWEBTEXT)}
+
+
+class SyntheticImages:
+    """Class-conditional Gaussian image batches (separable, deterministic).
+
+    Each class c has a fixed mean pattern mu_c; samples are mu_c + noise.
+    A linear probe separates them, so any correct trainer drives the loss
+    down — the property the accuracy-parity tests rely on.
+    """
+
+    def __init__(self, sample_shape: Tuple[int, ...], num_classes: int,
+                 seed: int = 0, noise: float = 0.3, dtype=np.float32):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        self.sample_shape = sample_shape
+        self.num_classes = num_classes
+        self.noise = noise
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        self._means = rng.standard_normal(
+            (num_classes,) + sample_shape).astype(dtype)
+        self._seed = seed
+
+    def batch(self, batch_size: int, step: int = 0) -> Tuple[Array, Array]:
+        """Deterministic batch for iteration ``step``."""
+        rng = np.random.default_rng(self._seed * 7919 + step + 1)
+        labels = rng.integers(0, self.num_classes, batch_size)
+        x = self._means[labels] + self.noise * rng.standard_normal(
+            (batch_size,) + self.sample_shape).astype(self.dtype)
+        return x.astype(self.dtype), labels
+
+    def batches(self, batch_size: int, steps: int) -> Iterator[Tuple[Array, Array]]:
+        for s in range(steps):
+            yield self.batch(batch_size, s)
+
+
+class SyntheticSegmentation:
+    """ssTEM-like pairs: image + dense per-pixel binary labels.
+
+    Ground truth is a thresholded smooth field of the input, so the mapping
+    is learnable by a small U-Net.
+    """
+
+    def __init__(self, image: int = 512, seed: int = 0, dtype=np.float32):
+        self.image = image
+        self.dtype = dtype
+        self._seed = seed
+
+    def batch(self, batch_size: int, step: int = 0) -> Tuple[Array, Array]:
+        rng = np.random.default_rng(self._seed * 104729 + step + 1)
+        x = rng.standard_normal(
+            (batch_size, 1, self.image, self.image)).astype(self.dtype)
+        # smooth the field with a separable box blur to create structure
+        k = max(3, self.image // 16)
+        kernel = np.ones(k, dtype=self.dtype) / k
+        sm = np.apply_along_axis(
+            lambda r: np.convolve(r, kernel, mode="same"), 2, x)
+        sm = np.apply_along_axis(
+            lambda r: np.convolve(r, kernel, mode="same"), 3, sm)
+        labels = (sm[:, 0] > 0).astype(np.int64)
+        return x, labels
+
+
+class SyntheticTokens:
+    """OpenWebText-like token streams with planted bigram structure.
+
+    Token t+1 = (a * t + b) mod vocab with per-stream noise: a next-token
+    predictor can reach low perplexity, giving the Table IV PPL-parity
+    experiments a meaningful target at tiny scale.
+    """
+
+    def __init__(self, vocab: int, seq_len: int, seed: int = 0,
+                 noise: float = 0.05):
+        if vocab < 4:
+            raise ValueError("vocab must be >= 4")
+        self.vocab = vocab
+        self.seq_len = seq_len
+        self.noise = noise
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = int(rng.integers(2, max(3, vocab // 2)))
+        self._b = int(rng.integers(1, vocab))
+
+    def batch(self, batch_size: int, step: int = 0) -> Tuple[Array, Array]:
+        """Returns (tokens, next_tokens) both (B, T) int64."""
+        rng = np.random.default_rng(self._seed * 15485863 + step + 1)
+        start = rng.integers(0, self.vocab, batch_size)
+        toks = np.empty((batch_size, self.seq_len + 1), dtype=np.int64)
+        toks[:, 0] = start
+        for t in range(self.seq_len):
+            nxt = (self._a * toks[:, t] + self._b) % self.vocab
+            flip = rng.random(batch_size) < self.noise
+            nxt = np.where(flip, rng.integers(0, self.vocab, batch_size), nxt)
+            toks[:, t + 1] = nxt
+        return toks[:, :-1], toks[:, 1:]
+
+
+def dataset_for_model(model_name: str) -> DatasetSpec:
+    """Table III's model -> dataset mapping."""
+    mapping = {
+        "resnet50": IMAGENET, "vgg16": IMAGENET, "resnet200": IMAGENET,
+        "wrn28_10": CIFAR10, "resnet1001": CIFAR10,
+        "unet": SSTEM,
+    }
+    if model_name.startswith("megatron") or model_name == "turing-nlg":
+        return OPENWEBTEXT
+    if model_name not in mapping:
+        raise KeyError(f"no dataset mapping for model {model_name!r}")
+    return mapping[model_name]

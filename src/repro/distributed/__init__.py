@@ -1,0 +1,17 @@
+"""Data-parallel KARMA numeric runtime: communicator, phased exchange,
+host-side updates, and the 5-stage pipeline trainer."""
+
+from .communicator import RingCommunicator, TrafficStats, allreduce_traffic_per_rank
+from .cpu_update import HostAdam, HostSGD
+from .dp_trainer import DataParallelKarmaTrainer
+from .phased_exchange import (
+    PhasedGradientExchange,
+    block_gradient_buffers,
+    scatter_back,
+)
+
+__all__ = [
+    "RingCommunicator", "TrafficStats", "allreduce_traffic_per_rank",
+    "HostSGD", "HostAdam", "DataParallelKarmaTrainer",
+    "PhasedGradientExchange", "block_gradient_buffers", "scatter_back",
+]

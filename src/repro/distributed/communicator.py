@@ -1,0 +1,117 @@
+"""In-process communicator with a real chunked ring allreduce.
+
+The API mirrors mpi4py's buffer conventions (uppercase = buffer ops); the
+ring algorithm is implemented for real over numpy views — reduce-scatter
+then allgather, moving one chunk per virtual step — so tests can assert
+both the numerical result and the per-step traffic pattern that the
+alpha-beta cost model in :mod:`repro.sim.collectives` prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass
+class TrafficStats:
+    """Bytes moved per endpoint by collective calls."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    calls: int = 0
+
+
+class RingCommunicator:
+    """A world of N in-process endpoints with ring collectives.
+
+    All endpoints participate synchronously (the caller supplies all
+    buffers at once — the single-process analogue of an SPMD collective).
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.stats = [TrafficStats() for _ in range(world_size)]
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, buffers: Sequence[Array], average: bool = False
+                  ) -> None:
+        """In-place ring allreduce (sum or mean) across ``buffers``.
+
+        ``buffers[r]`` is rank r's tensor; all must share shape and dtype.
+        Implemented as reduce-scatter + allgather with N-1 steps each,
+        exactly one chunk in flight per rank per step.
+        """
+        n = self.world_size
+        if len(buffers) != n:
+            raise ValueError(f"expected {n} buffers, got {len(buffers)}")
+        if n == 1:
+            return
+        shape = buffers[0].shape
+        dtype = buffers[0].dtype
+        for b in buffers:
+            if b.shape != shape or b.dtype != dtype:
+                raise ValueError("allreduce buffers must match in "
+                                 "shape and dtype")
+        flats = [b.reshape(-1) for b in buffers]
+        total = flats[0].size
+        # chunk boundaries (N chunks, padded split)
+        bounds = [int(round(i * total / n)) for i in range(n + 1)]
+
+        def chunk(r: int, c: int) -> Array:
+            return flats[r][bounds[c % n]:bounds[c % n + 1]]
+
+        # reduce-scatter: after step s, rank r owns the partial sum of
+        # chunk (r - s) from ranks r-s..r
+        for s in range(n - 1):
+            for r in range(n):
+                src = (r - 1) % n
+                c = (r - 1 - s) % n
+                recv = chunk(src, c)
+                chunk(r, c)[...] += recv
+                self._account(src, r, recv.nbytes)
+        # allgather: circulate the finished chunks
+        for s in range(n - 1):
+            for r in range(n):
+                src = (r - 1) % n
+                c = (r - s) % n
+                recv = chunk(src, c)
+                chunk(r, c)[...] = recv
+                self._account(src, r, recv.nbytes)
+        if average:
+            for f in flats:
+                f /= n
+
+    def broadcast(self, buffers: Sequence[Array], root: int = 0) -> None:
+        """Copy rank ``root``'s buffer into every other rank's."""
+        n = self.world_size
+        if len(buffers) != n:
+            raise ValueError(f"expected {n} buffers, got {len(buffers)}")
+        src = buffers[root]
+        for r, b in enumerate(buffers):
+            if r == root:
+                continue
+            b[...] = src
+            self._account(root, r, src.nbytes)
+
+    def _account(self, src: int, dst: int, nbytes: int) -> None:
+        self.stats[src].bytes_sent += nbytes
+        self.stats[dst].bytes_received += nbytes
+        self.stats[src].calls += 1
+
+    def total_traffic(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+
+def allreduce_traffic_per_rank(nbytes: int, world_size: int) -> float:
+    """Expected per-rank send volume of a ring allreduce: 2 (N-1)/N * V."""
+    if world_size <= 1:
+        return 0.0
+    return 2.0 * (world_size - 1) / world_size * nbytes

@@ -1,0 +1,93 @@
+"""Host-side block-granular weight update (§III-G, Fig. 3 step 5).
+
+Data-parallel KARMA updates weights **on the CPU** after the phased
+gradient exchange, because the swapped-out blocks live in host memory at
+that point; the paper "implemented a stand-alone direct CPU kernel to
+update the weights of individual blocks" (§III-H).  We reuse the exact
+same pure kernels as the device-side optimizers, so CPU-updated replicas
+are arithmetically identical to device-updated ones — the property the
+equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.build import ExecutableModel
+from ..nn.optim import adam_update_kernel, sgd_update_kernel
+
+Array = np.ndarray
+
+
+class HostSGD:
+    """Block-granular momentum SGD living on the host."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._buffers: Dict[Tuple[str, str], Array] = {}
+
+    def update_block(self, model: ExecutableModel,
+                     layer_indices: Sequence[int]) -> int:
+        """Update the parameters of the given layers; returns bytes touched."""
+        touched = 0
+        for i in layer_indices:
+            name = model.graph[i].name
+            module = model.modules[name]
+            for pname, param in module.params.items():
+                grad = module.grads[pname]
+                buf = None
+                if self.momentum:
+                    key = (name, pname)
+                    if key not in self._buffers:
+                        self._buffers[key] = np.zeros_like(param)
+                    buf = self._buffers[key]
+                sgd_update_kernel(param, grad, buf, self.lr, self.momentum,
+                                  self.weight_decay)
+                touched += int(param.nbytes + grad.nbytes)
+        return touched
+
+
+class HostAdam:
+    """Block-granular Adam living on the host."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m: Dict[Tuple[str, str], Array] = {}
+        self._v: Dict[Tuple[str, str], Array] = {}
+
+    def begin_step(self) -> None:
+        """Advance the shared time step once per iteration (all blocks of
+        one iteration share the same bias correction)."""
+        self.t += 1
+
+    def update_block(self, model: ExecutableModel,
+                     layer_indices: Sequence[int]) -> int:
+        if self.t < 1:
+            raise RuntimeError("call begin_step() before update_block()")
+        touched = 0
+        for i in layer_indices:
+            name = model.graph[i].name
+            module = model.modules[name]
+            for pname, param in module.params.items():
+                grad = module.grads[pname]
+                key = (name, pname)
+                if key not in self._m:
+                    self._m[key] = np.zeros_like(param)
+                    self._v[key] = np.zeros_like(param)
+                adam_update_kernel(param, grad, self._m[key], self._v[key],
+                                   self.lr, self.beta1, self.beta2,
+                                   self.eps, self.t, self.weight_decay)
+                touched += int(param.nbytes + grad.nbytes)
+        return touched

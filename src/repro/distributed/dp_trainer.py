@@ -1,0 +1,156 @@
+"""Data-parallel KARMA: the numeric 5-stage pipeline (Fig. 3).
+
+Each worker runs the *same* KARMA plan on its shard of the global batch;
+after the backward phase, gradients leave the device (the blocks were
+already swapped out), the phased allreduce averages them across workers,
+and the **host-side** optimizer updates each block before it swaps back
+for the next iteration.
+
+Because every stage is arithmetically exact (same kernels, same counter-
+based dropout streams), W workers on batch B/W are *bit-identical* to one
+worker on batch B — the reproduction of §IV-D's accuracy-parity claim,
+strengthened to exact equality (tests assert it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.schedule import ExecutionPlan
+from ..hardware.memory_pool import MemorySpace
+from ..nn.build import ExecutableModel
+from ..runtime.executor import OutOfCoreExecutor
+from .communicator import RingCommunicator
+from .cpu_update import HostAdam, HostSGD
+from .phased_exchange import PhasedGradientExchange
+
+Array = np.ndarray
+
+
+class DataParallelKarmaTrainer:
+    """W replicas + ring communicator + phased exchange + host updates."""
+
+    def __init__(self, graph, plan: ExecutionPlan, world_size: int,
+                 near_capacity: float, far_capacity: float,
+                 optimizer: Optional[HostSGD] = None,
+                 dtype=np.float32, seed: int = 0,
+                 target_group_bytes: int = 1 << 20):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.plan = plan
+        # identical initialization on every replica (same seed), as a real
+        # data-parallel launch broadcasts rank 0's weights
+        self.models = [ExecutableModel(graph, dtype=dtype, seed=seed)
+                       for _ in range(world_size)]
+        self.spaces = [MemorySpace(near_capacity, far_capacity)
+                       for _ in range(world_size)]
+        self.executors = [OutOfCoreExecutor(m, plan, s)
+                          for m, s in zip(self.models, self.spaces)]
+        self.comm = RingCommunicator(world_size)
+        grad_bytes = []
+        for (s, e) in plan.blocks:
+            total = 0
+            for i in range(s, e):
+                module = self.models[0].modules[graph[i].name]
+                total += sum(g.nbytes for g in module.grads.values())
+            grad_bytes.append(total)
+        self.exchange = PhasedGradientExchange(
+            self.comm, plan.blocks, grad_bytes,
+            target_group_bytes=target_group_bytes)
+        self.optimizer = optimizer or HostSGD(lr=0.01)
+        self._host_optimizers = [self.optimizer] + [
+            type(self.optimizer)(**_optimizer_kwargs(self.optimizer))
+            for _ in range(world_size - 1)]
+        self.step_count = 0
+
+    def train_step(self, batch: Array, targets: Array) -> float:
+        """One global iteration; returns the mean loss across workers.
+
+        ``batch``/``targets`` hold the *global* batch; they are split
+        evenly across workers (global batch must divide by world size).
+        """
+        n = batch.shape[0]
+        if n % self.world_size:
+            raise ValueError(f"global batch {n} not divisible by "
+                             f"{self.world_size} workers")
+        shard = n // self.world_size
+        losses = []
+        # stage 1+2+3: forward/backward with swap + gradient D2H per worker
+        for w, (model, executor) in enumerate(zip(self.models,
+                                                  self.executors)):
+            model.zero_grad()
+            x = batch[w * shard:(w + 1) * shard]
+            y = targets[w * shard:(w + 1) * shard]
+            losses.append(executor.run_iteration(x, y, step=self.step_count))
+        # stage 4: phased gradient exchange (averaging) on the host
+        if self.world_size > 1:
+            self.exchange.exchange(self.models)
+        # stage 5: host-side block-granular updates, tail blocks first
+        for opt in self._host_optimizers:
+            if isinstance(opt, HostAdam):
+                opt.begin_step()
+        for group in self.exchange.groups:
+            layers = self.exchange.group_layer_indices(group)
+            for model, opt in zip(self.models, self._host_optimizers):
+                opt.update_block(model, layers)
+        self.step_count += 1
+        return float(np.mean(losses))
+
+    def shrink_world(self, new_size: int) -> None:
+        """Fault tolerance (§II-B): continue with a smaller worker pool.
+
+        Out-of-core data parallelism "could potentially adapt to faults by
+        ... shrinking the worker pool": replicas are identical after every
+        iteration, so dropping workers loses no state — the survivors (and
+        their host optimizer state) carry on with larger shards.
+        """
+        if not (1 <= new_size <= self.world_size):
+            raise ValueError(f"cannot shrink world {self.world_size} "
+                             f"-> {new_size}")
+        if new_size == self.world_size:
+            return
+        self.models = self.models[:new_size]
+        self.spaces = self.spaces[:new_size]
+        self.executors = self.executors[:new_size]
+        self._host_optimizers = self._host_optimizers[:new_size]
+        self.world_size = new_size
+        self.comm = RingCommunicator(new_size)
+        self.exchange = PhasedGradientExchange(
+            self.comm, self.exchange.blocks,
+            [0] * len(self.exchange.blocks),
+            target_group_bytes=1)
+        # rebuild groups from the surviving replica's gradient layout
+        grad_bytes = []
+        for (s, e) in self.plan.blocks:
+            total = 0
+            for i in range(s, e):
+                module = self.models[0].modules[
+                    self.models[0].graph[i].name]
+                total += sum(g.nbytes for g in module.grads.values())
+            grad_bytes.append(total)
+        self.exchange = PhasedGradientExchange(
+            self.comm, self.plan.blocks, grad_bytes)
+
+    def parameters_equal_across_workers(self, atol: float = 0.0) -> bool:
+        """Replicas must stay in lockstep after every iteration."""
+        ref = self.models[0].parameters()
+        for model in self.models[1:]:
+            for (ln, pn, a), (ln2, pn2, b) in zip(ref, model.parameters()):
+                if ln != ln2 or pn != pn2:
+                    return False
+                if not np.allclose(a, b, atol=atol, rtol=0.0):
+                    return False
+        return True
+
+
+def _optimizer_kwargs(opt) -> dict:
+    if isinstance(opt, HostAdam):
+        return dict(lr=opt.lr, beta1=opt.beta1, beta2=opt.beta2,
+                    eps=opt.eps, weight_decay=opt.weight_decay)
+    if isinstance(opt, HostSGD):
+        return dict(lr=opt.lr, momentum=opt.momentum,
+                    weight_decay=opt.weight_decay)
+    raise TypeError(f"unsupported host optimizer {type(opt)!r}")

@@ -1,0 +1,82 @@
+"""Phased (block-grouped) gradient exchange over the ring communicator.
+
+Fig. 3 step 4: "rather than exchanging the gradients all at once, we do
+the AllReduce exchange of the gradients in phases, i.e. finished blocks
+from the end of the model do the exchange for their gradients without
+waiting for the other unfinished blocks."  Groups follow the layer-merging
+model of Shi et al. [36] (consecutive blocks merged to a target volume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.build import ExecutableModel
+from ..sim.collectives import phased_groups
+from .communicator import RingCommunicator
+
+Array = np.ndarray
+
+
+def block_gradient_buffers(models: Sequence[ExecutableModel],
+                           layer_indices: Sequence[int]) -> List[Array]:
+    """Flatten each replica's gradients for the given layers into one
+    contiguous buffer (one per replica, identical layouts)."""
+    buffers = []
+    for model in models:
+        parts = []
+        for i in layer_indices:
+            module = model.modules[model.graph[i].name]
+            for _, grad in sorted(module.grads.items()):
+                parts.append(grad.reshape(-1))
+        buffers.append(np.concatenate(parts) if parts
+                       else np.zeros(0, dtype=np.float32))
+    return buffers
+
+
+def scatter_back(models: Sequence[ExecutableModel],
+                 layer_indices: Sequence[int],
+                 buffers: Sequence[Array]) -> None:
+    """Write the reduced flat buffers back into each replica's grads."""
+    for model, buf in zip(models, buffers):
+        offset = 0
+        for i in layer_indices:
+            module = model.modules[model.graph[i].name]
+            for _, grad in sorted(module.grads.items()):
+                size = grad.size
+                grad[...] = buf[offset:offset + size].reshape(grad.shape)
+                offset += size
+
+
+class PhasedGradientExchange:
+    """Executes the per-group allreduces in backward (tail-first) order."""
+
+    def __init__(self, comm: RingCommunicator,
+                 blocks: Sequence[Tuple[int, int]],
+                 block_grad_bytes: Sequence[int],
+                 target_group_bytes: int = 1 << 20):
+        self.comm = comm
+        self.blocks = list(blocks)
+        self.groups = phased_groups(block_grad_bytes, target_group_bytes)
+
+    def group_layer_indices(self, group: Sequence[int]) -> List[int]:
+        idx: List[int] = []
+        for b in sorted(group):
+            s, e = self.blocks[b]
+            idx.extend(range(s, e))
+        return idx
+
+    def exchange(self, models: Sequence[ExecutableModel]) -> List[List[int]]:
+        """Allreduce-average every group's gradients; returns the groups in
+        the order they were exchanged (tail of the model first)."""
+        exchanged = []
+        for group in self.groups:
+            layers = self.group_layer_indices(group)
+            buffers = block_gradient_buffers(models, layers)
+            if buffers[0].size:
+                self.comm.allreduce(buffers, average=True)
+                scatter_back(models, layers, buffers)
+            exchanged.append(sorted(group))
+        return exchanged

@@ -1,0 +1,15 @@
+"""Experiment harness + reporting for the benchmark suite."""
+
+from .experiments import (
+    MethodPoint,
+    default_platform,
+    fig5_sweep,
+    karma_speedup_summary,
+    run_method,
+)
+from .reporting import render_series, render_table
+
+__all__ = [
+    "MethodPoint", "run_method", "fig5_sweep", "karma_speedup_summary",
+    "default_platform", "render_table", "render_series",
+]

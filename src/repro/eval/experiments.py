@@ -1,0 +1,121 @@
+"""Experiment harness shared by the benchmark suite (one entry per
+table/figure of the paper's evaluation section)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import SCHEDULERS, InCoreInfeasible
+from ..costs.profiler import CostModel, profile_graph
+from ..graph.layer_graph import LayerGraph
+from ..hardware.interconnect import TransferModel
+from ..hardware.spec import abci_host, karma_swap_link, v100_sxm2_16gb
+from ..models.registry import REGISTRY, ModelEntry, fig5_models
+from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
+
+
+@dataclass
+class MethodPoint:
+    """One (model, method, batch) measurement."""
+
+    model: str
+    method: str
+    batch_size: int
+    samples_per_sec: Optional[float]
+    occupancy: Optional[float]
+    stall_seconds: Optional[float]
+    infeasible_reason: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.samples_per_sec is not None
+
+
+def default_platform():
+    """The Fig. 5 platform: V100-16GiB + calibrated swap path."""
+    device = v100_sxm2_16gb()
+    host = abci_host()
+    transfer = TransferModel(link=karma_swap_link(), device=device, host=host)
+    return device, host, transfer
+
+
+def run_method(graph: LayerGraph, method: str, batch_size: int,
+               device=None, transfer=None) -> MethodPoint:
+    """Price one method at one batch size on the default platform."""
+    if device is None or transfer is None:
+        device, _, transfer = default_platform()
+    cost = profile_graph(graph, device, transfer, batch_size)
+    entry = SCHEDULERS[method]
+    if entry.build is None:
+        return MethodPoint(graph.name, method, batch_size, None, None, None,
+                           infeasible_reason="not an executable scheduler")
+    try:
+        plan = entry.build(graph, cost, device.usable_memory, batch_size)
+        res = simulate_plan(plan, cost, device.usable_memory)
+        return MethodPoint(graph.name, method, batch_size,
+                           res.samples_per_sec, res.gpu_occupancy,
+                           res.total_stall)
+    except (InCoreInfeasible, OutOfCoreInfeasible, ValueError,
+            RuntimeError) as exc:
+        return MethodPoint(graph.name, method, batch_size, None, None, None,
+                           infeasible_reason=str(exc)[:120])
+
+
+def fig5_sweep(model_names: Optional[Sequence[str]] = None,
+               methods: Optional[Sequence[str]] = None,
+               batch_limit: Optional[int] = None) -> List[MethodPoint]:
+    """The Fig. 5 grid: every model x method x batch size."""
+    entries = [REGISTRY[m] for m in model_names] if model_names \
+        else fig5_models()
+    methods = list(methods) if methods else \
+        ["in-core", "vdnn++", "superneurons", "checkmate",
+         "karma", "karma+recompute"]
+    device, _, transfer = default_platform()
+    points: List[MethodPoint] = []
+    for entry in entries:
+        graph = entry.builder()
+        batches = entry.fig5_batch_sizes
+        if batch_limit:
+            batches = batches[:batch_limit]
+        for bs in batches:
+            for method in methods:
+                points.append(run_method(graph, method, bs,
+                                          device=device, transfer=transfer))
+    return points
+
+
+def karma_speedup_summary(points: Sequence[MethodPoint]) -> Dict[str, float]:
+    """The §IV-B headline: KARMA w/ recompute vs the best competing OOC or
+    recompute method, averaged (geometric mean) over out-of-core points."""
+    competitors = ("vdnn++", "superneurons", "checkmate")
+    by_key: Dict[Tuple[str, int], Dict[str, MethodPoint]] = {}
+    for p in points:
+        by_key.setdefault((p.model, p.batch_size), {})[p.method] = p
+    ratios: List[float] = []
+    per_model: Dict[str, List[float]] = {}
+    for (model, bs), methods in by_key.items():
+        incore = methods.get("in-core")
+        if incore is not None and incore.feasible:
+            continue  # only out-of-core points count for the headline
+        karma = methods.get("karma+recompute")
+        if karma is None or not karma.feasible:
+            continue
+        best = max((m.samples_per_sec for name, m in methods.items()
+                    if name in competitors and m.feasible), default=None)
+        if best is None or best <= 0:
+            continue
+        r = karma.samples_per_sec / best
+        ratios.append(r)
+        per_model.setdefault(model, []).append(r)
+    out = {f"speedup[{m}]": _geomean(v) for m, v in sorted(per_model.items())}
+    out["speedup[mean]"] = _geomean(ratios)
+    return out
+
+
+def _geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

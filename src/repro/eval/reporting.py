@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "") -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in cols}
+    text_rows = []
+    for row in rows:
+        tr = {c: _fmt(row.get(c, "")) for c in cols}
+        for c in cols:
+            widths[c] = max(widths[c], len(tr[c]))
+        text_rows.append(tr)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for tr in text_rows:
+        lines.append(" | ".join(tr[c].ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object],
+                  series: Dict[str, Sequence[Optional[float]]],
+                  x_label: str = "x", fmt: str = "{:.1f}") -> str:
+    """Render named y-series over shared x values (a figure's data)."""
+    rows = []
+    for i, x in enumerate(xs):
+        row: Dict[str, object] = {x_label: x}
+        for sname, values in series.items():
+            v = values[i] if i < len(values) else None
+            row[sname] = fmt.format(v) if isinstance(v, (int, float)) \
+                and v == v else "-"
+        rows.append(row)
+    return render_table(rows, title=name)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}" if abs(v) < 1000 else f"{v:.1f}"
+    return str(v)

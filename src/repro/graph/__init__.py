@@ -1,0 +1,25 @@
+"""Model dependency-graph substrate (Fig. 1, step 1 of the KARMA workflow)."""
+
+from .layer_graph import (
+    CHEAP_TO_RECOMPUTE,
+    PARAMETRIC_KINDS,
+    GraphValidationError,
+    LayerGraph,
+    LayerKind,
+    LayerSpec,
+    chain,
+)
+from .traversal import (
+    blocks_with_long_skips,
+    checkpoint_boundaries,
+    contiguous_blocks,
+    liveness_horizon,
+    partition_is_legal,
+)
+
+__all__ = [
+    "LayerKind", "LayerSpec", "LayerGraph", "GraphValidationError", "chain",
+    "PARAMETRIC_KINDS", "CHEAP_TO_RECOMPUTE",
+    "liveness_horizon", "checkpoint_boundaries", "partition_is_legal",
+    "blocks_with_long_skips", "contiguous_blocks",
+]

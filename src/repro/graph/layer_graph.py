@@ -1,0 +1,230 @@
+"""Layer dependency graphs: the model representation KARMA plans over.
+
+KARMA's first workflow step (Fig. 1, step 1) builds a dependency graph of
+the model; blocking, swapping and recompute decisions are then made over
+*blocks of consecutive layers* in topological order.  :class:`LayerSpec`
+captures everything the cost model (§III-C/III-D) needs: the layer kind,
+per-sample input/output shapes, and kind-specific attributes (kernel size,
+channels, heads, ...).  :class:`LayerGraph` is a DAG over those specs and
+supports the three model families the paper targets: CNNs (linear chains +
+affine residual skips), Transformers, and fully-convolutional U-Nets with
+long skips between the contracting and expansive paths (§III-F.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+class LayerKind(Enum):
+    """Operator families with dedicated cost formulas in §III-C."""
+
+    INPUT = "input"
+    CONV2D = "conv2d"
+    RELU = "relu"
+    GELU = "gelu"
+    POOL_MAX = "pool_max"
+    POOL_AVG = "pool_avg"
+    BATCHNORM = "batchnorm"
+    LAYERNORM = "layernorm"
+    LSTM = "lstm"
+    ATTENTION = "attention"
+    LINEAR = "linear"
+    SOFTMAX = "softmax"
+    DROPOUT = "dropout"
+    EMBEDDING = "embedding"
+    ADD = "add"            # element-wise tensor add (residual join)
+    CONCAT = "concat"      # channel concat (U-Net skip join)
+    RESHAPE = "reshape"    # flatten / view; zero-cost metadata op
+    UPSAMPLE = "upsample"  # transposed conv / bilinear up (U-Net)
+    LOSS = "loss"
+
+
+# Kinds that carry trainable parameters.
+PARAMETRIC_KINDS = frozenset({
+    LayerKind.CONV2D, LayerKind.BATCHNORM, LayerKind.LAYERNORM,
+    LayerKind.LSTM, LayerKind.ATTENTION, LayerKind.LINEAR,
+    LayerKind.EMBEDDING, LayerKind.UPSAMPLE,
+})
+
+# Kinds that are cheap to recompute relative to their activation size
+# (SuperNeurons' heuristic recomputes exactly these, §II-A.3).
+CHEAP_TO_RECOMPUTE = frozenset({
+    LayerKind.RELU, LayerKind.GELU, LayerKind.BATCHNORM, LayerKind.LAYERNORM,
+    LayerKind.DROPOUT, LayerKind.SOFTMAX, LayerKind.ADD, LayerKind.RESHAPE,
+    LayerKind.CONCAT, LayerKind.POOL_MAX, LayerKind.POOL_AVG,
+})
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """A single layer: identity, shapes, and kind-specific attributes.
+
+    ``input_shape`` / ``output_shape`` are per-sample shapes (no batch
+    dimension): ``(C, H, W)`` for vision layers, ``(T, D)`` for sequence
+    layers, ``(D,)`` for vectors.  ``attrs`` carries what the analytic FLOP
+    formulas need, e.g. ``kernel=3, stride=1, in_channels=64`` for a conv.
+    """
+
+    name: str
+    kind: LayerKind
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+    attrs: Dict[str, float] = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def input_elems(self) -> int:
+        return int(math.prod(self.input_shape)) if self.input_shape else 0
+
+    @property
+    def output_elems(self) -> int:
+        return int(math.prod(self.output_shape)) if self.output_shape else 0
+
+    @property
+    def is_parametric(self) -> bool:
+        return self.kind in PARAMETRIC_KINDS
+
+    def attr(self, key: str, default: Optional[float] = None) -> float:
+        if key in self.attrs:
+            return self.attrs[key]
+        if default is None:
+            raise KeyError(f"layer {self.name!r} ({self.kind.value}) missing attr {key!r}")
+        return default
+
+
+class GraphValidationError(ValueError):
+    """Raised for malformed model graphs (cycles, dangling edges, ...)."""
+
+
+class LayerGraph:
+    """A validated DAG of :class:`LayerSpec` nodes in topological order.
+
+    Layers are stored in the order they were added, which is required to be
+    a valid topological order (construction fails otherwise).  That order is
+    the "layer index" space KARMA's contiguous blocking operates in.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._layers: List[LayerSpec] = []
+        self._index: Dict[str, int] = {}
+        self._g = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_layer(self, spec: LayerSpec,
+                  inputs: Sequence[str] = ()) -> LayerSpec:
+        """Append ``spec``, wiring data edges from each name in ``inputs``."""
+        if spec.name in self._index:
+            raise GraphValidationError(f"duplicate layer name {spec.name!r}")
+        for src in inputs:
+            if src not in self._index:
+                raise GraphValidationError(
+                    f"layer {spec.name!r} depends on unknown layer {src!r} "
+                    "(layers must be added in topological order)")
+        self._index[spec.name] = len(self._layers)
+        self._layers.append(spec)
+        self._g.add_node(spec.name)
+        for src in inputs:
+            self._g.add_edge(src, spec.name)
+        return spec
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[LayerSpec]:
+        return iter(self._layers)
+
+    def __getitem__(self, idx: int) -> LayerSpec:
+        return self._layers[idx]
+
+    @property
+    def layers(self) -> List[LayerSpec]:
+        return list(self._layers)
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def layer(self, name: str) -> LayerSpec:
+        return self._layers[self._index[name]]
+
+    def predecessors(self, name: str) -> List[str]:
+        return sorted(self._g.predecessors(name), key=self.index_of)
+
+    def successors(self, name: str) -> List[str]:
+        return sorted(self._g.successors(name), key=self.index_of)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(u, v) for u, v in self._g.edges()]
+
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        return self._g.copy()
+
+    def validate(self) -> None:
+        """Check DAG-ness and that insertion order is topological."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise GraphValidationError(f"{self.name}: graph has a cycle")
+        for u, v in self._g.edges():
+            if self._index[u] >= self._index[v]:
+                raise GraphValidationError(
+                    f"{self.name}: edge {u!r}->{v!r} violates insertion "
+                    "(topological) order")
+        for i, spec in enumerate(self._layers):
+            if i > 0 and not list(self._g.predecessors(spec.name)):
+                raise GraphValidationError(
+                    f"{self.name}: layer {spec.name!r} is disconnected")
+
+    # -- structure analysis (for §III-F.4 non-linear model support) --------
+
+    def skip_edges(self) -> List[Tuple[str, str]]:
+        """Edges that jump over at least one layer in index order."""
+        return [(u, v) for u, v in self._g.edges()
+                if self._index[v] - self._index[u] > 1]
+
+    def skip_span(self, edge: Tuple[str, str]) -> int:
+        u, v = edge
+        return self._index[v] - self._index[u]
+
+    def is_linear_chain(self) -> bool:
+        return not self.skip_edges()
+
+    def longest_skip(self) -> int:
+        spans = [self.skip_span(e) for e in self.skip_edges()]
+        return max(spans, default=0)
+
+    def consumers_after(self, name: str) -> int:
+        """Index of the furthest consumer of ``name`` (its own index if none).
+
+        KARMA's planner uses this to know how long an activation must stay
+        live: U-Net long skips yield consumers far in the expansive path.
+        """
+        succ = [self._index[s] for s in self._g.successors(name)]
+        return max(succ, default=self._index[name])
+
+    def describe(self) -> str:
+        lines = [f"LayerGraph {self.name!r}: {len(self)} layers, "
+                 f"{len(self.skip_edges())} skip edge(s)"]
+        for i, spec in enumerate(self._layers):
+            preds = ",".join(self.predecessors(spec.name)) or "-"
+            lines.append(f"  [{i:4d}] {spec.name:<28s} {spec.kind.value:<10s} "
+                         f"{spec.input_shape}->{spec.output_shape}  <- {preds}")
+        return "\n".join(lines)
+
+
+def chain(name: str, specs: Iterable[LayerSpec]) -> LayerGraph:
+    """Build a purely sequential :class:`LayerGraph` from ``specs``."""
+    g = LayerGraph(name)
+    prev: Optional[str] = None
+    for spec in specs:
+        g.add_layer(spec, inputs=[prev] if prev is not None else [])
+        prev = spec.name
+    g.validate()
+    return g

@@ -1,0 +1,113 @@
+"""Graph traversal utilities: liveness, checkpoints, and block legality.
+
+These helpers answer the questions KARMA's planner asks of a model graph:
+
+* how long must each activation stay resident (liveness horizon)?
+* which layer indices are legal *checkpoint* boundaries (every in-edge of
+  later layers originates at or before the boundary)?
+* is a given contiguous partition legal w.r.t. skip connections, i.e. do all
+  cross-block edges come from the immediately preceding block (§III-F.4)?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .layer_graph import LayerGraph
+
+
+def liveness_horizon(graph: LayerGraph) -> Dict[str, int]:
+    """For each layer, the index of its last consumer (itself if none).
+
+    The activation of layer ``l`` must be available (resident or
+    recomputable) until ``horizon[l]`` has executed its forward pass, and
+    again during the backward pass of every consumer.
+    """
+    return {spec.name: graph.consumers_after(spec.name) for spec in graph}
+
+
+def checkpoint_boundaries(graph: LayerGraph) -> List[int]:
+    """Indices ``i`` such that cutting after layer ``i`` crosses no skip edge.
+
+    A boundary after index ``i`` is a valid checkpoint if no edge jumps from
+    ``<= i`` to ``> i+1``'s strict interior — formally: every edge (u, v)
+    with ``index(u) <= i < index(v)`` must satisfy ``index(v) == i + 1``
+    *or* originate exactly at ``i``.  We use the weaker, standard condition:
+    no edge (u, v) with ``index(u) < i`` and ``index(v) > i``.  The final
+    boundary (after the last layer) is always valid.
+    """
+    n = len(graph)
+    # max_reach[i] = furthest consumer index of any layer with index <= i
+    max_reach = [0] * n
+    reach = 0
+    for i, spec in enumerate(graph):
+        reach = max(reach, graph.consumers_after(spec.name))
+        max_reach[i] = reach
+    return [i for i in range(n) if max_reach[i] <= i + 1 or i == n - 1]
+
+
+def partition_is_legal(graph: LayerGraph,
+                       boundaries: Sequence[int]) -> Tuple[bool, str]:
+    """Check that a contiguous partition respects block-to-block dataflow.
+
+    ``boundaries`` are the exclusive end indices of each block, e.g.
+    ``[3, 7, 10]`` partitions layers ``0..2 | 3..6 | 7..9``.  The paper's
+    constraint (observed in §III-F.4) is that every inbound edge of a block
+    originates in the *same* or the *immediately preceding* block; edges
+    that jump over a whole block would force premature swap-ins.  Blocks
+    violating this are still executable but must be marked for recompute —
+    this predicate is what flags them.
+    """
+    if not boundaries or boundaries[-1] != len(graph):
+        return False, "boundaries must end at len(graph)"
+    if any(b <= 0 for b in boundaries) or list(boundaries) != sorted(set(boundaries)):
+        return False, "boundaries must be strictly increasing positive indices"
+    block_of: Dict[int, int] = {}
+    start = 0
+    for bi, end in enumerate(boundaries):
+        for i in range(start, end):
+            block_of[i] = bi
+        start = end
+    for u, v in graph.edges():
+        bu = block_of[graph.index_of(u)]
+        bv = block_of[graph.index_of(v)]
+        if bv - bu > 1:
+            return False, (f"edge {u!r}->{v!r} jumps from block {bu} to "
+                           f"block {bv}")
+    return True, "ok"
+
+
+def blocks_with_long_skips(graph: LayerGraph,
+                           boundaries: Sequence[int]) -> List[int]:
+    """Block indices whose activations feed a block more than one step ahead.
+
+    For U-Net-style graphs these are the contracting-path blocks whose
+    outputs are needed deep in the expansive path; KARMA's second
+    optimization marks them for recompute rather than premature swap-in
+    (§III-F.4).
+    """
+    block_of: Dict[int, int] = {}
+    start = 0
+    for bi, end in enumerate(boundaries):
+        for i in range(start, end):
+            block_of[i] = bi
+        start = end
+    flagged = set()
+    for u, v in graph.edges():
+        bu = block_of[graph.index_of(u)]
+        bv = block_of[graph.index_of(v)]
+        if bv - bu > 1:
+            flagged.add(bu)
+    return sorted(flagged)
+
+
+def contiguous_blocks(boundaries: Sequence[int]) -> List[Tuple[int, int]]:
+    """Convert exclusive end indices into ``(start, end)`` half-open ranges."""
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for end in boundaries:
+        if end <= start:
+            raise ValueError(f"non-increasing boundary {end} after {start}")
+        out.append((start, end))
+        start = end
+    return out

@@ -1,0 +1,41 @@
+"""Hardware substrate: device/host/link specs, memory pools, transfer models."""
+
+from .interconnect import TransferModel, pcie_transfer_model
+from .memory_pool import (
+    Allocation,
+    Location,
+    MemoryPool,
+    MemorySpace,
+    OutOfMemoryError,
+)
+from .spec import (
+    GiB,
+    KiB,
+    MiB,
+    ClusterSpec,
+    DeviceSpec,
+    HostSpec,
+    LinkSpec,
+    NodeSpec,
+    abci_cluster,
+    abci_host,
+    abci_node,
+    infiniband_edr_x2,
+    karma_swap_link,
+    nvlink2,
+    pcie_gen3_x16,
+    single_v100,
+    tiny_test_device,
+    v100_sxm2_16gb,
+)
+
+__all__ = [
+    "GiB", "MiB", "KiB",
+    "DeviceSpec", "HostSpec", "LinkSpec", "NodeSpec", "ClusterSpec",
+    "v100_sxm2_16gb", "abci_host", "abci_node", "abci_cluster",
+    "pcie_gen3_x16", "nvlink2", "infiniband_edr_x2", "karma_swap_link",
+    "single_v100",
+    "tiny_test_device",
+    "MemoryPool", "MemorySpace", "Allocation", "Location", "OutOfMemoryError",
+    "TransferModel", "pcie_transfer_model",
+]

@@ -1,0 +1,68 @@
+"""Transfer-time models for host<->device and device<->device movement.
+
+The paper's occupancy model needs the *block-adjusted swap throughput*
+``T_swap-in = min{T_FM, T_NM, T_IC}`` (Eq. 4): a transfer is bounded by
+whichever of far-memory bandwidth, near-memory bandwidth, or interconnect
+bandwidth is slowest.  :class:`TransferModel` encapsulates that plus
+pinned/pageable derating and chunked-transfer latency amortization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import DeviceSpec, HostSpec, LinkSpec
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Swap-time estimator between far (host) and near (device) memory.
+
+    ``pinned`` host staging buffers reach full PCIe bandwidth; pageable
+    memory is derated (cudaMemcpy from pageable memory stages through an
+    internal pinned bounce buffer at roughly 60% efficiency).
+    """
+
+    link: LinkSpec
+    device: DeviceSpec
+    host: HostSpec
+    pinned: bool = True
+    pageable_derate: float = 0.6
+    chunk_bytes: int = 4 * 1024 * 1024  # prefetcher granularity
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Eq. 4: min of far-memory, near-memory and interconnect rates."""
+        link_bw = self.link.bandwidth
+        if not self.pinned:
+            link_bw *= self.pageable_derate
+        return min(self.host.mem_bandwidth, self.device.mem_bandwidth, link_bw)
+
+    def swap_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` one way (either swap-in or swap-out)."""
+        if nbytes <= 0:
+            return 0.0
+        chunks = max(1, int((nbytes + self.chunk_bytes - 1) // self.chunk_bytes))
+        return chunks * self.link.latency + nbytes / self.effective_bandwidth
+
+    def swap_throughput(self) -> float:
+        """Sustained bytes/s for large transfers (latency amortized away)."""
+        return self.effective_bandwidth
+
+    def concurrent_swap_time(self, in_bytes: float, out_bytes: float) -> float:
+        """Time when a swap-in and a swap-out share the link.
+
+        On a duplex link (PCIe/NVLink) the two directions proceed at full
+        rate simultaneously; on a half-duplex link they serialize.
+        """
+        t_in = self.swap_time(in_bytes)
+        t_out = self.swap_time(out_bytes)
+        if self.link.duplex:
+            return max(t_in, t_out)
+        return t_in + t_out
+
+
+def pcie_transfer_model(device: DeviceSpec, host: HostSpec,
+                        link: LinkSpec) -> TransferModel:
+    """Convenience constructor with pinned staging (KARMA's prefetcher)."""
+    return TransferModel(link=link, device=device, host=host, pinned=True)

@@ -1,0 +1,234 @@
+"""Capacity-enforced memory pools with a caching allocator.
+
+PyTorch's caching allocator is the reason naive profiler readings mislead
+(§III-D): freed blocks stay cached and are re-used by later allocations of a
+compatible size.  We reproduce that behaviour so that (a) the numeric
+executor is subject to a hard near-memory capacity exactly like a 16 GiB
+V100, and (b) the offline profiler measures *allocator-level* footprints,
+not raw tensor sums.
+
+Two pools exist per worker: the **near** pool (device HBM) and the **far**
+pool (host DRAM).  Swapping a tensor moves its accounting (and, in the
+numeric engine, its backing array) between the pools.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied within pool capacity."""
+
+    def __init__(self, pool: "MemoryPool", requested: int):
+        self.pool_name = pool.name
+        self.requested = requested
+        self.in_use = pool.bytes_in_use
+        self.capacity = pool.capacity
+        super().__init__(
+            f"{pool.name}: out of memory allocating {requested} B "
+            f"(in use {self.in_use} B of {self.capacity} B, "
+            f"cached {pool.bytes_cached} B)"
+        )
+
+
+class Location(Enum):
+    """Which memory a tensor currently resides in."""
+
+    NEAR = "near"   # device (GPU HBM)
+    FAR = "far"     # host DRAM
+    FREED = "freed"
+
+
+@dataclass
+class Allocation:
+    """A live allocation; identity object handed back to callers."""
+
+    alloc_id: int
+    nbytes: int
+    tag: str = ""
+    freed: bool = False
+
+
+@dataclass
+class _CacheBin:
+    """Cached (freed but retained) segments of one rounded size."""
+
+    nbytes: int
+    count: int = 0
+
+
+def _round_size(nbytes: int, granularity: int = 512) -> int:
+    """Round to allocator granularity (CUDA caching allocator uses 512 B)."""
+    if nbytes <= 0:
+        return granularity
+    return ((nbytes + granularity - 1) // granularity) * granularity
+
+
+class MemoryPool:
+    """A fixed-capacity pool with caching-allocator semantics.
+
+    * ``allocate`` first tries to reuse a cached segment of the rounded
+      size; otherwise it reserves fresh capacity.
+    * ``free`` returns the segment to the cache (capacity stays reserved)
+      unless ``caching=False``.
+    * ``empty_cache`` releases cached segments back to free capacity, like
+      ``torch.cuda.empty_cache()``.
+    * high-water marks are tracked for the profiler.
+    """
+
+    def __init__(self, name: str, capacity: float, *, caching: bool = True,
+                 granularity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = int(capacity)
+        self.caching = caching
+        self.granularity = granularity
+        self._ids = itertools.count(1)
+        self._live: Dict[int, Allocation] = {}
+        self._cache: Dict[int, _CacheBin] = {}
+        self.bytes_in_use = 0          # live allocations
+        self.bytes_cached = 0          # freed-but-retained segments
+        self.peak_in_use = 0
+        self.peak_reserved = 0
+        self.alloc_count = 0
+        self.cache_hits = 0
+        self.oom_count = 0
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def bytes_reserved(self) -> int:
+        """Capacity currently claimed from the device (live + cached)."""
+        return self.bytes_in_use + self.bytes_cached
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity - self.bytes_reserved
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if ``allocate(nbytes)`` would succeed right now."""
+        size = _round_size(int(nbytes), self.granularity)
+        if self.caching and self._cache.get(size, _CacheBin(size)).count > 0:
+            return True
+        if size <= self.bytes_free:
+            return True
+        # an empty_cache would reclaim bytes_cached
+        return size <= self.bytes_free + self.bytes_cached
+
+    # -- allocate / free -------------------------------------------------
+
+    def allocate(self, nbytes: int, tag: str = "") -> Allocation:
+        """Claim ``nbytes`` (rounded to granularity) or raise OOM."""
+        size = _round_size(int(nbytes), self.granularity)
+        self.alloc_count += 1
+        bin_ = self._cache.get(size)
+        if self.caching and bin_ is not None and bin_.count > 0:
+            bin_.count -= 1
+            self.bytes_cached -= size
+            self.cache_hits += 1
+        else:
+            if size > self.capacity - self.bytes_reserved:
+                # mimic the CUDA allocator: flush the cache and retry once
+                self.empty_cache()
+                if size > self.capacity - self.bytes_reserved:
+                    self.oom_count += 1
+                    raise OutOfMemoryError(self, size)
+        alloc = Allocation(alloc_id=next(self._ids), nbytes=size, tag=tag)
+        self._live[alloc.alloc_id] = alloc
+        self.bytes_in_use += size
+        self.peak_in_use = max(self.peak_in_use, self.bytes_in_use)
+        self.peak_reserved = max(self.peak_reserved, self.bytes_reserved)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation back to the cache (or to free capacity)."""
+        if alloc.freed:
+            raise ValueError(f"double free of allocation {alloc.alloc_id}")
+        stored = self._live.pop(alloc.alloc_id, None)
+        if stored is None:
+            raise ValueError(f"allocation {alloc.alloc_id} not from pool {self.name}")
+        alloc.freed = True
+        self.bytes_in_use -= alloc.nbytes
+        if self.caching:
+            bin_ = self._cache.setdefault(alloc.nbytes, _CacheBin(alloc.nbytes))
+            bin_.count += 1
+            self.bytes_cached += alloc.nbytes
+        self.peak_reserved = max(self.peak_reserved, self.bytes_reserved)
+
+    def empty_cache(self) -> int:
+        """Drop all cached segments; returns the number of bytes released."""
+        released = self.bytes_cached
+        self._cache.clear()
+        self.bytes_cached = 0
+        return released
+
+    def reset_peaks(self) -> None:
+        self.peak_in_use = self.bytes_in_use
+        self.peak_reserved = self.bytes_reserved
+
+    def live_allocations(self) -> Iterator[Allocation]:
+        return iter(self._live.values())
+
+    def memory_stats(self) -> Dict[str, int]:
+        """Snapshot in the spirit of ``torch.cuda.memory_stats()`` (§III-D)."""
+        return {
+            "allocated_bytes.current": self.bytes_in_use,
+            "allocated_bytes.peak": self.peak_in_use,
+            "reserved_bytes.current": self.bytes_reserved,
+            "reserved_bytes.peak": self.peak_reserved,
+            "cached_bytes.current": self.bytes_cached,
+            "allocation.count": self.alloc_count,
+            "allocation.cache_hits": self.cache_hits,
+            "oom.count": self.oom_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryPool({self.name!r}, in_use={self.bytes_in_use}, "
+                f"cached={self.bytes_cached}, capacity={self.capacity})")
+
+
+class MemorySpace:
+    """The near/far pool pair of one worker, with swap accounting."""
+
+    def __init__(self, near_capacity: float, far_capacity: float, *,
+                 caching: bool = True):
+        self.near = MemoryPool("near", near_capacity, caching=caching)
+        self.far = MemoryPool("far", far_capacity, caching=caching)
+        self.swap_out_bytes = 0
+        self.swap_in_bytes = 0
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+
+    def pool(self, location: Location) -> MemoryPool:
+        if location is Location.NEAR:
+            return self.near
+        if location is Location.FAR:
+            return self.far
+        raise ValueError(f"no pool for location {location}")
+
+    def record_swap(self, nbytes: int, direction: Location) -> None:
+        """Account a swap that *landed in* ``direction``."""
+        if direction is Location.FAR:
+            self.swap_out_bytes += nbytes
+            self.swap_out_count += 1
+        elif direction is Location.NEAR:
+            self.swap_in_bytes += nbytes
+            self.swap_in_count += 1
+        else:
+            raise ValueError("swap direction must be NEAR or FAR")
+
+    def stats(self) -> Dict[str, int]:
+        out = {f"near.{k}": v for k, v in self.near.memory_stats().items()}
+        out.update({f"far.{k}": v for k, v in self.far.memory_stats().items()})
+        out.update({
+            "swap.out_bytes": self.swap_out_bytes,
+            "swap.in_bytes": self.swap_in_bytes,
+            "swap.out_count": self.swap_out_count,
+            "swap.in_count": self.swap_in_count,
+        })
+        return out

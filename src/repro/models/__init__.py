@@ -1,0 +1,24 @@
+"""Model zoo: spec graphs for every model in Table III + the LM configs."""
+
+from .builder import Cursor, GraphBuilder, conv_out_hw
+from .registry import REGISTRY, ModelEntry, build, fig5_models
+from .resnet import resnet50, resnet200, resnet1001, wrn28_10
+from .transformer import (
+    MEGATRON_CONFIGS,
+    TURING_NLG,
+    TransformerConfig,
+    megatron_lm,
+    tiny_gpt,
+    transformer_lm,
+    turing_nlg,
+)
+from .unet import unet
+from .vgg import vgg16
+
+__all__ = [
+    "GraphBuilder", "Cursor", "conv_out_hw",
+    "resnet50", "resnet200", "resnet1001", "wrn28_10", "vgg16", "unet",
+    "TransformerConfig", "MEGATRON_CONFIGS", "TURING_NLG",
+    "transformer_lm", "megatron_lm", "turing_nlg", "tiny_gpt",
+    "REGISTRY", "ModelEntry", "build", "fig5_models",
+]

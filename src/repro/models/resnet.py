@@ -1,0 +1,170 @@
+"""ResNet-family spec graphs: ResNet-50/200 (ImageNet), ResNet-1001 and
+WRN-28-10 (CIFAR-10) — four of the six single-GPU models in Fig. 5/Table III.
+
+Architectures follow He et al. (ResNet v1 bottleneck for ImageNet, v2
+pre-activation bottleneck for ResNet-1001) and Zagoruyko & Komodakis
+(WRN-28-10).  Parameter totals are asserted against Table III's reported
+counts in the test suite (>25M, >64M, >10M, >36M respectively).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..graph.layer_graph import LayerGraph, LayerKind
+from .builder import Cursor, GraphBuilder
+
+
+def _bottleneck(b: GraphBuilder, out_channels: int, stride: int,
+                first_in_stage: bool) -> None:
+    """ResNet v1 bottleneck: 1x1 -> 3x3 -> 1x1 (+projection on stage entry)."""
+    entry = b.cursor
+    mid = out_channels // 4
+    b.conv(mid, kernel=1, stride=1, padding=0, name="conv1x1a")
+    b.bn()
+    b.relu()
+    b.conv(mid, kernel=3, stride=stride, padding=1, name="conv3x3")
+    b.bn()
+    b.relu()
+    b.conv(out_channels, kernel=1, stride=1, padding=0, name="conv1x1b")
+    b.bn()
+    main = b.cursor
+    if first_in_stage:
+        # projection shortcut: 1x1 conv with the stage's stride
+        b.cursor = entry
+        b.conv(out_channels, kernel=1, stride=stride, padding=0, name="proj")
+        b.bn(name="proj_bn")
+        skip = b.cursor
+        b.cursor = main
+    else:
+        skip = entry
+    b.add_residual(skip)
+    b.relu()
+
+
+def _preact_bottleneck(b: GraphBuilder, out_channels: int, stride: int,
+                       first_in_stage: bool) -> None:
+    """ResNet v2 (pre-activation) bottleneck, used by ResNet-1001."""
+    entry = b.cursor
+    mid = out_channels // 4
+    b.bn()
+    b.relu()
+    post_act = b.cursor
+    b.conv(mid, kernel=1, stride=1, padding=0, name="conv1x1a")
+    b.bn()
+    b.relu()
+    b.conv(mid, kernel=3, stride=stride, padding=1, name="conv3x3")
+    b.bn()
+    b.relu()
+    b.conv(out_channels, kernel=1, stride=1, padding=0, name="conv1x1b")
+    main = b.cursor
+    if first_in_stage:
+        b.cursor = post_act
+        b.conv(out_channels, kernel=1, stride=stride, padding=0, name="proj")
+        skip = b.cursor
+        b.cursor = main
+    else:
+        skip = entry
+    b.add_residual(skip)
+
+
+def _basic_wide(b: GraphBuilder, out_channels: int, stride: int,
+                first_in_stage: bool) -> None:
+    """WRN basic block: BN-ReLU-3x3 -> BN-ReLU-3x3 with pre-activation."""
+    entry = b.cursor
+    b.bn()
+    b.relu()
+    post_act = b.cursor
+    b.conv(out_channels, kernel=3, stride=stride, padding=1, name="conv3x3a")
+    b.bn()
+    b.relu()
+    b.conv(out_channels, kernel=3, stride=1, padding=1, name="conv3x3b")
+    main = b.cursor
+    if first_in_stage:
+        b.cursor = post_act
+        b.conv(out_channels, kernel=1, stride=stride, padding=0, name="proj")
+        skip = b.cursor
+        b.cursor = main
+    else:
+        skip = entry
+    b.add_residual(skip)
+
+
+def _imagenet_resnet(name: str, blocks_per_stage: Sequence[int],
+                     image: int = 224, classes: int = 1000) -> LayerGraph:
+    b = GraphBuilder(name)
+    b.input((3, image, image))
+    b.conv(64, kernel=7, stride=2, padding=3, name="stem_conv")
+    b.bn(name="stem_bn")
+    b.relu(name="stem_relu")
+    b.pool(kernel=3, stride=2, padding=1, name="stem_pool")
+    channels = (256, 512, 1024, 2048)
+    for stage, (n_blocks, c_out) in enumerate(zip(blocks_per_stage, channels)):
+        for i in range(n_blocks):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            _bottleneck(b, c_out, stride, first_in_stage=(i == 0))
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(classes)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def resnet50(image: int = 224, classes: int = 1000) -> LayerGraph:
+    """ResNet-50 / ImageNet (Table III: >25M parameters, 50 layers)."""
+    return _imagenet_resnet("resnet50", (3, 4, 6, 3), image, classes)
+
+
+def resnet200(image: int = 224, classes: int = 1000) -> LayerGraph:
+    """ResNet-200 / ImageNet (Table III: >64M parameters, 200 layers)."""
+    return _imagenet_resnet("resnet200", (3, 24, 36, 3), image, classes)
+
+
+def resnet1001(image: int = 32, classes: int = 10) -> LayerGraph:
+    """ResNet-1001 / CIFAR-10, pre-activation bottlenecks (He et al. v2).
+
+    1001 = 9n + 2 with n = 111 bottleneck blocks *per stage* (3 convs per
+    block x 3 stages x 111 + stem conv + fc).  Base widths 16/32/64 with 4x
+    bottleneck expansion.  Table III: >10M parameters.
+    """
+    b = GraphBuilder("resnet1001")
+    b.input((3, image, image))
+    b.conv(16, kernel=3, stride=1, padding=1, name="stem_conv")
+    n = 111
+    for stage, c_out in enumerate((64, 128, 256)):
+        for i in range(n):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            _preact_bottleneck(b, c_out, stride, first_in_stage=(i == 0))
+    b.bn(name="final_bn")
+    b.relu(name="final_relu")
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(classes)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def wrn28_10(image: int = 32, classes: int = 10) -> LayerGraph:
+    """WRN-28-10 / CIFAR-10 (Table III: >36M parameters, 28 layers).
+
+    depth 28 = 6n + 4 -> n = 4 basic blocks per stage; widen factor 10
+    gives widths 160/320/640.
+    """
+    b = GraphBuilder("wrn28_10")
+    b.input((3, image, image))
+    b.conv(16, kernel=3, stride=1, padding=1, name="stem_conv")
+    widths = (160, 320, 640)
+    for stage, c_out in enumerate(widths):
+        for i in range(4):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            _basic_wide(b, c_out, stride, first_in_stage=(i == 0))
+    b.bn(name="final_bn")
+    b.relu(name="final_relu")
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(classes)
+    b.softmax()
+    b.loss()
+    return b.finish()

@@ -1,0 +1,114 @@
+"""GPT-2-family transformer spec graphs: Megatron-LM configurations
+(Table IV) and Turing-NLG (Fig. 8).
+
+Each transformer layer contributes ~12 H^2 parameters (attention QKVO
+projections 4H^2, MLP 8H^2), so e.g. the 8.3B Megatron-LM configuration is
+H=3072, L=72 and Turing-NLG is H=4256, L=78 — the same closed form the
+Megatron paper reports and that our tests assert.
+
+The KARMA planner sees every transformer layer as a block-able run of
+sub-layers with short residual skips (pre-LN GPT-2 style), which §III-F.4
+notes the ILP handles by keeping skip sources within one block of their
+consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graph.layer_graph import LayerGraph
+from .builder import GraphBuilder
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """One language-model configuration (a row of Table IV)."""
+
+    name: str
+    hidden: int
+    heads: int
+    layers: int
+    seq_len: int = 1024
+    vocab: int = 50304  # GPT-2 BPE vocabulary padded to a multiple of 128
+    reported_params: float = 0.0  # the paper's P column, for reference
+
+    @property
+    def analytic_params(self) -> int:
+        """12 L H^2 + 13 L H + V H + positional (closed form, tied head)."""
+        h, l = self.hidden, self.layers
+        per_layer = 12 * h * h + 13 * h
+        embed = self.vocab * h + self.seq_len * h
+        final_ln = 2 * h
+        return l * per_layer + embed + final_ln
+
+
+# Table IV rows (H, A, L, reported P) + Turing-NLG from §IV-C.
+MEGATRON_CONFIGS: Dict[str, TransformerConfig] = {
+    "megatron-0.7b": TransformerConfig("megatron-0.7b", 1152, 12, 18,
+                                       reported_params=0.7e9),
+    "megatron-1.2b": TransformerConfig("megatron-1.2b", 1536, 16, 40,
+                                       reported_params=1.2e9),
+    "megatron-2.5b": TransformerConfig("megatron-2.5b", 1920, 20, 54,
+                                       reported_params=2.5e9),
+    "megatron-4.2b": TransformerConfig("megatron-4.2b", 2304, 24, 64,
+                                       reported_params=4.2e9),
+    "megatron-8.3b": TransformerConfig("megatron-8.3b", 3072, 32, 72,
+                                       reported_params=8.3e9),
+}
+
+TURING_NLG = TransformerConfig("turing-nlg", 4256, 28, 78,
+                               reported_params=17e9)
+
+
+def transformer_lm(config: TransformerConfig) -> LayerGraph:
+    """Build the spec graph of a GPT-2-style decoder-only LM."""
+    b = GraphBuilder(config.name)
+    b.input((config.seq_len,))
+    b.embedding(config.vocab, config.hidden, config.seq_len)
+    for i in range(config.layers):
+        _transformer_layer(b, config, i)
+    b.layernorm(name="final_ln")
+    b.linear(config.vocab, name="lm_head")
+    b.softmax(name="lm_softmax")
+    b.loss()
+    return b.finish()
+
+
+def _transformer_layer(b: GraphBuilder, cfg: TransformerConfig,
+                       index: int) -> None:
+    """Pre-LN GPT-2 block: LN -> MHA -> +res -> LN -> MLP(4H) -> +res."""
+    entry = b.cursor
+    b.layernorm(name=f"l{index}_ln1")
+    b.attention(cfg.heads, name=f"l{index}_attn")
+    b.dropout(0.1, name=f"l{index}_attn_drop")
+    b.add_residual(entry, name=f"l{index}_add1")
+    mid = b.cursor
+    b.layernorm(name=f"l{index}_ln2")
+    b.linear(4 * cfg.hidden, name=f"l{index}_fc1")
+    b.gelu(name=f"l{index}_gelu")
+    b.linear(cfg.hidden, name=f"l{index}_fc2")
+    b.dropout(0.1, name=f"l{index}_mlp_drop")
+    b.add_residual(mid, name=f"l{index}_add2")
+
+
+def megatron_lm(size: str = "8.3b") -> LayerGraph:
+    """Convenience constructor: ``megatron_lm('2.5b')`` etc."""
+    key = f"megatron-{size.lower()}"
+    if key not in MEGATRON_CONFIGS:
+        raise KeyError(f"unknown Megatron-LM size {size!r}; "
+                       f"choose from {sorted(MEGATRON_CONFIGS)}")
+    return transformer_lm(MEGATRON_CONFIGS[key])
+
+
+def turing_nlg() -> LayerGraph:
+    """The 17B-parameter Turing-NLG configuration (78 layers, H=4256)."""
+    return transformer_lm(TURING_NLG)
+
+
+def tiny_gpt(hidden: int = 64, heads: int = 4, layers: int = 2,
+             seq_len: int = 32, vocab: int = 128) -> LayerGraph:
+    """A laptop-scale GPT used by the numeric tests and examples."""
+    cfg = TransformerConfig("tiny-gpt", hidden, heads, layers,
+                            seq_len=seq_len, vocab=vocab)
+    return transformer_lm(cfg)

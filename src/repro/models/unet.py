@@ -1,0 +1,58 @@
+"""U-Net spec graph (Ronneberger et al.) — the fully-convolutional model of
+Table III (>31M params, 27 ops, ssTEM dataset).
+
+U-Net is KARMA's stress test for non-affine skip connections (§III-F.4):
+every contracting-path stage feeds a channel-concat deep in the expansive
+path, so its activations stay live across nearly the whole network.  The
+planner must mark those contracting blocks for *recompute* instead of
+prematurely swapping them back in.
+
+We use 'same' padding (modern U-Net practice) so skip concats align without
+cropping; the ssTEM samples are single-channel 512x512 sections.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.layer_graph import LayerGraph, LayerKind
+from .builder import Cursor, GraphBuilder
+
+
+def unet(image: int = 512, in_channels: int = 1, classes: int = 2,
+         base_width: int = 64, depth: int = 4) -> LayerGraph:
+    """Classic 4-down/4-up U-Net with channel-concat skips."""
+    if image % (2 ** depth) != 0:
+        raise ValueError(f"image size {image} not divisible by 2^{depth}")
+    b = GraphBuilder("unet")
+    b.input((in_channels, image, image))
+
+    skips: List[Cursor] = []
+    width = base_width
+    # contracting path
+    for d in range(depth):
+        b.conv(width, kernel=3, stride=1, padding=1, name=f"down{d}_conv1")
+        b.relu()
+        b.conv(width, kernel=3, stride=1, padding=1, name=f"down{d}_conv2")
+        b.relu()
+        skips.append(b.cursor)
+        b.pool(kernel=2, stride=2, name=f"down{d}_pool")
+        width *= 2
+    # bottleneck
+    b.conv(width, kernel=3, stride=1, padding=1, name="bottleneck_conv1")
+    b.relu()
+    b.conv(width, kernel=3, stride=1, padding=1, name="bottleneck_conv2")
+    b.relu()
+    # expansive path
+    for d in reversed(range(depth)):
+        width //= 2
+        b.upsample(width, name=f"up{d}_upconv")
+        b.concat(skips[d], name=f"up{d}_concat")
+        b.conv(width, kernel=3, stride=1, padding=1, name=f"up{d}_conv1")
+        b.relu()
+        b.conv(width, kernel=3, stride=1, padding=1, name=f"up{d}_conv2")
+        b.relu()
+    b.conv(classes, kernel=1, stride=1, padding=0, name="head_conv")
+    b.softmax()
+    b.loss()
+    return b.finish()

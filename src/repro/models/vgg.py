@@ -1,0 +1,40 @@
+"""VGG16 spec graph (Simonyan & Zisserman) — Table III: >169M params, 38 ops.
+
+The classic configuration D: 13 convolutions in five pooled stages followed
+by three fully-connected layers.  VGG's huge FC layers make it the most
+parameter-heavy of the Fig. 5 models, which is why its in-core batch limit
+is so low on a 16 GiB V100.
+"""
+
+from __future__ import annotations
+
+from ..graph.layer_graph import LayerGraph, LayerKind
+from .builder import GraphBuilder
+
+_CFG_D = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def vgg16(image: int = 224, classes: int = 1000,
+          dropout: bool = True) -> LayerGraph:
+    """VGG16 with batch-norm-free conv stages (the original recipe)."""
+    b = GraphBuilder("vgg16")
+    b.input((3, image, image))
+    for stage, (channels, convs) in enumerate(_CFG_D):
+        for i in range(convs):
+            b.conv(channels, kernel=3, stride=1, padding=1,
+                   name=f"conv{stage + 1}_{i + 1}")
+            b.relu()
+        b.pool(kernel=2, stride=2, name=f"pool{stage + 1}")
+    b.flatten()
+    b.linear(4096, name="fc6")
+    b.relu()
+    if dropout:
+        b.dropout(0.5)
+    b.linear(4096, name="fc7")
+    b.relu()
+    if dropout:
+        b.dropout(0.5)
+    b.linear(classes, name="fc8")
+    b.softmax()
+    b.loss()
+    return b.finish()

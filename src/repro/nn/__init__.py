@@ -1,0 +1,11 @@
+"""Numeric NN substrate: numpy autodiff framework mirroring LayerGraph specs."""
+
+from . import functional
+from .build import ExecutableModel, build_module
+from .layers import Module
+from .optim import SGD, Adam, adam_update_kernel, sgd_update_kernel
+
+__all__ = [
+    "functional", "ExecutableModel", "build_module", "Module",
+    "SGD", "Adam", "sgd_update_kernel", "adam_update_kernel",
+]

@@ -1,0 +1,229 @@
+"""Build executable numeric models from :class:`LayerGraph` specs.
+
+The same graph KARMA plans over is the graph the numeric engine executes:
+:func:`build_module` maps each :class:`LayerSpec` to a :class:`Module`, and
+:class:`ExecutableModel` runs forward/backward over the DAG, exposing
+layer-granular entry points (``run_forward_layer`` / ``run_backward_layer``)
+that the out-of-core executor drives when it evicts, reloads, or recomputes
+activations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.layer_graph import LayerGraph, LayerKind, LayerSpec
+from . import layers as L
+
+Array = np.ndarray
+
+
+def build_module(spec: LayerSpec, rng: np.random.Generator,
+                 dtype=np.float32, dropout_seed: int = 0) -> L.Module:
+    """Instantiate the numeric module implementing ``spec``."""
+    kind = spec.kind
+    name = spec.name
+    if kind is LayerKind.INPUT:
+        return L.Input(name)
+    if kind is LayerKind.CONV2D:
+        return L.Conv2d(name, int(spec.attr("in_channels")),
+                        int(spec.attr("out_channels")),
+                        int(spec.attr("kernel")), int(spec.attr("stride")),
+                        int(spec.attr("padding")), rng, dtype)
+    if kind is LayerKind.UPSAMPLE:
+        return L.ConvTranspose2d(name, int(spec.attr("in_channels")),
+                                 int(spec.attr("out_channels")),
+                                 int(spec.attr("kernel", 2)), rng, dtype)
+    if kind is LayerKind.RELU:
+        return L.ReLU(name)
+    if kind is LayerKind.GELU:
+        return L.GELU(name)
+    if kind is LayerKind.POOL_MAX:
+        return L.MaxPool(name, int(spec.attr("kernel")),
+                         int(spec.attr("stride")), int(spec.attr("padding")))
+    if kind is LayerKind.POOL_AVG:
+        return L.AvgPool(name, int(spec.attr("kernel")),
+                         int(spec.attr("stride")), int(spec.attr("padding")))
+    if kind is LayerKind.BATCHNORM:
+        return L.BatchNorm(name, int(spec.attr("channels")), dtype)
+    if kind is LayerKind.LAYERNORM:
+        return L.LayerNorm(name, int(spec.attr("dim")), dtype)
+    if kind is LayerKind.LINEAR:
+        return L.Linear(name, int(spec.attr("in_features")),
+                        int(spec.attr("out_features")), rng, dtype)
+    if kind is LayerKind.SOFTMAX:
+        return L.Softmax(name)
+    if kind is LayerKind.DROPOUT:
+        return L.Dropout(name, float(spec.attr("p", 0.1)), dropout_seed)
+    if kind is LayerKind.EMBEDDING:
+        return L.Embedding(name, int(spec.attr("vocab")),
+                           int(spec.attr("dim")), rng, dtype)
+    if kind is LayerKind.LSTM:
+        return L.LSTM(name, int(spec.attr("input_dim")),
+                      int(spec.attr("hidden_dim")), rng, dtype)
+    if kind is LayerKind.ATTENTION:
+        return L.Attention(name, int(spec.attr("dim")),
+                           int(spec.attr("heads")), rng, dtype)
+    if kind is LayerKind.ADD:
+        return L.Add(name)
+    if kind is LayerKind.CONCAT:
+        return L.Concat(name)
+    if kind is LayerKind.RESHAPE:
+        return L.Reshape(name)
+    if kind is LayerKind.LOSS:
+        return L.NLLLoss(name)
+    raise NotImplementedError(f"no numeric module for kind {kind}")
+
+
+class ExecutableModel:
+    """A numeric model mirroring a :class:`LayerGraph`.
+
+    Activations (``acts``) and saved backward contexts (``ctxs``) live in
+    dictionaries owned by the *caller* for the layer-granular API, so the
+    out-of-core executor fully controls residency.  The convenience
+    ``forward``/``backward`` pair owns them internally for in-core use.
+    """
+
+    def __init__(self, graph: LayerGraph, dtype=np.float32, seed: int = 0):
+        graph.validate()
+        self.graph = graph
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        self.modules: Dict[str, L.Module] = {}
+        for i, spec in enumerate(graph):
+            self.modules[spec.name] = build_module(
+                spec, rng, dtype, dropout_seed=seed * 1000003 + i)
+        self._loss_names = [s.name for s in graph if s.kind is LayerKind.LOSS]
+
+    # -- parameter access -----------------------------------------------------
+
+    def parameters(self) -> List[Tuple[str, str, Array]]:
+        """Flat list of (layer_name, param_name, array)."""
+        out = []
+        for spec in self.graph:
+            mod = self.modules[spec.name]
+            for pname, arr in mod.params.items():
+                out.append((spec.name, pname, arr))
+        return out
+
+    def gradients(self) -> List[Tuple[str, str, Array]]:
+        out = []
+        for spec in self.graph:
+            mod = self.modules[spec.name]
+            for gname, arr in mod.grads.items():
+                out.append((spec.name, gname, arr))
+        return out
+
+    def zero_grad(self) -> None:
+        for mod in self.modules.values():
+            mod.zero_grad()
+
+    def param_count(self) -> int:
+        return sum(arr.size for _, _, arr in self.parameters())
+
+    def set_step(self, step: int) -> None:
+        """Propagate the iteration counter to dropout layers (recompute
+        determinism: same step -> same masks)."""
+        for mod in self.modules.values():
+            if isinstance(mod, L.Dropout):
+                mod.step = step
+
+    def set_targets(self, targets: Array) -> None:
+        for name in self._loss_names:
+            self.modules[name].targets = targets
+
+    # -- layer-granular execution (driven by the OOC executor) -----------------
+
+    def layer_inputs(self, index: int, acts: Dict[str, Array],
+                     batch: Optional[Array] = None) -> List[Array]:
+        spec = self.graph[index]
+        if spec.kind is LayerKind.INPUT:
+            if batch is None:
+                raise ValueError("input layer needs the batch")
+            return [batch]
+        preds = self.graph.predecessors(spec.name)
+        missing = [p for p in preds if p not in acts]
+        if missing:
+            raise KeyError(f"layer {spec.name!r} missing input activations "
+                           f"{missing}")
+        return [acts[p] for p in preds]
+
+    def run_forward_layer(self, index: int, acts: Dict[str, Array],
+                          ctxs: Dict[str, tuple], *,
+                          batch: Optional[Array] = None,
+                          training: bool = True) -> Array:
+        spec = self.graph[index]
+        xs = self.layer_inputs(index, acts, batch)
+        out, ctx = self.modules[spec.name].forward(*xs, training=training)
+        acts[spec.name] = out
+        ctxs[spec.name] = ctx
+        return out
+
+    def run_backward_layer(self, index: int, douts: Dict[str, Array],
+                           ctxs: Dict[str, tuple]) -> None:
+        """Consume douts[name], push input grads onto the predecessors."""
+        spec = self.graph[index]
+        name = spec.name
+        if name not in douts:
+            raise KeyError(f"no output gradient for layer {name!r}")
+        if name not in ctxs:
+            raise KeyError(f"no saved ctx for layer {name!r} "
+                           "(was it evicted without recompute?)")
+        dout = douts.pop(name)
+        dxs = self.modules[name].backward(dout, ctxs[name])
+        preds = self.graph.predecessors(name)
+        if spec.kind is LayerKind.INPUT:
+            return
+        if len(dxs) != len(preds):
+            raise RuntimeError(
+                f"layer {name!r} returned {len(dxs)} input grads for "
+                f"{len(preds)} inputs")
+        for pname, dx in zip(preds, dxs):
+            if self.graph.layer(pname).kind is LayerKind.INPUT and \
+                    spec.kind is LayerKind.EMBEDDING:
+                continue  # token inputs are not differentiable
+            if pname in douts:
+                douts[pname] = douts[pname] + dx
+            else:
+                douts[pname] = dx
+
+    # -- whole-model convenience (in-core reference path) -----------------------
+
+    def forward(self, batch: Array, targets: Optional[Array] = None, *,
+                training: bool = True,
+                acts: Optional[Dict[str, Array]] = None,
+                ctxs: Optional[Dict[str, tuple]] = None) -> float:
+        if targets is not None:
+            self.set_targets(targets)
+        acts = {} if acts is None else acts
+        ctxs = {} if ctxs is None else ctxs
+        self._acts, self._ctxs = acts, ctxs
+        out = None
+        for i in range(len(self.graph)):
+            out = self.run_forward_layer(i, acts, ctxs, batch=batch,
+                                         training=training)
+        return float(out[0]) if self._loss_names else out
+
+    def backward(self) -> None:
+        """Full reverse pass after :meth:`forward` (in-core reference)."""
+        acts, ctxs = self._acts, self._ctxs
+        last = self.graph[len(self.graph) - 1]
+        douts: Dict[str, Array] = {
+            last.name: np.ones_like(acts[last.name])}
+        for i in range(len(self.graph) - 1, -1, -1):
+            name = self.graph[i].name
+            if name not in douts:
+                continue  # dead branch (e.g. token input)
+            self.run_backward_layer(i, douts, ctxs)
+
+    def train_step(self, batch: Array, targets: Array,
+                   optimizer, step: int = 0) -> float:
+        """One in-core SGD iteration: the baseline everything must match."""
+        self.set_step(step)
+        self.zero_grad()
+        loss = self.forward(batch, targets, training=True)
+        self.backward()
+        optimizer.step(self)
+        return loss

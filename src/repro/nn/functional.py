@@ -1,0 +1,550 @@
+"""Vectorized numpy kernels: forward/backward pairs for every layer kind.
+
+These are the numeric ground truth under the KARMA executor.  Every forward
+returns ``(output, ctx)`` where ``ctx`` is the tuple of saved tensors the
+backward needs — exactly the "stashed activations" KARMA swaps or
+recomputes.  Dropping a ctx and re-running the forward must reproduce it
+bit-for-bit (dropout uses counter-based Philox streams for that), which is
+the invariant out-of-core recompute relies on.
+
+All kernels are batch-vectorized (im2col convolutions, strided pooling
+windows) per the HPC guide: no Python loops over samples or channels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+# ---------------------------------------------------------------------------
+# im2col machinery
+# ---------------------------------------------------------------------------
+
+def im2col(x: Array, kh: int, kw: int, stride: int, pad: int) -> Array:
+    """(N, C, H, W) -> (N, C*kh*kw, P) patch matrix, P = out_h*out_w."""
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x, (n, c, kh, kw, out_h, out_w),
+        (s0, s1, s2, s3, s2 * stride, s3 * stride), writeable=False)
+    return np.ascontiguousarray(windows).reshape(n, c * kh * kw,
+                                                 out_h * out_w)
+
+
+def col2im(cols: Array, x_shape: Tuple[int, int, int, int], kh: int, kw: int,
+           stride: int, pad: int) -> Array:
+    """Scatter-add inverse of :func:`im2col`."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = (hp - kh) // stride + 1
+    out_w = (wp - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    x_p = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x_p[:, :, i:i + stride * out_h:stride,
+                j:j + stride * out_w:stride] += cols6[:, :, i, j]
+    if pad:
+        return x_p[:, :, pad:pad + h, pad:pad + w]
+    return x_p
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+def conv2d_forward(x: Array, weight: Array, bias: Array, stride: int,
+                   pad: int) -> Tuple[Array, tuple]:
+    """x (N,Ci,H,W), weight (Co,Ci,kh,kw), bias (Co,) -> (N,Co,Ho,Wo)."""
+    n = x.shape[0]
+    co, ci, kh, kw = weight.shape
+    cols = im2col(x, kh, kw, stride, pad)                      # (N, CK, P)
+    w2 = weight.reshape(co, ci * kh * kw)                      # (Co, CK)
+    out = np.matmul(w2, cols)                                  # (N, Co, P)
+    out += bias[None, :, None]
+    hp = (x.shape[2] + 2 * pad - kh) // stride + 1
+    wp = (x.shape[3] + 2 * pad - kw) // stride + 1
+    out = out.reshape(n, co, hp, wp)
+    ctx = (cols, x.shape, weight.shape, stride, pad)
+    return out, ctx
+
+
+def conv2d_backward(dout: Array, ctx: tuple,
+                    weight: Array) -> Tuple[Array, Array, Array]:
+    """Returns (dx, dweight, dbias)."""
+    cols, x_shape, w_shape, stride, pad = ctx
+    n, co = dout.shape[:2]
+    ci, kh, kw = w_shape[1:]
+    dout2 = dout.reshape(n, co, -1)                            # (N, Co, P)
+    dbias = dout2.sum(axis=(0, 2))
+    # dW = sum_n dout_n @ cols_n^T
+    dw = np.einsum("ncp,nkp->ck", dout2, cols,
+                   optimize=True).reshape(w_shape)
+    w2 = weight.reshape(co, ci * kh * kw)
+    dcols = np.matmul(w2.T, dout2)                             # (N, CK, P)
+    dx = col2im(dcols, x_shape, kh, kw, stride, pad)
+    return dx, dw, dbias
+
+
+# ---------------------------------------------------------------------------
+# Transposed convolution (U-Net 2x up-conv)
+# ---------------------------------------------------------------------------
+
+def convtranspose2d_forward(x: Array, weight: Array, stride: int
+                            ) -> Tuple[Array, tuple]:
+    """x (N,Ci,H,W), weight (Ci,Co,k,k), stride k assumed == kernel (U-Net).
+
+    Output is (N, Co, H*k, W*k): each input pixel paints a k x k patch.
+    """
+    n, ci, h, w = x.shape
+    ci2, co, kh, kw = weight.shape
+    if ci != ci2:
+        raise ValueError(f"channel mismatch {ci} vs {ci2}")
+    if stride != kh or kh != kw:
+        raise ValueError("convtranspose2d supports stride == kernel only")
+    # (N, Co, H, W, kh, kw)
+    patches = np.einsum("nihw,iojk->nohwjk", x, weight, optimize=True)
+    out = patches.transpose(0, 1, 2, 4, 3, 5).reshape(n, co, h * kh, w * kw)
+    ctx = (x, weight.shape, stride)
+    return np.ascontiguousarray(out), ctx
+
+
+def convtranspose2d_backward(dout: Array, ctx: tuple,
+                             weight: Array) -> Tuple[Array, Array]:
+    """Returns (dx, dweight)."""
+    x, w_shape, stride = ctx
+    n, ci, h, w = x.shape
+    _, co, kh, kw = w_shape
+    d6 = dout.reshape(n, co, h, kh, w, kw).transpose(0, 1, 2, 4, 3, 5)
+    dx = np.einsum("nohwjk,iojk->nihw", d6, weight, optimize=True)
+    dw = np.einsum("nihw,nohwjk->iojk", x, d6, optimize=True)
+    return dx, dw
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def _pool_windows(x: Array, k: int, stride: int, pad: int,
+                  fill: float) -> Tuple[Array, Tuple[int, int]]:
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                   constant_values=fill)
+    n, c, h, w = x.shape
+    out_h = (h - k) // stride + 1
+    out_w = (w - k) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    win = np.lib.stride_tricks.as_strided(
+        x, (n, c, out_h, out_w, k, k),
+        (s0, s1, s2 * stride, s3 * stride, s2, s3), writeable=False)
+    return win.reshape(n, c, out_h, out_w, k * k), (out_h, out_w)
+
+
+def maxpool_forward(x: Array, k: int, stride: int,
+                    pad: int) -> Tuple[Array, tuple]:
+    win, (oh, ow) = _pool_windows(x, k, stride, pad, fill=-np.inf)
+    arg = win.argmax(axis=-1)
+    out = np.take_along_axis(win, arg[..., None], axis=-1)[..., 0]
+    ctx = (arg, x.shape, k, stride, pad)
+    return out, ctx
+
+
+def maxpool_backward(dout: Array, ctx: tuple) -> Array:
+    arg, x_shape, k, stride, pad = ctx
+    n, c, oh, ow = dout.shape
+    one_hot = np.zeros((n, c, oh, ow, k * k), dtype=dout.dtype)
+    np.put_along_axis(one_hot, arg[..., None], 1.0, axis=-1)
+    one_hot *= dout[..., None]
+    # (N,C,oh,ow,k*k) -> cols layout (N, C*k*k, P)
+    cols = one_hot.reshape(n, c, oh * ow, k * k).transpose(0, 1, 3, 2)
+    cols = cols.reshape(n, c * k * k, oh * ow)
+    return col2im(cols, x_shape, k, k, stride, pad)
+
+
+def avgpool_forward(x: Array, k: int, stride: int,
+                    pad: int) -> Tuple[Array, tuple]:
+    win, _ = _pool_windows(x, k, stride, pad, fill=0.0)
+    out = win.mean(axis=-1)
+    ctx = (x.shape, k, stride, pad)
+    return out, ctx
+
+
+def avgpool_backward(dout: Array, ctx: tuple) -> Array:
+    x_shape, k, stride, pad = ctx
+    n, c, oh, ow = dout.shape
+    scale = 1.0 / (k * k)
+    cols = np.broadcast_to((dout * scale)[..., None],
+                           (n, c, oh, ow, k * k))
+    cols = cols.reshape(n, c, oh * ow, k * k).transpose(0, 1, 3, 2)
+    cols = np.ascontiguousarray(cols).reshape(n, c * k * k, oh * ow)
+    return col2im(cols, x_shape, k, k, stride, pad)
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+def batchnorm_forward(x: Array, gamma: Array, beta: Array,
+                      running_mean: Array, running_var: Array,
+                      momentum: float, eps: float,
+                      training: bool) -> Tuple[Array, tuple]:
+    """Per-channel batch norm over (N, C, ...) layouts."""
+    axes = (0,) + tuple(range(2, x.ndim))
+    if training:
+        mean = x.mean(axis=axes)
+        var = x.var(axis=axes)
+        running_mean *= (1 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1 - momentum)
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+    ctx = (x_hat, inv_std, axes, shape)
+    return out, ctx
+
+
+def batchnorm_backward(dout: Array, ctx: tuple,
+                       gamma: Array) -> Tuple[Array, Array, Array]:
+    x_hat, inv_std, axes, shape = ctx
+    m = dout.size // gamma.size
+    dgamma = (dout * x_hat).sum(axis=axes)
+    dbeta = dout.sum(axis=axes)
+    dxhat = dout * gamma.reshape(shape)
+    dx = (inv_std.reshape(shape) / m) * (
+        m * dxhat
+        - dxhat.sum(axis=axes).reshape(shape)
+        - x_hat * (dxhat * x_hat).sum(axis=axes).reshape(shape))
+    return dx, dgamma, dbeta
+
+
+def layernorm_forward(x: Array, gamma: Array, beta: Array,
+                      eps: float) -> Tuple[Array, tuple]:
+    """Normalize over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma * x_hat + beta
+    ctx = (x_hat, inv_std)
+    return out, ctx
+
+
+def layernorm_backward(dout: Array, ctx: tuple,
+                       gamma: Array) -> Tuple[Array, Array, Array]:
+    x_hat, inv_std = ctx
+    d = x_hat.shape[-1]
+    axes = tuple(range(x_hat.ndim - 1))
+    dgamma = (dout * x_hat).sum(axis=axes)
+    dbeta = dout.sum(axis=axes)
+    dxhat = dout * gamma
+    dx = (inv_std / d) * (
+        d * dxhat
+        - dxhat.sum(axis=-1, keepdims=True)
+        - x_hat * (dxhat * x_hat).sum(axis=-1, keepdims=True))
+    return dx, dgamma, dbeta
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+def relu_forward(x: Array) -> Tuple[Array, tuple]:
+    mask = x > 0
+    return x * mask, (mask,)
+
+
+def relu_backward(dout: Array, ctx: tuple) -> Array:
+    (mask,) = ctx
+    return dout * mask
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def gelu_forward(x: Array) -> Tuple[Array, tuple]:
+    """tanh-approximation GELU (GPT-2's variant)."""
+    u = _GELU_C * (x + 0.044715 * x ** 3)
+    t = np.tanh(u)
+    out = 0.5 * x * (1.0 + t)
+    return out, (x, t)
+
+
+def gelu_backward(dout: Array, ctx: tuple) -> Array:
+    x, t = ctx
+    du = _GELU_C * (1.0 + 3 * 0.044715 * x ** 2)
+    dt = (1.0 - t ** 2) * du
+    return dout * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+def softmax_forward(x: Array) -> Tuple[Array, tuple]:
+    """Numerically-stable softmax over the last dimension."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    p = e / e.sum(axis=-1, keepdims=True)
+    return p, (p,)
+
+
+def softmax_backward(dout: Array, ctx: tuple) -> Array:
+    (p,) = ctx
+    inner = (dout * p).sum(axis=-1, keepdims=True)
+    return p * (dout - inner)
+
+
+# ---------------------------------------------------------------------------
+# Linear / embedding / dropout
+# ---------------------------------------------------------------------------
+
+def linear_forward(x: Array, weight: Array,
+                   bias: Array) -> Tuple[Array, tuple]:
+    """x (..., Din) @ weight (Din, Dout) + bias."""
+    out = x @ weight + bias
+    return out, (x,)
+
+
+def linear_backward(dout: Array, ctx: tuple,
+                    weight: Array) -> Tuple[Array, Array, Array]:
+    (x,) = ctx
+    x2 = x.reshape(-1, x.shape[-1])
+    d2 = dout.reshape(-1, dout.shape[-1])
+    dw = x2.T @ d2
+    db = d2.sum(axis=0)
+    dx = (d2 @ weight.T).reshape(x.shape)
+    return dx, dw, db
+
+
+def embedding_forward(tokens: Array, weight: Array) -> Tuple[Array, tuple]:
+    """tokens (..., T) int -> (..., T, D)."""
+    out = weight[tokens]
+    return out, (tokens, weight.shape)
+
+
+def embedding_backward(dout: Array, ctx: tuple) -> Array:
+    tokens, w_shape = ctx
+    dw = np.zeros(w_shape, dtype=dout.dtype)
+    np.add.at(dw, tokens.reshape(-1),
+              dout.reshape(-1, dout.shape[-1]))
+    return dw
+
+
+def dropout_forward(x: Array, p: float, seed: int, step: int,
+                    training: bool) -> Tuple[Array, tuple]:
+    """Counter-based (Philox) dropout: (seed, step) fully determines the
+    mask, so recomputing a dropped forward reproduces it exactly."""
+    if not training or p <= 0.0:
+        return x, (None, 1.0)
+    rng = np.random.Generator(np.random.Philox(key=seed + (step << 20)))
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype)
+    scale = 1.0 / keep
+    return x * mask * scale, (mask, scale)
+
+
+def dropout_backward(dout: Array, ctx: tuple) -> Array:
+    mask, scale = ctx
+    if mask is None:
+        return dout
+    return dout * mask * scale
+
+
+# ---------------------------------------------------------------------------
+# Multi-head self-attention
+# ---------------------------------------------------------------------------
+
+def attention_forward(x: Array, wq: Array, wk: Array, wv: Array, wo: Array,
+                      bq: Array, bk: Array, bv: Array, bo: Array,
+                      heads: int, causal: bool) -> Tuple[Array, tuple]:
+    """x (N, T, D) -> (N, T, D), GPT-style causal multi-head attention."""
+    n, t, d = x.shape
+    if d % heads:
+        raise ValueError(f"dim {d} not divisible by heads {heads}")
+    dk = d // heads
+
+    q = x @ wq + bq
+    k = x @ wk + bk
+    v = x @ wv + bv
+
+    def split(a: Array) -> Array:  # (N, T, D) -> (N, H, T, dk)
+        return a.reshape(n, t, heads, dk).transpose(0, 2, 1, 3)
+
+    qh, kh, vh = split(q), split(k), split(v)
+    scores = np.matmul(qh, kh.transpose(0, 1, 3, 2)) / math.sqrt(dk)
+    if causal:
+        mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+        scores = np.where(mask, np.asarray(-1e30, dtype=scores.dtype), scores)
+    probs, _ = softmax_forward(scores)
+    ctxh = np.matmul(probs, vh)                      # (N, H, T, dk)
+    merged = ctxh.transpose(0, 2, 1, 3).reshape(n, t, d)
+    out = merged @ wo + bo
+    ctx = (x, qh, kh, vh, probs, merged, heads, causal)
+    return out, ctx
+
+
+def attention_backward(dout: Array, ctx: tuple, wq: Array, wk: Array,
+                       wv: Array, wo: Array) -> tuple:
+    """Returns (dx, dwq, dwk, dwv, dwo, dbq, dbk, dbv, dbo)."""
+    x, qh, kh, vh, probs, merged, heads, causal = ctx
+    n, t, d = x.shape
+    dk = d // heads
+
+    dbo = dout.reshape(-1, d).sum(axis=0)
+    dwo = merged.reshape(-1, d).T @ dout.reshape(-1, d)
+    dmerged = dout @ wo.T
+    dctxh = dmerged.reshape(n, t, heads, dk).transpose(0, 2, 1, 3)
+
+    dprobs = np.matmul(dctxh, vh.transpose(0, 1, 3, 2))
+    dvh = np.matmul(probs.transpose(0, 1, 3, 2), dctxh)
+    dscores = softmax_backward(dprobs, (probs,))
+    # masked positions had probs == 0 so dscores there is already 0
+    dscores /= math.sqrt(dk)
+    dqh = np.matmul(dscores, kh)
+    dkh = np.matmul(dscores.transpose(0, 1, 3, 2), qh)
+
+    def merge(a: Array) -> Array:  # (N, H, T, dk) -> (N, T, D)
+        return a.transpose(0, 2, 1, 3).reshape(n, t, d)
+
+    dq, dkk, dv = merge(dqh), merge(dkh), merge(dvh)
+    x2 = x.reshape(-1, d)
+    dwq = x2.T @ dq.reshape(-1, d)
+    dwk = x2.T @ dkk.reshape(-1, d)
+    dwv = x2.T @ dv.reshape(-1, d)
+    dbq = dq.reshape(-1, d).sum(axis=0)
+    dbk = dkk.reshape(-1, d).sum(axis=0)
+    dbv = dv.reshape(-1, d).sum(axis=0)
+    dx = dq @ wq.T + dkk @ wk.T + dv @ wv.T
+    return dx, dwq, dwk, dwv, dwo, dbq, dbk, dbv, dbo
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+def cross_entropy_from_probs(probs: Array, targets: Array,
+                             eps: float = 1e-12) -> Tuple[float, Array]:
+    """NLL on probabilities (the graph applies softmax separately).
+
+    targets: int class indices, shape = probs.shape[:-1].
+    Returns (mean loss, dprobs).
+    """
+    flat = probs.reshape(-1, probs.shape[-1])
+    idx = targets.reshape(-1)
+    m = flat.shape[0]
+    picked = np.clip(flat[np.arange(m), idx], eps, None)
+    loss = float(-np.log(picked).mean())
+    dflat = np.zeros_like(flat)
+    dflat[np.arange(m), idx] = -1.0 / (picked * m)
+    return loss, dflat.reshape(probs.shape)
+
+
+def cross_entropy_from_logits(logits: Array,
+                              targets: Array) -> Tuple[float, Array]:
+    """Fused softmax + NLL (numerically preferred reference path)."""
+    probs, _ = softmax_forward(logits)
+    flat = probs.reshape(-1, probs.shape[-1])
+    idx = targets.reshape(-1)
+    m = flat.shape[0]
+    picked = np.clip(flat[np.arange(m), idx], 1e-12, None)
+    loss = float(-np.log(picked).mean())
+    dlogits = flat.copy()
+    dlogits[np.arange(m), idx] -= 1.0
+    dlogits /= m
+    return loss, dlogits.reshape(logits.shape)
+
+
+# ---------------------------------------------------------------------------
+# LSTM (SIII-C.5's numeric counterpart)
+# ---------------------------------------------------------------------------
+
+def lstm_forward(x: Array, w_ih: Array, w_hh: Array, b: Array
+                 ) -> Tuple[Array, tuple]:
+    """Single-layer LSTM over (N, T, D_in) -> hidden states (N, T, H).
+
+    Gate layout along the 4H axis: input, forget, cell, output.  Initial
+    hidden and cell states are zero.
+    """
+    n, t, d_in = x.shape
+    h_dim = w_hh.shape[0]
+    hs = np.zeros((n, t, h_dim), dtype=x.dtype)
+    cs = np.zeros((n, t, h_dim), dtype=x.dtype)
+    gates = np.zeros((n, t, 4 * h_dim), dtype=x.dtype)
+    h_prev = np.zeros((n, h_dim), dtype=x.dtype)
+    c_prev = np.zeros((n, h_dim), dtype=x.dtype)
+    for step in range(t):
+        z = x[:, step] @ w_ih + h_prev @ w_hh + b
+        i = _sigmoid(z[:, :h_dim])
+        fgt = _sigmoid(z[:, h_dim:2 * h_dim])
+        g = np.tanh(z[:, 2 * h_dim:3 * h_dim])
+        o = _sigmoid(z[:, 3 * h_dim:])
+        c = fgt * c_prev + i * g
+        h = o * np.tanh(c)
+        gates[:, step, :h_dim] = i
+        gates[:, step, h_dim:2 * h_dim] = fgt
+        gates[:, step, 2 * h_dim:3 * h_dim] = g
+        gates[:, step, 3 * h_dim:] = o
+        hs[:, step] = h
+        cs[:, step] = c
+        h_prev, c_prev = h, c
+    ctx = (x, hs, cs, gates)
+    return hs, ctx
+
+
+def _sigmoid(z: Array) -> Array:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def lstm_backward(dout: Array, ctx: tuple, w_ih: Array, w_hh: Array
+                  ) -> Tuple[Array, Array, Array, Array]:
+    """Backward through time; returns (dx, dw_ih, dw_hh, db)."""
+    x, hs, cs, gates = ctx
+    n, t, d_in = x.shape
+    h_dim = w_hh.shape[0]
+    dx = np.zeros_like(x)
+    dw_ih = np.zeros_like(w_ih)
+    dw_hh = np.zeros_like(w_hh)
+    db = np.zeros(4 * h_dim, dtype=x.dtype)
+    dh_next = np.zeros((n, h_dim), dtype=x.dtype)
+    dc_next = np.zeros((n, h_dim), dtype=x.dtype)
+    for step in range(t - 1, -1, -1):
+        i = gates[:, step, :h_dim]
+        fgt = gates[:, step, h_dim:2 * h_dim]
+        g = gates[:, step, 2 * h_dim:3 * h_dim]
+        o = gates[:, step, 3 * h_dim:]
+        c = cs[:, step]
+        c_prev = cs[:, step - 1] if step > 0 else np.zeros_like(c)
+        h_prev = hs[:, step - 1] if step > 0 else np.zeros_like(c)
+        tanh_c = np.tanh(c)
+        dh = dout[:, step] + dh_next
+        do = dh * tanh_c
+        dc = dh * o * (1.0 - tanh_c ** 2) + dc_next
+        di = dc * g
+        dg = dc * i
+        dfgt = dc * c_prev
+        dc_next = dc * fgt
+        dz = np.concatenate([
+            di * i * (1.0 - i),
+            dfgt * fgt * (1.0 - fgt),
+            dg * (1.0 - g ** 2),
+            do * o * (1.0 - o)], axis=1)
+        dx[:, step] = dz @ w_ih.T
+        dh_next = dz @ w_hh.T
+        dw_ih += x[:, step].T @ dz
+        dw_hh += h_prev.T @ dz
+        db += dz.sum(axis=0)
+    return dx, dw_ih, dw_hh, db

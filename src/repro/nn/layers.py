@@ -1,0 +1,387 @@
+"""Module wrappers over the functional kernels, one per :class:`LayerKind`.
+
+A :class:`Module` owns its parameters and gradients as plain numpy arrays
+(keyed by name) and exposes the stateless ``forward -> (out, ctx)`` /
+``backward(dout, ctx) -> per-input grads`` protocol the out-of-core executor
+drives.  Keeping ``ctx`` external to the module is deliberate: KARMA's
+runtime owns the stash so it can evict, reload, or recompute it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+
+Array = np.ndarray
+
+
+class Module:
+    """Base class: parameter/gradient registry + the forward/backward API."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.params: Dict[str, Array] = {}
+        self.grads: Dict[str, Array] = {}
+        self.buffers: Dict[str, Array] = {}  # non-trainable state (BN stats)
+
+    # subclasses override these two -----------------------------------------
+    def forward(self, *xs: Array, training: bool = True) -> Tuple[Array, tuple]:
+        raise NotImplementedError
+
+    def backward(self, dout: Array, ctx: tuple) -> Tuple[Array, ...]:
+        raise NotImplementedError
+
+    # -- utilities ------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for k in self.grads:
+            self.grads[k][...] = 0.0
+
+    def _init_grads(self) -> None:
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def param_bytes(self) -> int:
+        return sum(int(p.nbytes) for p in self.params.values())
+
+    def _accumulate(self, name: str, value: Array) -> None:
+        self.grads[name] += value
+
+
+class Input(Module):
+    """Source layer: passes the batch through unchanged."""
+
+    def forward(self, *xs: Array, training: bool = True) -> Tuple[Array, tuple]:
+        (x,) = xs
+        return x, ()
+
+    def backward(self, dout: Array, ctx: tuple) -> Tuple[Array, ...]:
+        return (dout,)
+
+
+class Conv2d(Module):
+    def __init__(self, name: str, in_channels: int, out_channels: int,
+                 kernel: int, stride: int, padding: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__(name)
+        fan_in = in_channels * kernel * kernel
+        std = np.sqrt(2.0 / fan_in)  # Kaiming for ReLU nets
+        self.params["weight"] = (rng.standard_normal(
+            (out_channels, in_channels, kernel, kernel)) * std).astype(dtype)
+        self.params["bias"] = np.zeros(out_channels, dtype=dtype)
+        self.stride = stride
+        self.padding = padding
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.conv2d_forward(x, self.params["weight"], self.params["bias"],
+                                self.stride, self.padding)
+
+    def backward(self, dout, ctx):
+        dx, dw, db = F.conv2d_backward(dout, ctx, self.params["weight"])
+        self._accumulate("weight", dw)
+        self._accumulate("bias", db)
+        return (dx,)
+
+
+class ConvTranspose2d(Module):
+    """2x up-convolution with stride == kernel (U-Net expansive path)."""
+
+    def __init__(self, name: str, in_channels: int, out_channels: int,
+                 kernel: int, rng: np.random.Generator, dtype=np.float32):
+        super().__init__(name)
+        std = np.sqrt(2.0 / (in_channels * kernel * kernel))
+        self.params["weight"] = (rng.standard_normal(
+            (in_channels, out_channels, kernel, kernel)) * std).astype(dtype)
+        self.stride = kernel
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.convtranspose2d_forward(x, self.params["weight"], self.stride)
+
+    def backward(self, dout, ctx):
+        dx, dw = F.convtranspose2d_backward(dout, ctx, self.params["weight"])
+        self._accumulate("weight", dw)
+        return (dx,)
+
+
+class ReLU(Module):
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.relu_forward(x)
+
+    def backward(self, dout, ctx):
+        return (F.relu_backward(dout, ctx),)
+
+
+class GELU(Module):
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.gelu_forward(x)
+
+    def backward(self, dout, ctx):
+        return (F.gelu_backward(dout, ctx),)
+
+
+class MaxPool(Module):
+    def __init__(self, name: str, kernel: int, stride: int, padding: int):
+        super().__init__(name)
+        self.kernel, self.stride, self.padding = kernel, stride, padding
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.maxpool_forward(x, self.kernel, self.stride, self.padding)
+
+    def backward(self, dout, ctx):
+        return (F.maxpool_backward(dout, ctx),)
+
+
+class AvgPool(Module):
+    def __init__(self, name: str, kernel: int, stride: int, padding: int):
+        super().__init__(name)
+        self.kernel, self.stride, self.padding = kernel, stride, padding
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.avgpool_forward(x, self.kernel, self.stride, self.padding)
+
+    def backward(self, dout, ctx):
+        return (F.avgpool_backward(dout, ctx),)
+
+
+class BatchNorm(Module):
+    def __init__(self, name: str, channels: int, dtype=np.float32,
+                 momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__(name)
+        self.params["gamma"] = np.ones(channels, dtype=dtype)
+        self.params["beta"] = np.zeros(channels, dtype=dtype)
+        self.buffers["running_mean"] = np.zeros(channels, dtype=dtype)
+        self.buffers["running_var"] = np.ones(channels, dtype=dtype)
+        self.momentum = momentum
+        self.eps = eps
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.batchnorm_forward(
+            x, self.params["gamma"], self.params["beta"],
+            self.buffers["running_mean"], self.buffers["running_var"],
+            self.momentum, self.eps, training)
+
+    def backward(self, dout, ctx):
+        dx, dgamma, dbeta = F.batchnorm_backward(dout, ctx,
+                                                 self.params["gamma"])
+        self._accumulate("gamma", dgamma)
+        self._accumulate("beta", dbeta)
+        return (dx,)
+
+
+class LayerNorm(Module):
+    def __init__(self, name: str, dim: int, dtype=np.float32,
+                 eps: float = 1e-5):
+        super().__init__(name)
+        self.params["gamma"] = np.ones(dim, dtype=dtype)
+        self.params["beta"] = np.zeros(dim, dtype=dtype)
+        self.eps = eps
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.layernorm_forward(x, self.params["gamma"],
+                                   self.params["beta"], self.eps)
+
+    def backward(self, dout, ctx):
+        dx, dgamma, dbeta = F.layernorm_backward(dout, ctx,
+                                                 self.params["gamma"])
+        self._accumulate("gamma", dgamma)
+        self._accumulate("beta", dbeta)
+        return (dx,)
+
+
+class Linear(Module):
+    def __init__(self, name: str, in_features: int, out_features: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__(name)
+        std = np.sqrt(2.0 / (in_features + out_features))  # Xavier
+        self.params["weight"] = (rng.standard_normal(
+            (in_features, out_features)) * std).astype(dtype)
+        self.params["bias"] = np.zeros(out_features, dtype=dtype)
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.linear_forward(x, self.params["weight"], self.params["bias"])
+
+    def backward(self, dout, ctx):
+        dx, dw, db = F.linear_backward(dout, ctx, self.params["weight"])
+        self._accumulate("weight", dw)
+        self._accumulate("bias", db)
+        return (dx,)
+
+
+class Softmax(Module):
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.softmax_forward(x)
+
+    def backward(self, dout, ctx):
+        return (F.softmax_backward(dout, ctx),)
+
+
+class Dropout(Module):
+    """Counter-based dropout: deterministic given (seed, step)."""
+
+    def __init__(self, name: str, p: float, seed: int):
+        super().__init__(name)
+        self.p = p
+        self.seed = seed
+        self.step = 0  # set by the trainer each iteration
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.dropout_forward(x, self.p, self.seed, self.step, training)
+
+    def backward(self, dout, ctx):
+        return (F.dropout_backward(dout, ctx),)
+
+
+class Embedding(Module):
+    def __init__(self, name: str, vocab: int, dim: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__(name)
+        self.params["weight"] = (rng.standard_normal(
+            (vocab, dim)) * 0.02).astype(dtype)
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (tokens,) = xs
+        return F.embedding_forward(tokens, self.params["weight"])
+
+    def backward(self, dout, ctx):
+        dw = F.embedding_backward(dout, ctx)
+        self._accumulate("weight", dw)
+        # token input is not differentiable; return a zero placeholder
+        return (np.zeros(1, dtype=dout.dtype),)
+
+
+class Attention(Module):
+    def __init__(self, name: str, dim: int, heads: int,
+                 rng: np.random.Generator, dtype=np.float32,
+                 causal: bool = True):
+        super().__init__(name)
+        std = np.sqrt(1.0 / dim)
+        for key in ("wq", "wk", "wv", "wo"):
+            self.params[key] = (rng.standard_normal(
+                (dim, dim)) * std).astype(dtype)
+        for key in ("bq", "bk", "bv", "bo"):
+            self.params[key] = np.zeros(dim, dtype=dtype)
+        self.heads = heads
+        self.causal = causal
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        p = self.params
+        return F.attention_forward(x, p["wq"], p["wk"], p["wv"], p["wo"],
+                                   p["bq"], p["bk"], p["bv"], p["bo"],
+                                   self.heads, self.causal)
+
+    def backward(self, dout, ctx):
+        p = self.params
+        dx, dwq, dwk, dwv, dwo, dbq, dbk, dbv, dbo = F.attention_backward(
+            dout, ctx, p["wq"], p["wk"], p["wv"], p["wo"])
+        for key, g in (("wq", dwq), ("wk", dwk), ("wv", dwv), ("wo", dwo),
+                       ("bq", dbq), ("bk", dbk), ("bv", dbv), ("bo", dbo)):
+            self._accumulate(key, g)
+        return (dx,)
+
+
+class Add(Module):
+    """Element-wise residual join of two inputs."""
+
+    def forward(self, *xs, training: bool = True):
+        a, b = xs
+        return a + b, ()
+
+    def backward(self, dout, ctx):
+        return (dout, dout)
+
+
+class Concat(Module):
+    """Channel concat (axis 1) of two conv-layout inputs."""
+
+    def forward(self, *xs, training: bool = True):
+        a, b = xs
+        return np.concatenate([a, b], axis=1), (a.shape[1],)
+
+    def backward(self, dout, ctx):
+        (c1,) = ctx
+        return (dout[:, :c1], dout[:, c1:])
+
+
+class Reshape(Module):
+    """Flatten to (N, -1); saves the input shape for backward."""
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return x.reshape(x.shape[0], -1), (x.shape,)
+
+    def backward(self, dout, ctx):
+        (shape,) = ctx
+        return (dout.reshape(shape),)
+
+
+class NLLLoss(Module):
+    """Mean negative-log-likelihood over probabilities (graph has Softmax).
+
+    The runtime sets ``targets`` before the forward pass.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.targets: Optional[Array] = None
+
+    def forward(self, *xs, training: bool = True):
+        (probs,) = xs
+        if self.targets is None:
+            raise RuntimeError(f"{self.name}: targets not set before forward")
+        loss, dprobs = F.cross_entropy_from_probs(probs, self.targets)
+        out = np.asarray([loss], dtype=probs.dtype)
+        return out, (dprobs,)
+
+    def backward(self, dout, ctx):
+        (dprobs,) = ctx
+        scale = float(np.asarray(dout).sum())  # dL/dloss, normally 1.0
+        return (dprobs * scale,)
+
+
+class LSTM(Module):
+    """Single-layer LSTM over (N, T, D_in) sequences (zero initial state)."""
+
+    def __init__(self, name: str, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__(name)
+        std = np.sqrt(1.0 / hidden_dim)
+        self.params["w_ih"] = (rng.standard_normal(
+            (input_dim, 4 * hidden_dim)) * std).astype(dtype)
+        self.params["w_hh"] = (rng.standard_normal(
+            (hidden_dim, 4 * hidden_dim)) * std).astype(dtype)
+        self.params["bias"] = np.zeros(4 * hidden_dim, dtype=dtype)
+        self._init_grads()
+
+    def forward(self, *xs, training: bool = True):
+        (x,) = xs
+        return F.lstm_forward(x, self.params["w_ih"], self.params["w_hh"],
+                              self.params["bias"])
+
+    def backward(self, dout, ctx):
+        dx, dw_ih, dw_hh, db = F.lstm_backward(
+            dout, ctx, self.params["w_ih"], self.params["w_hh"])
+        self._accumulate("w_ih", dw_ih)
+        self._accumulate("w_hh", dw_hh)
+        self._accumulate("bias", db)
+        return (dx,)

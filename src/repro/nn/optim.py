@@ -1,0 +1,130 @@
+"""Optimizers, including the standalone CPU-side update kernel (§III-G).
+
+Data-parallel KARMA performs weight updates *on the host* after the phased
+gradient exchange, so the update rule is factored as a pure kernel
+(:func:`sgd_update_kernel` / :func:`adam_update_kernel`) operating on flat
+arrays — the same kernel both the device-side optimizers here and
+:mod:`repro.distributed.cpu_update` invoke.  That sharing is what makes the
+numeric equivalence tests meaningful: CPU-updated and GPU-updated replicas
+run literally the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+# ---------------------------------------------------------------------------
+# Pure update kernels (shared by device- and host-side updates)
+# ---------------------------------------------------------------------------
+
+def sgd_update_kernel(param: Array, grad: Array, momentum_buf: Optional[Array],
+                      lr: float, momentum: float, weight_decay: float) -> None:
+    """In-place SGD with momentum and L2 weight decay (PyTorch semantics)."""
+    g = grad
+    if weight_decay:
+        g = g + weight_decay * param
+    if momentum_buf is not None:
+        momentum_buf *= momentum
+        momentum_buf += g
+        g = momentum_buf
+    param -= lr * g
+
+
+def adam_update_kernel(param: Array, grad: Array, m: Array, v: Array,
+                       lr: float, beta1: float, beta2: float, eps: float,
+                       step: int, weight_decay: float) -> None:
+    """In-place Adam (bias-corrected)."""
+    g = grad
+    if weight_decay:
+        g = g + weight_decay * param
+    m *= beta1
+    m += (1 - beta1) * g
+    v *= beta2
+    v += (1 - beta2) * (g * g)
+    mc = m / (1 - beta1 ** step)
+    vc = v / (1 - beta2 ** step)
+    param -= lr * mc / (np.sqrt(vc) + eps)
+
+
+# ---------------------------------------------------------------------------
+# Model-level optimizers
+# ---------------------------------------------------------------------------
+
+class SGD:
+    """Momentum SGD over an :class:`ExecutableModel`'s parameters."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._buffers: Dict[Tuple[str, str], Array] = {}
+
+    def state_bytes(self) -> int:
+        return sum(int(b.nbytes) for b in self._buffers.values())
+
+    def step(self, model) -> None:
+        for lname, pname, param in model.parameters():
+            grad = model.modules[lname].grads[pname]
+            buf = None
+            if self.momentum:
+                key = (lname, pname)
+                if key not in self._buffers:
+                    self._buffers[key] = np.zeros_like(param)
+                buf = self._buffers[key]
+            sgd_update_kernel(param, grad, buf, self.lr, self.momentum,
+                              self.weight_decay)
+
+    def step_module(self, lname: str, module) -> None:
+        """Update a single layer's parameters (block-granular updates)."""
+        for pname, param in module.params.items():
+            grad = module.grads[pname]
+            buf = None
+            if self.momentum:
+                key = (lname, pname)
+                if key not in self._buffers:
+                    self._buffers[key] = np.zeros_like(param)
+                buf = self._buffers[key]
+            sgd_update_kernel(param, grad, buf, self.lr, self.momentum,
+                              self.weight_decay)
+
+
+class Adam:
+    """Adam over an :class:`ExecutableModel`'s parameters."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m: Dict[Tuple[str, str], Array] = {}
+        self._v: Dict[Tuple[str, str], Array] = {}
+
+    def state_bytes(self) -> int:
+        return sum(int(b.nbytes) for b in self._m.values()) + \
+            sum(int(b.nbytes) for b in self._v.values())
+
+    def step(self, model) -> None:
+        self.t += 1
+        for lname, pname, param in model.parameters():
+            grad = model.modules[lname].grads[pname]
+            key = (lname, pname)
+            if key not in self._m:
+                self._m[key] = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            adam_update_kernel(param, grad, self._m[key], self._v[key],
+                               self.lr, self.beta1, self.beta2, self.eps,
+                               self.t, self.weight_decay)

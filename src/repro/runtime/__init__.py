@@ -1,0 +1,8 @@
+"""Numeric out-of-core runtime: capacity-enforced plan execution."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .executor import OutOfCoreExecutor, OutOfCorePlanError
+from .trainer import OutOfCoreTrainer
+
+__all__ = ["OutOfCoreExecutor", "OutOfCorePlanError", "OutOfCoreTrainer",
+           "save_checkpoint", "load_checkpoint"]

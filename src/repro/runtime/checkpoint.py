@@ -1,0 +1,55 @@
+"""Model checkpoint/restart (§IV-C's mitigation strategy).
+
+The paper splits epochs into separate runs "at which we checkpoint/restart
+the model state" when scheduler limits preclude long jobs; fault-tolerant
+data-parallel KARMA likewise relaunches from a checkpoint with a smaller
+worker pool (§II-B).  Checkpoints capture parameters, non-trainable buffers
+(BN statistics) and the training step, in a single ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.build import ExecutableModel
+
+
+def save_checkpoint(model: ExecutableModel, path: str, *,
+                    step: int = 0,
+                    extra: Optional[Dict[str, np.ndarray]] = None) -> None:
+    """Write model parameters + buffers (+ optional extras) to ``path``."""
+    payload: Dict[str, np.ndarray] = {"__step__": np.asarray(step)}
+    for lname, pname, arr in model.parameters():
+        payload[f"param/{lname}/{pname}"] = arr
+    for spec in model.graph:
+        module = model.modules[spec.name]
+        for bname, arr in module.buffers.items():
+            payload[f"buffer/{spec.name}/{bname}"] = arr
+    for key, arr in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(arr)
+    tmp = f"{path}.tmp"
+    np.savez(tmp, **payload)
+    os.replace(tmp + ".npz" if not tmp.endswith(".npz") else tmp, path)
+
+
+def load_checkpoint(model: ExecutableModel, path: str) -> int:
+    """Restore parameters/buffers in place; returns the saved step."""
+    with np.load(path) as data:
+        for lname, pname, arr in model.parameters():
+            key = f"param/{lname}/{pname}"
+            if key not in data:
+                raise KeyError(f"checkpoint missing {key!r}")
+            if data[key].shape != arr.shape:
+                raise ValueError(f"shape mismatch for {key!r}: checkpoint "
+                                 f"{data[key].shape} vs model {arr.shape}")
+            arr[...] = data[key]
+        for spec in model.graph:
+            module = model.modules[spec.name]
+            for bname, arr in module.buffers.items():
+                key = f"buffer/{spec.name}/{bname}"
+                if key in data:
+                    arr[...] = data[key]
+        return int(data["__step__"])

@@ -1,0 +1,46 @@
+"""Single-worker out-of-core training loop."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.planner import KarmaPlan
+from ..core.schedule import ExecutionPlan
+from ..hardware.memory_pool import MemorySpace
+from ..nn.build import ExecutableModel
+from .executor import OutOfCoreExecutor
+
+
+class OutOfCoreTrainer:
+    """Trains a numeric model under a KARMA plan with device-side updates.
+
+    Single-GPU semantics: the weight update is folded into the end of the
+    backward phase (§III-G), so the optimizer runs after ``run_iteration``.
+    """
+
+    def __init__(self, model: ExecutableModel, plan: ExecutionPlan,
+                 space: MemorySpace, optimizer):
+        self.model = model
+        self.plan = plan
+        self.space = space
+        self.optimizer = optimizer
+        self.executor = OutOfCoreExecutor(model, plan, space)
+        self.step_count = 0
+
+    def train_step(self, batch: np.ndarray, targets: np.ndarray) -> float:
+        self.model.zero_grad()
+        loss = self.executor.run_iteration(batch, targets,
+                                           step=self.step_count)
+        self.optimizer.step(self.model)
+        self.step_count += 1
+        return loss
+
+    def train(self, data, steps: int) -> list:
+        """Run ``steps`` iterations over a dataset with ``.batch(n, step)``."""
+        losses = []
+        for s in range(steps):
+            x, y = data.batch(self.plan.batch_size, s)
+            losses.append(self.train_step(x, y))
+        return losses

@@ -1,0 +1,34 @@
+"""Discrete-event simulation: engine, single-device and distributed timing."""
+
+from .collectives import AllreduceModel, flat_exchange_time, phased_groups
+from .distributed_sim import (
+    CostPerfPoint,
+    DpKarmaResult,
+    HybridResult,
+    LmWorkload,
+    dp_karma_cnn,
+    dp_scaling_cnn,
+    hybrid_mp_dp_lm,
+    simulate_dp_karma_lm,
+)
+from .engine import SimOp, SimResult, SimulationDeadlock, simulate
+from .zero_model import ZeroConfig, karma_plus_zero_lm, zero_hybrid_lm, zero_min_gpus
+from .trainer_sim import (
+    BlockCosts,
+    IterationResult,
+    OutOfCoreInfeasible,
+    block_costs,
+    compile_plan,
+    simulate_plan,
+)
+
+__all__ = [
+    "simulate", "SimOp", "SimResult", "SimulationDeadlock",
+    "simulate_plan", "compile_plan", "block_costs", "BlockCosts",
+    "IterationResult", "OutOfCoreInfeasible",
+    "AllreduceModel", "phased_groups", "flat_exchange_time",
+    "simulate_dp_karma_lm", "hybrid_mp_dp_lm", "DpKarmaResult",
+    "HybridResult", "LmWorkload", "dp_scaling_cnn", "dp_karma_cnn",
+    "CostPerfPoint", "ZeroConfig", "zero_min_gpus", "zero_hybrid_lm",
+    "karma_plus_zero_lm",
+]

@@ -1,0 +1,279 @@
+"""Compile execution plans to event graphs and simulate one iteration.
+
+This is the timing engine behind Fig. 5 (throughput vs batch), Fig. 6
+(per-block stall profiles) and the blocking search's objective: the planner
+proposes a blocking, :func:`simulate_plan` prices it.
+
+Op semantics (single-worker iteration):
+
+* ``F b``   — forward of block b; needs block b-1's output; acquires b's stash
+* ``Sout b``— stash D2H copy; releases the stash bytes when done
+* ``Sin b`` — stash H2D copy; re-acquires the bytes (the ledger may delay it:
+              that is precisely the capacity-based prefetch throttling)
+* ``R b``   — recompute (re-forward) from the nearest upstream checkpoint
+* ``B b``   — backward of block b; releases the stash when done
+
+Weights stay device-resident in single-worker plans (Fig. 2 swaps
+activations); the distributed 5-stage pipeline moves weights and gradients
+too and is simulated in :mod:`repro.sim.distributed_sim`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import (
+    BlockPolicy,
+    ExecutionPlan,
+    Op,
+    OpKind,
+    Resource,
+    Stage,
+)
+from ..costs.profiler import CostModel
+from .engine import SimOp, SimResult, SimulationDeadlock, simulate
+
+
+class OutOfCoreInfeasible(RuntimeError):
+    """The plan cannot run within device capacity (true OOM)."""
+
+
+@dataclass(frozen=True)
+class BlockCosts:
+    """Per-block costs derived from the cost model for one plan."""
+
+    fw: Tuple[float, ...]
+    bw: Tuple[float, ...]
+    stash_bytes: Tuple[int, ...]
+    boundary_bytes: Tuple[int, ...]    # the block's output activation
+    weight_bytes: Tuple[int, ...]
+    swap_time: Tuple[float, ...]       # one-way stash transfer
+    grad_swap_time: Tuple[float, ...]  # gradients D2H (distributed pipeline)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.fw)
+
+
+def block_costs(blocks: Sequence[Tuple[int, int]],
+                cost: CostModel) -> BlockCosts:
+    """Aggregate the cost model over a blocking."""
+    fw, bw, stash, bnd, wbytes, swap, gswap = [], [], [], [], [], [], []
+    for (s, e) in blocks:
+        fw.append(cost.block_fw_time(s, e))
+        bw.append(cost.block_bw_time(s, e))
+        sb = cost.block_activation_bytes(s, e)
+        wb = cost.block_weight_bytes(s, e)
+        stash.append(sb)
+        bnd.append(cost.layer_mem(e - 1).activations)
+        wbytes.append(wb)
+        swap.append(cost.transfer.swap_time(sb))
+        gswap.append(cost.transfer.swap_time(wb))
+    return BlockCosts(fw=tuple(fw), bw=tuple(bw), stash_bytes=tuple(stash),
+                      boundary_bytes=tuple(bnd), weight_bytes=tuple(wbytes),
+                      swap_time=tuple(swap), grad_swap_time=tuple(gswap))
+
+
+@dataclass
+class IterationResult:
+    """Timing of one simulated training iteration."""
+
+    plan: ExecutionPlan
+    sim: SimResult
+    makespan: float
+    gpu_busy: float
+    gpu_occupancy: float
+    total_stall: float
+    bw_block_stalls: Dict[int, float]  # idle gap right before each B op
+    samples_per_sec: float
+
+    def summary(self) -> str:
+        return (f"iteration {self.makespan * 1e3:8.2f} ms | occupancy "
+                f"{self.gpu_occupancy * 100:5.1f}% | stalls "
+                f"{self.total_stall * 1e3:7.2f} ms | "
+                f"{self.samples_per_sec:8.1f} samples/s")
+
+
+def _stash_ledger_capacity(plan: ExecutionPlan, costs: BlockCosts,
+                           cost: CostModel, capacity: float) -> int:
+    """Near-memory bytes available to activation stashes.
+
+    Weights, gradients and optimizer state stay resident in single-worker
+    plans; the largest transient workspace is reserved as margin.
+    """
+    persistent = cost.persistent_bytes()
+    workspace = max((cost.block_memory(s, e).peak_workspace
+                     for (s, e) in plan.blocks), default=0)
+    ledger = int(capacity - persistent - workspace)
+    if ledger <= 0:
+        raise OutOfCoreInfeasible(
+            f"persistent bytes {persistent + workspace} exceed device "
+            f"capacity {int(capacity)}")
+    return ledger
+
+
+def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
+                 prefetch_lookahead: int = 3) -> List[SimOp]:
+    """Lower the stage schedule to SimOps with explicit data dependencies.
+
+    Two throttles shape swap-in timing, both mirroring the paper's runtime:
+
+    * a swap-in depends on the last GPU op of the *preceding* stage — the
+      prefetch is issued at its stage's launch point, never earlier (the
+      "synchronize before the prefetch" of §III-H);
+    * a swap-in for block b additionally waits for the backward of block
+      ``b + prefetch_lookahead`` — prefetch depth is bounded, so eager
+      swap-ins cannot hoard the memory that upcoming recompute scratch or
+      outstanding forwards still need.
+    """
+    specs: List[Tuple[OpKind, int, float, List[object], int, int]] = []
+    ids: Dict[Tuple[OpKind, int], int] = {}
+    n = plan.num_blocks
+
+    def emit(kind: OpKind, block: int, duration: float, deps: List[object],
+             acquire: int = 0, release: int = 0) -> int:
+        op_id = len(specs)
+        specs.append((kind, block, duration, deps, acquire, release))
+        ids[(kind, block)] = op_id
+        return op_id
+
+    def checkpoint_key(block: int) -> Optional[Tuple[OpKind, int]]:
+        """The op whose output feeds block's recompute."""
+        prev = block - 1
+        if prev < 0:
+            return None
+        prev_policy = plan.policies[prev]
+        if prev_policy is BlockPolicy.RECOMPUTED:
+            return (OpKind.RECOMPUTE, prev)
+        if prev_policy is BlockPolicy.SWAPPED:
+            return (OpKind.SWAP_IN, prev)
+        # RESIDENT, or CHECKPOINTED whose boundary survived forward
+        return (OpKind.FORWARD, prev)
+
+    gpu_kinds = (OpKind.FORWARD, OpKind.BACKWARD, OpKind.RECOMPUTE)
+    last_gpu_prev_stages: Optional[Tuple[OpKind, int]] = None
+    for stage in plan.stages:
+        stage_gpu: Optional[Tuple[OpKind, int]] = None
+        for op in stage.ops:
+            b = op.block
+            policy = plan.policies[b]
+            if op.kind is OpKind.FORWARD:
+                deps: List[object] = []
+                if b > 0:
+                    deps.append((OpKind.FORWARD, b - 1))
+                # RECOMPUTED blocks drop their whole stash after forward;
+                # CHECKPOINTED blocks keep only their output boundary
+                if policy is BlockPolicy.RECOMPUTED:
+                    release = costs.stash_bytes[b]
+                elif policy is BlockPolicy.CHECKPOINTED:
+                    release = costs.stash_bytes[b] - costs.boundary_bytes[b]
+                else:
+                    release = 0
+                emit(OpKind.FORWARD, b, costs.fw[b], deps,
+                     acquire=costs.stash_bytes[b], release=release)
+            elif op.kind is OpKind.SWAP_OUT:
+                emit(OpKind.SWAP_OUT, b, costs.swap_time[b],
+                     [(OpKind.FORWARD, b)], release=costs.stash_bytes[b])
+            elif op.kind is OpKind.SWAP_IN:
+                deps = [(OpKind.SWAP_OUT, b)]
+                if last_gpu_prev_stages is not None:
+                    deps.append(last_gpu_prev_stages)
+                if prefetch_lookahead and b + prefetch_lookahead < n:
+                    deps.append((OpKind.BACKWARD, b + prefetch_lookahead))
+                emit(OpKind.SWAP_IN, b, costs.swap_time[b], deps,
+                     acquire=costs.stash_bytes[b])
+            elif op.kind is OpKind.RECOMPUTE:
+                key = checkpoint_key(b)
+                deps = [key] if key is not None else []
+                if plan.policies[b] is BlockPolicy.CHECKPOINTED:
+                    acquire = costs.stash_bytes[b] - costs.boundary_bytes[b]
+                else:
+                    acquire = costs.stash_bytes[b]
+                emit(OpKind.RECOMPUTE, b, costs.fw[b], deps, acquire=acquire)
+            elif op.kind is OpKind.BACKWARD:
+                deps = []
+                if b + 1 < n:
+                    deps.append((OpKind.BACKWARD, b + 1))
+                if policy is BlockPolicy.SWAPPED:
+                    deps.append((OpKind.SWAP_IN, b))
+                elif policy in (BlockPolicy.RECOMPUTED,
+                                BlockPolicy.CHECKPOINTED):
+                    deps.append((OpKind.RECOMPUTE, b))
+                else:
+                    deps.append((OpKind.FORWARD, b))
+                emit(OpKind.BACKWARD, b, costs.bw[b], deps,
+                     release=costs.stash_bytes[b])
+            else:
+                raise ValueError(f"single-worker plans cannot contain "
+                                 f"{op.kind}")
+            if op.kind in gpu_kinds:
+                stage_gpu = (op.kind, b)
+        if stage_gpu is not None:
+            last_gpu_prev_stages = stage_gpu
+
+    # resolve symbolic (kind, block) deps to op ids; drop deps on ops that
+    # were never emitted (e.g. lookahead pointing past scheduled backwards)
+    ops: List[SimOp] = []
+    for op_id, (kind, block, duration, deps, acquire, release) in \
+            enumerate(specs):
+        resolved = []
+        for d in deps:
+            if isinstance(d, tuple):
+                if d in ids:
+                    resolved.append(ids[d])
+                elif kind is OpKind.RECOMPUTE:
+                    raise SimulationDeadlock(
+                        f"recompute of block {block} has no scheduled "
+                        f"source {d}")
+            else:
+                resolved.append(d)
+        ops.append(SimOp(op_id=op_id,
+                         resource=Op(kind, block).resource.value,
+                         duration=duration, deps=tuple(resolved),
+                         mem_acquire=acquire, mem_release=release,
+                         label=Op(kind, block).label()))
+    return ops
+
+
+def simulate_plan(plan: ExecutionPlan, cost: CostModel,
+                  capacity: float) -> IterationResult:
+    """Price one training iteration of ``plan`` on the cost model's device.
+
+    Raises :class:`OutOfCoreInfeasible` when the plan cannot fit (either
+    persistent state exceeds capacity, or the event simulation deadlocks on
+    the stash ledger — e.g. a single block larger than available memory).
+    """
+    costs = block_costs(plan.blocks, cost)
+    ledger = _stash_ledger_capacity(plan, costs, cost, capacity)
+    ops = compile_plan(plan, costs)
+    try:
+        sim = simulate(ops, memory_capacity=ledger)
+    except SimulationDeadlock as exc:
+        raise OutOfCoreInfeasible(str(exc)) from exc
+
+    gpu = Resource.GPU.value
+    gpu_busy = sim.resource_busy.get(gpu, 0.0)
+    occupancy = sim.occupancy(gpu)
+    gaps = sim.idle_gaps(gpu)
+    total_stall = sum(hi - lo for lo, hi in gaps)
+
+    # attribute each idle gap to the GPU op that follows it
+    gpu_ops = sorted((t for t in sim.timings.values()
+                      if t.op.resource == gpu), key=lambda t: t.start)
+    bw_stalls: Dict[int, float] = {}
+    prev_finish: Optional[float] = None
+    for t in gpu_ops:
+        if prev_finish is not None and t.start > prev_finish + 1e-15:
+            if t.op.label.startswith("B"):
+                block = int(t.op.label[1:]) - 1
+                bw_stalls[block] = bw_stalls.get(block, 0.0) \
+                    + (t.start - prev_finish)
+        prev_finish = t.finish
+    return IterationResult(
+        plan=plan, sim=sim, makespan=sim.makespan, gpu_busy=gpu_busy,
+        gpu_occupancy=occupancy, total_stall=total_stall,
+        bw_block_stalls=bw_stalls,
+        samples_per_sec=plan.batch_size / sim.makespan
+        if sim.makespan > 0 else math.inf)

@@ -1,0 +1,83 @@
+"""ZeRO memory-partitioning model (Rajbhandari et al.) for the Turing-NLG
+comparison of Fig. 8.
+
+ZeRO partitions optimizer state (stage 1), gradients (stage 2), and
+parameters (stage 3) across the data-parallel group.  The memory model
+below decides how many GPUs a configuration *needs*; the performance model
+delegates to :func:`repro.sim.distributed_sim.hybrid_mp_dp_lm` with ZeRO's
+extra gather traffic, and KARMA+ZeRO to the DP-KARMA simulator with the
+reduce-scatter exchange.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hardware.spec import ClusterSpec, abci_cluster
+from ..models.transformer import TransformerConfig
+from .distributed_sim import DpKarmaResult, HybridResult, hybrid_mp_dp_lm, simulate_dp_karma_lm
+
+# FP32 training state per parameter: weights 4 + grads 4 + Adam moments 8
+WEIGHT_BYTES = 4
+GRAD_BYTES = 4
+OPTIMIZER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ZeroConfig:
+    """Which state classes are partitioned across the DP group."""
+
+    stage: int = 2  # 1 = optimizer, 2 = +grads, 3 = +params
+
+    def per_gpu_state_bytes(self, params: int, dp_ways: int) -> int:
+        w = params * WEIGHT_BYTES
+        g = params * GRAD_BYTES
+        o = params * OPTIMIZER_BYTES
+        if self.stage >= 1:
+            o = o // dp_ways
+        if self.stage >= 2:
+            g = g // dp_ways
+        if self.stage >= 3:
+            w = w // dp_ways
+        return w + g + o
+
+
+def zero_min_gpus(config: TransformerConfig, device_memory: float,
+                  zero: ZeroConfig = ZeroConfig(stage=2),
+                  activation_fraction: float = 0.3) -> int:
+    """Smallest DP group for which per-GPU state fits device memory.
+
+    ``activation_fraction`` reserves headroom for activations/workspace.
+    """
+    budget = device_memory * (1.0 - activation_fraction)
+    n = 1
+    while n <= 1 << 16:
+        if zero.per_gpu_state_bytes(config.analytic_params, n) <= budget:
+            return n
+        n *= 2
+    raise ValueError("model too large even for stage-3 partitioning")
+
+
+def zero_hybrid_lm(config: TransformerConfig, num_gpus: int, mp_ways: int,
+                   per_replica_batch: int,
+                   cluster: Optional[ClusterSpec] = None) -> HybridResult:
+    """ZeRO reference implementation: MP+DP hybrid with partitioned state
+    and the extra parameter-gather traffic."""
+    return hybrid_mp_dp_lm(config, num_gpus, mp_ways, per_replica_batch,
+                           cluster=cluster, phased_exchange=True,
+                           zero_partitioning=True)
+
+
+def karma_plus_zero_lm(config: TransformerConfig, num_gpus: int,
+                       per_gpu_batch: int,
+                       cluster: Optional[ClusterSpec] = None
+                       ) -> DpKarmaResult:
+    """KARMA on top of ZeRO (§IV-C): all GPUs data parallel, out-of-core
+    weight streaming, ZeRO-style reduce-scatter exchange + partitioned
+    CPU update.  The partitioned device state leaves enough room to keep
+    activation stashes near (swapped, not recomputed)."""
+    return simulate_dp_karma_lm(config, num_gpus, per_gpu_batch,
+                                cluster=cluster, zero_style_exchange=True,
+                                recompute_activations=False)

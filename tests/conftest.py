@@ -1,0 +1,46 @@
+"""Shared fixtures: small graphs, the default platform, canned plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costs.profiler import profile_graph
+from repro.hardware import TransferModel, abci_host, karma_swap_link, v100_sxm2_16gb
+
+from tests.helpers import build_small_cnn, build_small_unet
+
+
+@pytest.fixture(scope="session")
+def small_cnn():
+    return build_small_cnn()
+
+
+@pytest.fixture(scope="session")
+def small_cnn_nobn():
+    return build_small_cnn(with_bn=False, name="small_cnn_nobn")
+
+
+@pytest.fixture(scope="session")
+def small_unet():
+    return build_small_unet()
+
+
+@pytest.fixture(scope="session")
+def platform():
+    device = v100_sxm2_16gb()
+    host = abci_host()
+    transfer = TransferModel(link=karma_swap_link(), device=device,
+                             host=host)
+    return device, host, transfer
+
+
+@pytest.fixture(scope="session")
+def small_cnn_cost(small_cnn, platform):
+    device, _, transfer = platform
+    return profile_graph(small_cnn, device, transfer, batch_size=8)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,37 @@
+"""Shared model builders used across test modules."""
+
+from __future__ import annotations
+
+from repro.models.builder import GraphBuilder
+
+
+def build_small_cnn(with_bn: bool = True, name: str = "small_cnn"):
+    """Residual CNN small enough for float64 gradchecks."""
+    b = GraphBuilder(name)
+    b.input((3, 16, 16))
+    b.conv(8, 3)
+    if with_bn:
+        b.bn()
+    b.relu()
+    skip = b.cursor
+    b.conv(8, 3)
+    if with_bn:
+        b.bn()
+    b.add_residual(skip)
+    b.relu()
+    b.pool(2, 2)
+    b.conv(16, 3)
+    b.relu()
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(5)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def build_small_unet(name: str = "small_unet"):
+    """Two-level U-Net with long skips (tests SIII-F.4 handling)."""
+    from repro.models.unet import unet
+
+    return unet(image=32, in_channels=1, classes=2, base_width=4, depth=2)

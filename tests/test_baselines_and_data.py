@@ -1,0 +1,173 @@
+"""Baseline schedulers, the Table I matrix, datasets, the Fig. 5 harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SCHEDULERS,
+    InCoreInfeasible,
+    capability_matrix,
+    checkmate_plan,
+    checkpointing_plan,
+    incore_plan,
+    ooc_cudnn_plan,
+    superneurons_plan,
+    vdnn_plan,
+)
+from repro.core import BlockPolicy
+from repro.costs import profile_graph
+from repro.data import (
+    CIFAR10,
+    IMAGENET,
+    OPENWEBTEXT,
+    SyntheticImages,
+    SyntheticSegmentation,
+    SyntheticTokens,
+    dataset_for_model,
+)
+from repro.eval import karma_speedup_summary, render_table, run_method
+from repro.sim import simulate_plan
+
+
+@pytest.fixture(scope="module")
+def tight_cost(small_cnn, platform):
+    """Cost model + a capacity that forces out-of-core behaviour."""
+    # fixtures at module scope can't use session fixtures directly via
+    # params, so rebuild here
+    from repro.costs.profiler import profile_graph as pg
+    from repro.hardware import TransferModel, abci_host, karma_swap_link, \
+        v100_sxm2_16gb
+    from tests.helpers import build_small_cnn
+
+    graph = build_small_cnn(name="baseline_cnn")
+    device = v100_sxm2_16gb()
+    transfer = TransferModel(link=karma_swap_link(), device=device,
+                             host=abci_host())
+    cost = pg(graph, device, transfer, 8)
+    cap = cost.persistent_bytes() + int(0.9 * cost.total_activation_bytes) + 2 * cost.block_memory(0, len(graph)).peak_workspace
+    return graph, cost, cap
+
+
+class TestBaselinePlans:
+    @pytest.mark.parametrize("builder", [
+        vdnn_plan, ooc_cudnn_plan, superneurons_plan,
+        checkpointing_plan, checkmate_plan,
+    ], ids=lambda f: f.__name__)
+    def test_builds_valid_feasible_plan(self, tight_cost, builder):
+        graph, cost, cap = tight_cost
+        plan = builder(graph, cost, cap, 8)
+        plan.validate(graph)
+        res = simulate_plan(plan, cost, cap)
+        assert res.makespan > 0
+
+    def test_incore_raises_beyond_capacity(self, tight_cost):
+        graph, cost, cap = tight_cost
+        with pytest.raises(InCoreInfeasible):
+            incore_plan(graph, cost, cap, 4096)
+
+    def test_vdnn_swaps_everything(self, tight_cost):
+        graph, cost, cap = tight_cost
+        plan = vdnn_plan(graph, cost, cap, 8)
+        assert all(p is BlockPolicy.SWAPPED for p in plan.policies)
+
+    def test_checkpointing_is_recompute_only(self, tight_cost):
+        graph, cost, cap = tight_cost
+        plan = checkpointing_plan(graph, cost, cap, 8)
+        assert all(p is BlockPolicy.CHECKPOINTED for p in plan.policies)
+        assert not plan.swapped
+
+    def test_checkmate_respects_budget(self, tight_cost):
+        graph, cost, cap = tight_cost
+        plan = checkmate_plan(graph, cost, cap, 8)
+        assert not plan.swapped  # pure recompute method (Table I)
+
+    def test_karma_beats_naive_baselines_out_of_core(self, tight_cost):
+        """The Fig. 5 ordering on one OOC point: KARMA(+R) >= vDNN++."""
+        graph, cost, cap = tight_cost
+        karma = SCHEDULERS["karma+recompute"].build(graph, cost, cap, 8)
+        vdnn = vdnn_plan(graph, cost, cap, 8)
+        t_karma = simulate_plan(karma, cost, cap).makespan
+        t_vdnn = simulate_plan(vdnn, cost, cap).makespan
+        assert t_karma <= t_vdnn
+
+
+class TestCapabilityMatrix:
+    def test_table1_rows_present(self):
+        rows = capability_matrix()
+        names = {r["Name"] for r in rows}
+        for expected in ("KARMA", "vDNN++", "SuperNeurons", "Checkmate",
+                         "Gradient Checkpoint", "FlexFlow"):
+            assert expected in names
+
+    def test_karma_row_matches_paper(self):
+        rows = {r["Name"]: r for r in capability_matrix()}
+        karma = rows["KARMA"]
+        assert karma["Min.Req. Memory"] == "None"
+        assert karma["Universal"] == "yes"
+        assert karma["Multi-node"] == "yes"
+        assert karma["Strong Scaling (MN)"] == "yes"
+        assert karma["Fault Tolerance (MN)"] == "yes"
+
+    def test_prior_ooc_rows_single_gpu(self):
+        rows = {r["Name"]: r for r in capability_matrix()}
+        for name in ("vDNN++", "ooc_cuDNN", "SuperNeurons"):
+            assert rows[name]["Multi-node"] == "no"
+
+    def test_render_table_output(self):
+        text = render_table(capability_matrix(), title="Table I")
+        assert "Table I" in text and "KARMA" in text
+
+
+class TestEvalHarness:
+    def test_run_method_feasible_and_infeasible(self, small_cnn):
+        ok = run_method(small_cnn, "karma+recompute", 2)
+        assert ok.feasible and ok.samples_per_sec > 0
+        bad = run_method(small_cnn, "in-core", 1 << 18)
+        assert not bad.feasible and bad.infeasible_reason
+
+    def test_speedup_summary_shape(self, small_cnn):
+        pts = [run_method(small_cnn, m, 4096)
+               for m in ("in-core", "vdnn++", "superneurons", "checkmate",
+                         "karma", "karma+recompute")]
+        summary = karma_speedup_summary(pts)
+        assert "speedup[mean]" in summary
+
+
+class TestSyntheticData:
+    def test_images_deterministic(self):
+        d = SyntheticImages((3, 8, 8), 4, seed=5)
+        x1, y1 = d.batch(6, step=3)
+        x2, y2 = d.batch(6, step=3)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+        x3, _ = d.batch(6, step=4)
+        assert not np.array_equal(x1, x3)
+
+    def test_images_separable(self):
+        """A nearest-mean classifier must beat chance by a wide margin."""
+        d = SyntheticImages((3, 8, 8), 4, seed=5, noise=0.2)
+        x, y = d.batch(200, step=0)
+        means = d._means
+        pred = np.array([np.argmin([np.sum((s - m) ** 2) for m in means])
+                         for s in x])
+        assert (pred == y).mean() > 0.9
+
+    def test_token_stream_structure(self):
+        d = SyntheticTokens(vocab=31, seq_len=16, seed=2, noise=0.0)
+        x, y = d.batch(4, step=0)
+        assert x.shape == y.shape == (4, 16)
+        # noiseless stream follows the planted affine map exactly
+        assert np.array_equal((d._a * x + d._b) % 31, y)
+
+    def test_segmentation_shapes(self):
+        d = SyntheticSegmentation(image=64, seed=1)
+        x, y = d.batch(2)
+        assert x.shape == (2, 1, 64, 64)
+        assert y.shape == (2, 64, 64)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_dataset_mapping_table3(self):
+        assert dataset_for_model("resnet50") is IMAGENET
+        assert dataset_for_model("wrn28_10") is CIFAR10
+        assert dataset_for_model("megatron-8.3b") is OPENWEBTEXT
+        with pytest.raises(KeyError):
+            dataset_for_model("alexnet")

@@ -1,0 +1,187 @@
+"""Schedule IR, Algorithm-1 stage generation, occupancy equations."""
+
+import pytest
+
+from repro.core import (
+    BlockPolicy,
+    ExecutionPlan,
+    Op,
+    OpKind,
+    PlanValidationError,
+    Stage,
+    catch_up_step,
+    estimate_blocking,
+    generate_stages,
+    make_plan,
+    occupancy,
+    single_block_plan,
+)
+from repro.core.occupancy import (
+    available_buffers_trace,
+    buffer_occupancy,
+    refined_occupancy,
+    step_occupancy,
+    swapped_in_bytes,
+)
+
+R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
+              BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED)
+
+
+class TestOpsAndStages:
+    def test_op_labels_one_based(self):
+        assert Op(OpKind.SWAP_OUT, 2).label() == "Sout3"
+        assert Op(OpKind.FORWARD, 0).label() == "F1"
+        # recompute prints as forward, like the paper's plan strings
+        assert Op(OpKind.RECOMPUTE, 3).label() == "F4"
+
+    def test_stage_label_parallel_bars(self):
+        st = Stage((Op(OpKind.FORWARD, 1), Op(OpKind.SWAP_OUT, 0)))
+        assert st.label() == "F2||Sout1"
+
+
+class TestStageGeneration:
+    def test_paper_fig2c_pattern(self):
+        """Fig. 2(c): 6 blocks, swapped {1,3}, recomputed {2,4}, resident
+        tail {5,6} (1-based) — the plan string of §III-F.3."""
+        policies = [S, C, S, C, R, R]
+        # use RECOMPUTED (not CHECKPOINTED) as the paper's blocks 2/4
+        policies = [S, BlockPolicy.RECOMPUTED, S, BlockPolicy.RECOMPUTED,
+                    R, R]
+        plan = make_plan("fig2c", 1, [(i, i + 1) for i in range(6)],
+                         policies)
+        s = plan.plan_string()
+        # forward: F1..F6 with Sout1 attached to F2's stage, Sout3 to F4's
+        assert s.startswith("F1 -> F2||Sout1 -> F3 -> F4||Sout3 -> F5 -> F6")
+        # backward must recompute 4 and 2 (printed as F4/F2) before B4/B2
+        assert "F4" in s.split("B5", 1)[1]
+        assert "F2" in s.split("B3", 1)[1]
+        plan.validate()
+
+    def test_checkpoints_walk_past_recomputed(self):
+        policies = [S, BlockPolicy.RECOMPUTED, BlockPolicy.RECOMPUTED, R]
+        stages, cps = generate_stages(policies)
+        assert cps[1] == 0 and cps[2] == 0  # chain sources at block 0
+
+    def test_checkpointed_is_own_source(self):
+        policies = [K, K, K]
+        _, cps = generate_stages(policies)
+        assert cps == {0: -1, 1: 0, 2: 1}
+
+    def test_prefetch_none_attaches_at_use(self):
+        policies = [S, S, R]
+        stages, _ = generate_stages(policies, prefetch="none")
+        labels = [st.label() for st in stages]
+        # Sin2 must share a stage with B2, Sin1 with B1
+        assert any("Sin2" in l and "B2" in l for l in labels)
+        assert any("Sin1" in l and "B1" in l for l in labels)
+
+    def test_prefetch_eager_launches_early(self):
+        policies = [S, S, R, R]
+        stages, _ = generate_stages(policies, prefetch="eager")
+        labels = [st.label() for st in stages]
+        first_sin = next(i for i, l in enumerate(labels) if "Sin2" in l)
+        use = next(i for i, l in enumerate(labels) if l.startswith("B2"))
+        assert first_sin < use
+
+    def test_unknown_prefetch_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stages([R], prefetch="psychic")
+
+    def test_vdnn_tail_swap_flushes(self):
+        """All-swapped plans (vDNN) must Sout the last block and Sin it
+        back before its backward (the Fig. 2a turnaround)."""
+        policies = [S, S, S]
+        plan = make_plan("vdnn", 1, [(0, 1), (1, 2), (2, 3)], policies)
+        s = plan.plan_string()
+        assert "Sout3" in s and "Sin3" in s
+        plan.validate()
+
+
+class TestPlanValidation:
+    def _plan(self, policies, stages):
+        return ExecutionPlan(model_name="m", batch_size=1,
+                             blocks=tuple((i, i + 1)
+                                          for i in range(len(policies))),
+                             policies=tuple(policies), stages=tuple(stages))
+
+    def test_backward_before_swapin_rejected(self):
+        stages = [Stage((Op(OpKind.FORWARD, 0),)),
+                  Stage((Op(OpKind.FORWARD, 1),
+                         Op(OpKind.SWAP_OUT, 0))),
+                  Stage((Op(OpKind.BACKWARD, 1),)),
+                  Stage((Op(OpKind.BACKWARD, 0),)),  # missing Sin1
+                  ]
+        with pytest.raises(PlanValidationError):
+            self._plan([S, R], stages).validate()
+
+    def test_noncontiguous_blocks_rejected(self):
+        plan = ExecutionPlan(model_name="m", batch_size=1,
+                             blocks=((0, 1), (2, 3)),
+                             policies=(R, R), stages=())
+        with pytest.raises(PlanValidationError):
+            plan.validate()
+
+    def test_recompute_without_checkpoint_rejected(self):
+        stages = [Stage((Op(OpKind.FORWARD, 0),)),
+                  Stage((Op(OpKind.RECOMPUTE, 0),)),
+                  Stage((Op(OpKind.BACKWARD, 0),))]
+        plan = ExecutionPlan(model_name="m", batch_size=1,
+                             blocks=((0, 1),),
+                             policies=(BlockPolicy.RECOMPUTED,),
+                             stages=tuple(stages))
+        with pytest.raises(PlanValidationError):
+            plan.validate()
+
+    def test_single_block_plan_valid(self):
+        plan = single_block_plan("m", 4, 10)
+        plan.validate()
+        assert plan.plan_string() == "F1 -> B1"
+
+    def test_two_gpu_ops_one_stage_rejected(self):
+        stages = [Stage((Op(OpKind.FORWARD, 0), Op(OpKind.FORWARD, 1)))]
+        with pytest.raises(PlanValidationError):
+            self._plan([R, R], stages).validate()
+
+
+class TestOccupancyEquations:
+    def test_eq1_occupancy(self):
+        assert occupancy(3.0, 1.0) == pytest.approx(0.75)
+        assert occupancy(0.0, 0.0) == 1.0
+        with pytest.raises(ValueError):
+            occupancy(-1, 0)
+
+    def test_eq2_buffer_proxy_clamped(self):
+        assert buffer_occupancy(5, 10) == 0.5
+        assert buffer_occupancy(20, 10) == 1.0
+
+    def test_eq3_available_trace(self):
+        trace = available_buffers_trace(10, [4, 4, 4], [1, 1, 1])
+        assert trace == [10, 7, 4, 1]
+        # floor at zero
+        trace = available_buffers_trace(2, [4, 4], [0, 0])
+        assert trace[-1] == 0.0
+
+    def test_eq5_swap_in_limited_by_space(self):
+        assert swapped_in_bytes(100.0, 2.0, 50.0) == 50.0
+        assert swapped_in_bytes(10.0, 2.0, 50.0) == 20.0
+
+    def test_eq7_catch_up(self):
+        # fast swap: never catches up
+        assert catch_up_step([1.0, 1.0], [0.5, 0.5], 10.0) is None
+        # slow swap: catches up immediately
+        assert catch_up_step([0.1, 0.1], [10.0, 10.0], 1.0) == 0
+
+    def test_eq8_regimes(self):
+        assert refined_occupancy(10, [1], [1], 1.0, True) == 1.0
+        assert refined_occupancy(5, [10], [0], 1.0, False) == 0.5
+
+    def test_estimate_blocking_consistency(self, platform):
+        _, _, transfer = platform
+        est = estimate_blocking(
+            fw_times=[0.01] * 4, bw_times=[0.02] * 4,
+            stash_bytes=[10**9] * 4, swapped=[True, True, False, False],
+            recomputed=[False, False, True, False], transfer=transfer)
+        assert 0 < est.occupancy <= 1.0
+        assert est.estimated_makespan >= est.compute_time
+        assert est.estimated_stall >= 0

@@ -1,0 +1,142 @@
+"""Distributed timing models: allreduce costs, DP-KARMA pipeline, hybrids,
+ZeRO — the machinery behind Table IV, Fig. 8 and Table V."""
+
+import pytest
+
+from repro.hardware import abci_cluster, abci_host, infiniband_edr_x2
+from repro.models.transformer import MEGATRON_CONFIGS, TURING_NLG
+from repro.sim import (
+    AllreduceModel,
+    ZeroConfig,
+    dp_karma_cnn,
+    dp_scaling_cnn,
+    hybrid_mp_dp_lm,
+    karma_plus_zero_lm,
+    simulate_dp_karma_lm,
+    zero_hybrid_lm,
+    zero_min_gpus,
+)
+
+CFG = MEGATRON_CONFIGS["megatron-2.5b"]
+EPOCH = 7_200_000
+
+
+class TestAllreduceModel:
+    def _model(self, workers, straggler=0.0):
+        return AllreduceModel(link=infiniband_edr_x2(), host=abci_host(),
+                              workers=workers,
+                              straggler_per_worker=straggler)
+
+    def test_single_worker_free(self):
+        assert self._model(1).time(10**9) == 0.0
+
+    def test_volume_term_saturates(self):
+        """2(N-1)/N -> 2: doubling workers barely changes large-V time."""
+        t64 = self._model(64).time(10**9)
+        t128 = self._model(128).time(10**9)
+        assert t128 < 1.1 * t64
+
+    def test_straggle_grows_linearly(self):
+        a = self._model(256, straggler=1e-3)
+        b = self._model(512, straggler=1e-3)
+        assert b.straggle == pytest.approx(2 * a.straggle, rel=0.01)
+
+    def test_reduce_scatter_cheaper_than_allreduce(self):
+        m = self._model(16)
+        assert m.reduce_scatter_time(10**9) < m.time(10**9)
+
+    def test_monotone_in_bytes(self):
+        m = self._model(8)
+        assert m.time(2 * 10**9) > m.time(10**9)
+
+
+class TestDpKarmaLm:
+    def test_steady_state_iteration_positive(self):
+        r = simulate_dp_karma_lm(CFG, num_gpus=64, per_gpu_batch=32)
+        assert r.iteration_time > 0
+        assert r.global_samples_per_sec == pytest.approx(
+            64 * 32 / r.iteration_time, rel=1e-9)
+
+    def test_throughput_scales_with_gpus(self):
+        r1 = simulate_dp_karma_lm(CFG, num_gpus=64, per_gpu_batch=32)
+        r2 = simulate_dp_karma_lm(CFG, num_gpus=128, per_gpu_batch=32)
+        assert r2.global_samples_per_sec > 1.5 * r1.global_samples_per_sec
+
+    def test_recompute_off_is_faster(self):
+        on = simulate_dp_karma_lm(CFG, 64, 32, recompute_activations=True)
+        off = simulate_dp_karma_lm(CFG, 64, 32, recompute_activations=False)
+        assert off.iteration_time < on.iteration_time
+
+    def test_zero_exchange_not_slower(self):
+        plain = simulate_dp_karma_lm(CFG, 64, 32)
+        zk = simulate_dp_karma_lm(CFG, 64, 32, zero_style_exchange=True)
+        assert zk.iteration_time <= plain.iteration_time + 1e-9
+
+
+class TestHybrid:
+    def test_mp_comm_zero_for_single_way(self):
+        h = hybrid_mp_dp_lm(CFG, num_gpus=64, mp_ways=1,
+                            per_replica_batch=8)
+        assert h.mp_comm_time == 0.0
+
+    def test_phased_exchange_helps(self):
+        h = hybrid_mp_dp_lm(CFG, 256, 4, 8)
+        hp = hybrid_mp_dp_lm(CFG, 256, 4, 8, phased_exchange=True)
+        assert hp.iteration_time <= h.iteration_time
+
+    def test_indivisible_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_mp_dp_lm(CFG, 65, 4, 8)
+
+    def test_fig8_crossover_at_scale(self):
+        """The paper's headline: DP-KARMA loses at small GPU counts but
+        overtakes the hybrid at 2,048 GPUs (parity comparison)."""
+        cfg = MEGATRON_CONFIGS["megatron-8.3b"]
+        small_h = hybrid_mp_dp_lm(cfg, 256, 16, 8).epoch_time(EPOCH)
+        small_k = simulate_dp_karma_lm(cfg, 256, 128).epoch_time(EPOCH)
+        big_h = hybrid_mp_dp_lm(cfg, 2048, 16, 8).epoch_time(EPOCH)
+        big_k = simulate_dp_karma_lm(cfg, 2048, 128).epoch_time(EPOCH)
+        assert small_h < small_k, "hybrid should win at small scale"
+        assert big_k < big_h, "KARMA should win at 2,048 GPUs"
+
+
+class TestZero:
+    def test_memory_partitioning_stages(self):
+        params = 10 ** 9
+        z1 = ZeroConfig(1).per_gpu_state_bytes(params, 8)
+        z2 = ZeroConfig(2).per_gpu_state_bytes(params, 8)
+        z3 = ZeroConfig(3).per_gpu_state_bytes(params, 8)
+        assert z1 > z2 > z3
+
+    def test_min_gpus_monotone_in_model_size(self):
+        dev_mem = 16 * 1024**3
+        stage3 = ZeroConfig(3)
+        small = zero_min_gpus(CFG, dev_mem, zero=stage3)
+        big = zero_min_gpus(TURING_NLG, dev_mem, zero=stage3)
+        assert big >= small
+
+    def test_stage2_cannot_fit_unsharded_turing_weights(self):
+        with pytest.raises(ValueError):
+            zero_min_gpus(TURING_NLG, 16 * 1024**3, zero=ZeroConfig(2))
+
+    def test_turing_ordering_matches_paper(self):
+        """§IV-C: KARMA < ZeRO < ZeRO+KARMA (epoch time: lower is better),
+        with the combined system >= 1.1x over ZeRO."""
+        z = zero_hybrid_lm(TURING_NLG, 2048, 16, 8).epoch_time(EPOCH)
+        k = simulate_dp_karma_lm(TURING_NLG, 2048, 128).epoch_time(EPOCH)
+        zk = karma_plus_zero_lm(TURING_NLG, 2048, 128).epoch_time(EPOCH)
+        assert zk < z < k
+        assert z / zk >= 1.1
+
+
+class TestCostPerf:
+    def test_dp_cost_rises_with_gpus(self):
+        p1 = dp_scaling_cnn(0.5, 100 * 2**20, 128, 100)
+        p2 = dp_scaling_cnn(0.5, 100 * 2**20, 128, 600)
+        assert p2.cost_per_perf > p1.cost_per_perf
+
+    def test_karma_cnn_point_consistency(self):
+        p = dp_karma_cnn(1.0, 256, 100 * 2**20, 100)
+        assert p.num_gpus == 100
+        assert p.global_batch == 25600
+        assert p.samples_per_sec > 0

@@ -1,0 +1,171 @@
+"""Event engine semantics, plan pricing, vDNN turnaround, stall profiles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockPolicy, make_plan
+from repro.costs import profile_graph
+from repro.sim import (
+    OutOfCoreInfeasible,
+    SimOp,
+    SimulationDeadlock,
+    block_costs,
+    compile_plan,
+    simulate,
+    simulate_plan,
+)
+
+R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
+              BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED)
+
+
+class TestEngine:
+    def test_fifo_per_resource(self):
+        ops = [SimOp(0, "gpu", 1.0), SimOp(1, "gpu", 1.0)]
+        res = simulate(ops)
+        assert res.timing(1).start == pytest.approx(1.0)
+
+    def test_dependencies_across_resources(self):
+        ops = [SimOp(0, "gpu", 1.0),
+               SimOp(1, "h2d", 0.5, deps=(0,)),
+               SimOp(2, "gpu", 1.0, deps=(1,))]
+        res = simulate(ops)
+        assert res.timing(2).start == pytest.approx(1.5)
+        assert res.makespan == pytest.approx(2.5)
+
+    def test_parallel_resources_overlap(self):
+        ops = [SimOp(0, "gpu", 2.0), SimOp(1, "h2d", 2.0)]
+        res = simulate(ops)
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_memory_ledger_defers_acquire(self):
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=80),
+               SimOp(1, "d2h", 1.0, deps=(0,), mem_release=80),
+               SimOp(2, "h2d", 1.0, mem_acquire=50)]
+        res = simulate(ops, memory_capacity=100)
+        # op 2 cannot start until op 1 releases at t=2
+        assert res.timing(2).start == pytest.approx(2.0)
+
+    def test_memory_deadlock_detected(self):
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=80),
+               SimOp(1, "h2d", 1.0, mem_acquire=50)]  # never released
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops, memory_capacity=100)
+
+    def test_oversized_acquire_rejected(self):
+        with pytest.raises(SimulationDeadlock):
+            simulate([SimOp(0, "gpu", 1.0, mem_acquire=200)],
+                     memory_capacity=100)
+
+    def test_circular_dependency_detected(self):
+        ops = [SimOp(0, "gpu", 1.0, deps=(1,)),
+               SimOp(1, "h2d", 1.0, deps=(0,))]
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops)
+
+    def test_idle_gaps_and_occupancy(self):
+        ops = [SimOp(0, "gpu", 1.0),
+               SimOp(1, "h2d", 3.0),
+               SimOp(2, "gpu", 1.0, deps=(1,))]
+        res = simulate(ops)
+        gaps = res.idle_gaps("gpu")
+        assert gaps == [(1.0, 3.0)]
+        assert res.occupancy("gpu") == pytest.approx(0.5)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_serial_chain_makespan(self, durations):
+        """A dependent chain's makespan equals the sum of durations."""
+        ops = [SimOp(i, "gpu", d, deps=(i - 1,) if i else ())
+               for i, d in enumerate(durations)]
+        res = simulate(ops)
+        assert res.makespan == pytest.approx(sum(durations), rel=1e-9)
+
+    @given(st.lists(st.tuples(st.sampled_from(["gpu", "h2d", "d2h"]),
+                              st.floats(min_value=0.01, max_value=2.0)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=50, deadline=None)
+    def test_property_makespan_bounds(self, spec):
+        """Makespan is at least the busiest resource and at most the sum."""
+        ops = [SimOp(i, r, d) for i, (r, d) in enumerate(spec)]
+        res = simulate(ops)
+        busiest = max(res.resource_busy.values())
+        total = sum(d for _, d in spec)
+        assert busiest - 1e-9 <= res.makespan <= total + 1e-9
+
+
+class TestPlanPricing:
+    def _cost(self, graph, platform, batch=8):
+        device, _, transfer = platform
+        return profile_graph(graph, device, transfer, batch), \
+            device.usable_memory
+
+    def test_incore_plan_has_no_stalls(self, small_cnn, platform):
+        cost, cap = self._cost(small_cnn, platform)
+        plan = make_plan(small_cnn.name, 8, [(0, len(small_cnn))], [R])
+        res = simulate_plan(plan, cost, cap)
+        assert res.gpu_occupancy == pytest.approx(1.0)
+        assert res.total_stall == pytest.approx(0.0, abs=1e-12)
+        assert res.makespan == pytest.approx(
+            cost.total_fw_time + cost.total_bw_time, rel=1e-9)
+
+    def test_recompute_adds_exactly_forward_time(self, small_cnn, platform):
+        cost, cap = self._cost(small_cnn, platform)
+        n = len(small_cnn)
+        mid = n // 2
+        blocks = [(0, mid), (mid, n)]
+        base = simulate_plan(
+            make_plan(small_cnn.name, 8, blocks, [R, R]), cost, cap)
+        rec = simulate_plan(
+            make_plan(small_cnn.name, 8, blocks, [C, R]), cost, cap)
+        extra = cost.block_fw_time(0, mid)
+        assert rec.makespan == pytest.approx(base.makespan + extra, rel=1e-6)
+
+    def test_vdnn_turnaround_stall(self, small_cnn, platform):
+        """Fig. 2a: swapping the tail forces a stall at fw->bw turnaround."""
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 64)
+        cap = device.usable_memory
+        n = len(small_cnn)
+        blocks = [(0, n // 2), (n // 2, n)]
+        vdnn = simulate_plan(
+            make_plan(small_cnn.name, 64, blocks, [S, S]), cost, cap)
+        capacity_based = simulate_plan(
+            make_plan(small_cnn.name, 64, blocks, [S, R]), cost, cap)
+        assert vdnn.total_stall > capacity_based.total_stall
+        assert vdnn.makespan > capacity_based.makespan
+
+    def test_infeasible_when_persistent_exceeds_capacity(self, small_cnn,
+                                                         platform):
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 8)
+        plan = make_plan(small_cnn.name, 8, [(0, len(small_cnn))], [R])
+        with pytest.raises(OutOfCoreInfeasible):
+            simulate_plan(plan, cost, capacity=1000.0)
+
+    def test_bw_stall_attribution(self, small_cnn, platform):
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 256)
+        n = len(small_cnn)
+        blocks = [(i, i + 1) for i in range(n)]
+        plan = make_plan(small_cnn.name, 256, blocks, [S] * n,
+                         prefetch="none")
+        res = simulate_plan(plan, cost, device.usable_memory)
+        assert res.bw_block_stalls, "no-prefetch plan must stall in backward"
+        assert all(v >= 0 for v in res.bw_block_stalls.values())
+
+    def test_compile_rejects_distributed_ops(self, small_cnn, platform):
+        from repro.core import Op, OpKind, Stage
+        from repro.core.schedule import ExecutionPlan
+        cost, cap = self._cost(small_cnn, platform)
+        plan = ExecutionPlan(
+            model_name="m", batch_size=1, blocks=((0, len(small_cnn)),),
+            policies=(R,),
+            stages=(Stage((Op(OpKind.GRAD_EXCHANGE, 0),)),))
+        costs = block_costs(plan.blocks, cost)
+        with pytest.raises(ValueError):
+            compile_plan(plan, costs)

@@ -1,0 +1,175 @@
+"""Numeric out-of-core execution: the bit-exactness guarantees of §IV-D."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockPolicy, make_plan
+from repro.hardware import GiB, MiB, MemorySpace, OutOfMemoryError
+from repro.models import tiny_gpt
+from repro.nn import SGD, ExecutableModel
+from repro.runtime import OutOfCoreExecutor, OutOfCorePlanError, OutOfCoreTrainer
+
+from tests.helpers import build_small_cnn, build_small_unet
+
+R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
+              BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED)
+
+
+def reference_grads(graph, x, y, seed=7):
+    m = ExecutableModel(graph, dtype=np.float64, seed=seed)
+    m.set_step(0)
+    m.zero_grad()
+    m.forward(x, y)
+    m.backward()
+    return float(m._acts[graph[len(graph) - 1].name][0]), \
+        {(l, p): a.copy() for l, p, a in m.gradients()}
+
+
+def run_ooc(graph, blocks, policies, x, y, near=2 * GiB, seed=7):
+    plan = make_plan(graph.name, x.shape[0], blocks, policies)
+    m = ExecutableModel(graph, dtype=np.float64, seed=seed)
+    space = MemorySpace(near, 64 * GiB)
+    ex = OutOfCoreExecutor(m, plan, space)
+    m.zero_grad()
+    loss = ex.run_iteration(x, y, step=0)
+    return loss, {(l, p): a.copy() for l, p, a in m.gradients()}, space
+
+
+def blocks_of(graph, k):
+    n = len(graph)
+    bounds = sorted({round((i + 1) * n / k) for i in range(k)})
+    bounds[-1] = n
+    return list(zip([0] + bounds[:-1], bounds))
+
+
+POLICY_SETS = [
+    pytest.param([S, S, S, S], id="all-swapped"),
+    pytest.param([S, C, S, R], id="mixed-swap-recompute"),
+    pytest.param([K, K, K, K], id="all-checkpointed"),
+    pytest.param([S, C, C, R], id="recompute-chain"),
+    pytest.param([R, R, R, R], id="all-resident"),
+]
+
+
+class TestBitExactness:
+    @pytest.fixture(scope="class")
+    def cnn_case(self):
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        loss, grads = reference_grads(g, x, y)
+        return g, x, y, loss, grads
+
+    @pytest.mark.parametrize("policies", POLICY_SETS)
+    def test_cnn_grads_identical_under_any_policy(self, cnn_case, policies):
+        g, x, y, ref_loss, ref = cnn_case
+        loss, grads, _ = run_ooc(g, blocks_of(g, 4), policies, x, y)
+        assert loss == pytest.approx(ref_loss, rel=1e-12)
+        for key, a in grads.items():
+            assert np.array_equal(a, ref[key]), f"grad mismatch {key}"
+
+    def test_gpt_with_dropout_identical(self):
+        """Recompute must reproduce dropout masks (counter-based streams)."""
+        g = tiny_gpt(hidden=32, heads=2, layers=2, seq_len=8, vocab=17)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 17, (4, 8))
+        y = np.roll(x, -1, axis=1)
+        _, ref = reference_grads(g, x, y)
+        _, grads, _ = run_ooc(g, blocks_of(g, 4), [S, C, S, R], x, y)
+        for key, a in grads.items():
+            assert np.array_equal(a, ref[key]), f"grad mismatch {key}"
+
+    def test_unet_long_skips_identical(self):
+        g = build_small_unet()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 1, 32, 32))
+        y = rng.integers(0, 32, (2, 2, 32))
+        _, ref = reference_grads(g, x, y)
+        _, grads, _ = run_ooc(g, blocks_of(g, 4), [S, S, S, R], x, y)
+        for key, a in grads.items():
+            assert np.array_equal(a, ref[key]), f"grad mismatch {key}"
+
+
+class TestMemoryBehaviour:
+    def test_swaps_actually_happen(self):
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        _, _, space = run_ooc(g, blocks_of(g, 4), [S, S, S, R], x, y)
+        assert space.swap_out_count > 0
+        assert space.swap_out_bytes == space.swap_in_bytes
+
+    def test_capacity_enforced_oom(self):
+        """With a near pool too small for the plan, allocation must fail."""
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        with pytest.raises(OutOfMemoryError):
+            run_ooc(g, blocks_of(g, 4), [R, R, R, R], x, y, near=100_000)
+
+    def test_ooc_fits_where_incore_cannot(self):
+        """The core promise: a capacity that OOMs in-core trains with a
+        swapping plan."""
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        # find a capacity where all-resident OOMs
+        near = 3 * MiB
+        with pytest.raises(OutOfMemoryError):
+            run_ooc(g, blocks_of(g, 4), [R, R, R, R], x, y, near=near)
+        loss, _, space = run_ooc(g, blocks_of(g, 8),
+                                 [S, S, S, S, S, S, S, R], x, y, near=near)
+        assert np.isfinite(loss)
+        assert space.near.peak_in_use <= near
+
+    def test_no_stash_leak_after_iteration(self):
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 3, 16, 16))
+        y = rng.integers(0, 5, 4)
+        plan = make_plan(g.name, 4, blocks_of(g, 4), [S, C, S, R])
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        space = MemorySpace(2 * GiB, 64 * GiB)
+        ex = OutOfCoreExecutor(m, plan, space)
+        ex.run_iteration(x, y, step=0)
+        assert space.near.bytes_in_use == 0
+        assert space.far.bytes_in_use == 0
+
+
+class TestTrainerLoop:
+    def test_ooc_training_converges(self):
+        from repro.data import SyntheticImages
+
+        g = build_small_cnn()
+        plan = make_plan(g.name, 8, blocks_of(g, 4), [S, C, S, R])
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        trainer = OutOfCoreTrainer(m, plan, MemorySpace(2 * GiB, 64 * GiB),
+                                   SGD(lr=0.1, momentum=0.9))
+        data = SyntheticImages((3, 16, 16), 5, seed=0, dtype=np.float64)
+        losses = trainer.train(data, steps=20)
+        assert losses[-1] < losses[0]
+
+    def test_ooc_training_matches_incore_training(self):
+        from repro.data import SyntheticImages
+
+        g = build_small_cnn()
+        data = SyntheticImages((3, 16, 16), 5, seed=0, dtype=np.float64)
+        plan = make_plan(g.name, 4, blocks_of(g, 4), [S, C, S, R])
+        ooc_model = ExecutableModel(g, dtype=np.float64, seed=7)
+        trainer = OutOfCoreTrainer(ooc_model, plan,
+                                   MemorySpace(2 * GiB, 64 * GiB),
+                                   SGD(lr=0.05, momentum=0.9))
+        ref_model = ExecutableModel(g, dtype=np.float64, seed=7)
+        ref_opt = SGD(lr=0.05, momentum=0.9)
+        for s in range(5):
+            x, y = data.batch(4, s)
+            l_ooc = trainer.train_step(x, y)
+            l_ref = ref_model.train_step(x, y, ref_opt, step=s)
+            assert l_ooc == pytest.approx(l_ref, rel=1e-12)
+        ref = {(l, p): a for l, p, a in ref_model.parameters()}
+        for (l, p, a) in ooc_model.parameters():
+            assert np.array_equal(a, ref[(l, p)])

@@ -1,0 +1,219 @@
+"""Extension features: numeric LSTM, checkpoint/restart, elastic workers,
+reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockPolicy, make_plan
+from repro.distributed import DataParallelKarmaTrainer, HostSGD
+from repro.eval import render_series, render_table
+from repro.graph import LayerKind, LayerSpec, chain
+from repro.hardware import GiB
+from repro.nn import SGD, ExecutableModel
+from repro.nn import functional as F
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+
+from tests.helpers import build_small_cnn
+
+S, C, R = BlockPolicy.SWAPPED, BlockPolicy.RECOMPUTED, BlockPolicy.RESIDENT
+
+
+def lstm_graph(steps=6, d_in=4, hidden=8, classes=3):
+    specs = [
+        LayerSpec("input", LayerKind.INPUT, (steps, d_in), (steps, d_in)),
+        LayerSpec("lstm", LayerKind.LSTM, (steps, d_in), (steps, hidden),
+                  {"steps": steps, "input_dim": d_in, "hidden_dim": hidden}),
+        LayerSpec("fc", LayerKind.LINEAR, (steps, hidden), (steps, classes),
+                  {"in_features": hidden, "out_features": classes}),
+        LayerSpec("softmax", LayerKind.SOFTMAX, (steps, classes),
+                  (steps, classes)),
+        LayerSpec("loss", LayerKind.LOSS, (steps, classes), (1,)),
+    ]
+    return chain("lstm_model", specs)
+
+
+class TestLSTM:
+    def test_forward_shapes_and_state(self, rng):
+        x = rng.standard_normal((2, 5, 3))
+        w_ih = rng.standard_normal((3, 16)) * 0.4
+        w_hh = rng.standard_normal((4, 16)) * 0.4
+        b = np.zeros(16)
+        out, ctx = F.lstm_forward(x, w_ih, w_hh, b)
+        assert out.shape == (2, 5, 4)
+        # hidden states are bounded by tanh
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((2, 4, 3))
+        w_ih = rng.standard_normal((3, 12)) * 0.4
+        w_hh = rng.standard_normal((3, 12)) * 0.4
+        b = rng.standard_normal(12) * 0.1
+        out, ctx = F.lstm_forward(x, w_ih, w_hh, b)
+        w_out = rng.standard_normal(out.shape)
+        dx, dwi, dwh, db = F.lstm_backward(w_out.copy(), ctx, w_ih, w_hh)
+
+        def loss():
+            return float((F.lstm_forward(x, w_ih, w_hh, b)[0] * w_out).sum())
+
+        eps = 1e-6
+        for arr, grad in ((x, dx), (w_ih, dwi), (w_hh, dwh), (b, db)):
+            flat, gflat = arr.reshape(-1), grad.reshape(-1)
+            for i in rng.integers(0, flat.size, 5):
+                old = flat[i]
+                flat[i] = old + eps
+                lp = loss()
+                flat[i] = old - eps
+                lm = loss()
+                flat[i] = old
+                num = (lp - lm) / (2 * eps)
+                rel = abs(num - gflat[i]) / max(1e-8,
+                                                abs(num) + abs(gflat[i]))
+                assert rel < 1e-5 or abs(num - gflat[i]) < 1e-8
+
+    def test_lstm_model_trains(self, rng):
+        g = lstm_graph()
+        m = ExecutableModel(g, dtype=np.float64, seed=4)
+        x = rng.standard_normal((6, 6, 4))
+        y = rng.integers(0, 3, (6, 6))
+        opt = SGD(lr=0.5)
+        losses = [m.train_step(x, y, opt, step=s) for s in range(25)]
+        assert losses[-1] < losses[0]
+
+    def test_lstm_under_ooc_executor(self, rng):
+        """The sequence model runs bit-exactly out of core too."""
+        from repro.hardware import MemorySpace
+        from repro.runtime import OutOfCoreExecutor
+
+        g = lstm_graph()
+        x = rng.standard_normal((4, 6, 4))
+        y = rng.integers(0, 3, (4, 6))
+        ref = ExecutableModel(g, dtype=np.float64, seed=4)
+        ref.set_step(0)
+        ref.zero_grad()
+        ref.forward(x, y)
+        ref.backward()
+        ref_grads = {(l, p): a.copy() for l, p, a in ref.gradients()}
+
+        plan = make_plan(g.name, 4, [(0, 2), (2, 5)], [S, R])
+        m = ExecutableModel(g, dtype=np.float64, seed=4)
+        ex = OutOfCoreExecutor(m, plan, MemorySpace(1 * GiB, 8 * GiB))
+        m.zero_grad()
+        ex.run_iteration(x, y, step=0)
+        for l, p, a in m.gradients():
+            assert np.array_equal(a, ref_grads[(l, p)])
+
+
+class TestCheckpointRestart:
+    def test_roundtrip(self, tmp_path, rng):
+        g = build_small_cnn(name="ckpt_cnn")
+        m = ExecutableModel(g, dtype=np.float64, seed=1)
+        x = rng.standard_normal((4, 3, 16, 16))
+        y = rng.integers(0, 5, 4)
+        opt = SGD(lr=0.1)
+        for s in range(3):
+            m.train_step(x, y, opt, step=s)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(m, path, step=3)
+
+        fresh = ExecutableModel(g, dtype=np.float64, seed=99)
+        step = load_checkpoint(fresh, path)
+        assert step == 3
+        ref = {(l, p): a for l, p, a in m.parameters()}
+        for l, p, a in fresh.parameters():
+            assert np.array_equal(a, ref[(l, p)])
+        # BN running statistics restored too
+        for spec in g:
+            mod_a = m.modules[spec.name]
+            mod_b = fresh.modules[spec.name]
+            for bname, arr in mod_a.buffers.items():
+                assert np.array_equal(arr, mod_b.buffers[bname])
+
+    def test_restart_continues_identically(self, tmp_path, rng):
+        g = build_small_cnn(with_bn=False, name="ckpt_nobn")
+        x = rng.standard_normal((4, 3, 16, 16))
+        y = rng.integers(0, 5, 4)
+        a = ExecutableModel(g, dtype=np.float64, seed=1)
+        opt_a = SGD(lr=0.1)
+        for s in range(2):
+            a.train_step(x, y, opt_a, step=s)
+        path = str(tmp_path / "mid.npz")
+        save_checkpoint(a, path, step=2)
+        la = a.train_step(x, y, opt_a, step=2)
+
+        b = ExecutableModel(g, dtype=np.float64, seed=55)
+        step = load_checkpoint(b, path)
+        opt_b = SGD(lr=0.1)  # stateless SGD: restart is exact
+        lb = b.train_step(x, y, opt_b, step=step)
+        assert la == pytest.approx(lb, rel=1e-12)
+
+    def test_shape_mismatch_rejected(self, tmp_path, rng):
+        g1 = build_small_cnn(name="ck_a")
+        g2 = lstm_graph()
+        m1 = ExecutableModel(g1, dtype=np.float64, seed=1)
+        m2 = ExecutableModel(g2, dtype=np.float64, seed=1)
+        path = str(tmp_path / "a.npz")
+        save_checkpoint(m1, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(m2, path)
+
+
+class TestElasticWorkerPool:
+    def _trainer(self, world):
+        g = build_small_cnn(with_bn=False, name=f"elastic_{world}")
+        blocks = [(0, len(g) // 2), (len(g) // 2, len(g))]
+        plan = make_plan(g.name, 2, blocks, [S, R])
+        return g, DataParallelKarmaTrainer(
+            g, plan, world_size=world, near_capacity=2 * GiB,
+            far_capacity=16 * GiB, optimizer=HostSGD(lr=0.1),
+            dtype=np.float64, seed=5)
+
+    def test_shrink_preserves_training(self, rng):
+        """§II-B fault tolerance: losing workers mid-training keeps the
+        surviving replicas consistent and training exact."""
+        g, dp = self._trainer(4)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        dp.train_step(x, y)
+        dp.shrink_world(2)  # two nodes "fail"
+        loss = dp.train_step(x, y)
+        assert np.isfinite(loss)
+        assert dp.world_size == 2
+        assert dp.parameters_equal_across_workers()
+
+    def test_shrunk_pool_matches_native_pool(self, rng):
+        """After shrinking 4 -> 2, training equals a 2-worker run that saw
+        the same global batches (replicas are stateless beyond params)."""
+        x = np.random.default_rng(0).standard_normal((8, 3, 16, 16))
+        y = np.random.default_rng(1).integers(0, 5, 8)
+        _, big = self._trainer(4)
+        big.train_step(x, y)
+        big.shrink_world(2)
+        big.train_step(x, y)
+
+        _, ref = self._trainer(2)
+        ref.train_step(x, y)
+        ref.train_step(x, y)
+        pa = {(l, p): a for l, p, a in big.models[0].parameters()}
+        for l, p, a in ref.models[0].parameters():
+            assert np.allclose(a, pa[(l, p)], rtol=0, atol=1e-12)
+
+    def test_invalid_shrink_rejected(self):
+        _, dp = self._trainer(2)
+        with pytest.raises(ValueError):
+            dp.shrink_world(0)
+        with pytest.raises(ValueError):
+            dp.shrink_world(3)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines if l}) <= 2  # header + rows align
+
+    def test_render_series_missing_values(self):
+        text = render_series("s", [1, 2], {"m": [1.0, None]})
+        assert "-" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in render_table([])

@@ -1,0 +1,196 @@
+"""Hardware substrate: specs, memory pools (incl. property tests), links."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    GiB,
+    MiB,
+    Location,
+    MemoryPool,
+    MemorySpace,
+    OutOfMemoryError,
+    TransferModel,
+    abci_cluster,
+    abci_host,
+    abci_node,
+    karma_swap_link,
+    nvlink2,
+    pcie_gen3_x16,
+    v100_sxm2_16gb,
+)
+
+
+class TestSpecs:
+    def test_v100_capacity(self):
+        dev = v100_sxm2_16gb()
+        assert dev.memory == 16 * GiB
+        assert 0 < dev.usable_memory < dev.memory
+
+    def test_v100_effective_flops_below_peak(self):
+        dev = v100_sxm2_16gb()
+        assert dev.effective_flops < dev.flops
+
+    def test_compute_time_roofline(self):
+        dev = v100_sxm2_16gb()
+        # bandwidth-bound op: tiny flops, bytes dominate (900 GB/s HBM)
+        t_bw = dev.compute_time(flop_count=1.0, bytes_touched=9_000_000_000)
+        assert t_bw == pytest.approx(9e9 / dev.mem_bandwidth, rel=0.01)
+        # compute-bound op
+        t_c = dev.compute_time(flop_count=dev.effective_flops, bytes_touched=8)
+        assert t_c == pytest.approx(1.0, rel=0.01)
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(ValueError):
+            v100_sxm2_16gb(reserved=0).__class__(
+                name="bad", memory=-1, flops=1, mem_bandwidth=1)
+
+    def test_link_transfer_time(self):
+        link = pcie_gen3_x16()
+        assert link.transfer_time(16e9) == pytest.approx(1.0, rel=0.01)
+        assert link.transfer_time(0) == 0.0
+
+    def test_cluster_scaling(self):
+        c = abci_cluster(4)
+        assert c.total_devices == 16
+        assert c.with_devices(32).num_nodes == 8
+        with pytest.raises(ValueError):
+            c.with_devices(33)
+
+    def test_node_links_bidirectional(self):
+        node = abci_node()
+        assert node.h2d.duplex and node.d2h.duplex
+
+    def test_swap_link_is_calibrated(self):
+        assert karma_swap_link().bandwidth > pcie_gen3_x16().bandwidth
+
+
+class TestTransferModel:
+    def test_effective_bandwidth_is_min(self):
+        dev, host = v100_sxm2_16gb(), abci_host()
+        tm = TransferModel(link=pcie_gen3_x16(), device=dev, host=host)
+        assert tm.effective_bandwidth == pcie_gen3_x16().bandwidth
+
+    def test_pageable_derate(self):
+        dev, host = v100_sxm2_16gb(), abci_host()
+        pinned = TransferModel(link=pcie_gen3_x16(), device=dev, host=host)
+        pageable = TransferModel(link=pcie_gen3_x16(), device=dev, host=host,
+                                 pinned=False)
+        assert pageable.swap_time(1 * GiB) > pinned.swap_time(1 * GiB)
+
+    def test_duplex_concurrency(self):
+        dev, host = v100_sxm2_16gb(), abci_host()
+        tm = TransferModel(link=pcie_gen3_x16(), device=dev, host=host)
+        both = tm.concurrent_swap_time(1 * GiB, 1 * GiB)
+        one = tm.swap_time(1 * GiB)
+        assert both == pytest.approx(one, rel=1e-9)
+
+    def test_swap_time_monotone(self):
+        dev, host = v100_sxm2_16gb(), abci_host()
+        tm = TransferModel(link=nvlink2(), device=dev, host=host)
+        assert tm.swap_time(2 * GiB) > tm.swap_time(1 * GiB) > 0
+
+
+class TestMemoryPool:
+    def test_allocate_free_roundtrip(self):
+        pool = MemoryPool("p", 1 * MiB)
+        a = pool.allocate(1000)
+        assert pool.bytes_in_use == a.nbytes >= 1000
+        pool.free(a)
+        assert pool.bytes_in_use == 0
+        assert pool.bytes_cached == a.nbytes  # caching allocator retains
+
+    def test_cache_reuse(self):
+        pool = MemoryPool("p", 1 * MiB)
+        a = pool.allocate(4096)
+        pool.free(a)
+        b = pool.allocate(4096)
+        assert pool.cache_hits == 1
+        assert pool.bytes_cached == 0
+        pool.free(b)
+
+    def test_oom_raises_with_context(self):
+        pool = MemoryPool("p", 10_000)
+        pool.allocate(8000)
+        with pytest.raises(OutOfMemoryError) as exc:
+            pool.allocate(8000)
+        assert "out of memory" in str(exc.value)
+        assert pool.oom_count == 1
+
+    def test_oom_retries_after_cache_flush(self):
+        pool = MemoryPool("p", 10_000)
+        a = pool.allocate(4096)
+        pool.free(a)  # cached
+        b = pool.allocate(8192)  # only fits if cache flushed
+        assert b.nbytes == 8192
+        assert pool.bytes_cached == 0
+
+    def test_double_free_rejected(self):
+        pool = MemoryPool("p", 1 * MiB)
+        a = pool.allocate(100)
+        pool.free(a)
+        with pytest.raises(ValueError):
+            pool.free(a)
+
+    def test_peak_tracking(self):
+        pool = MemoryPool("p", 1 * MiB)
+        a = pool.allocate(1000)
+        b = pool.allocate(2000)
+        pool.free(a)
+        pool.free(b)
+        assert pool.peak_in_use >= 3000
+        assert pool.memory_stats()["allocated_bytes.peak"] == pool.peak_in_use
+
+    def test_non_caching_pool_releases(self):
+        pool = MemoryPool("p", 1 * MiB, caching=False)
+        a = pool.allocate(1000)
+        pool.free(a)
+        assert pool.bytes_cached == 0
+        assert pool.bytes_reserved == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=50_000),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_property_accounting_never_exceeds_capacity(self, sizes):
+        pool = MemoryPool("p", 256_000)
+        live = []
+        for s in sizes:
+            try:
+                live.append(pool.allocate(s))
+            except OutOfMemoryError:
+                if live:
+                    pool.free(live.pop(0))
+            assert pool.bytes_reserved <= pool.capacity
+            assert pool.bytes_in_use == sum(a.nbytes for a in live)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_free_restores_all(self, sizes):
+        pool = MemoryPool("p", 10**9)
+        allocs = [pool.allocate(s) for s in sizes]
+        for a in allocs:
+            pool.free(a)
+        assert pool.bytes_in_use == 0
+        assert pool.bytes_cached == sum(a.nbytes for a in allocs)
+        pool.empty_cache()
+        assert pool.bytes_reserved == 0
+
+
+class TestMemorySpace:
+    def test_swap_accounting(self):
+        space = MemorySpace(1 * MiB, 8 * MiB)
+        space.record_swap(1000, Location.FAR)
+        space.record_swap(1000, Location.NEAR)
+        stats = space.stats()
+        assert stats["swap.out_bytes"] == 1000
+        assert stats["swap.in_bytes"] == 1000
+        assert stats["swap.out_count"] == stats["swap.in_count"] == 1
+
+    def test_pool_lookup(self):
+        space = MemorySpace(1 * MiB, 8 * MiB)
+        assert space.pool(Location.NEAR) is space.near
+        assert space.pool(Location.FAR) is space.far
+        with pytest.raises(ValueError):
+            space.pool(Location.FREED)

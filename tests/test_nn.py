@@ -1,0 +1,227 @@
+"""Numeric framework: per-kernel gradient checks, training, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graph import LayerKind
+from repro.models import tiny_gpt
+from repro.models.builder import GraphBuilder
+from repro.nn import SGD, Adam, ExecutableModel
+from repro.nn import functional as F
+
+from tests.helpers import build_small_cnn, build_small_unet
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check(analytic, numeric, tol=1e-5):
+    diff = np.abs(analytic - numeric)
+    scale = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+    assert np.all((diff / scale < tol) | (diff < 1e-7)), \
+        f"max rel err {np.max(diff / scale)}"
+
+
+class TestKernelGradients:
+    """Finite-difference checks of each forward/backward pair (float64)."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def _loss_through(self, out):
+        return float((out * self.w_out).sum())
+
+    def _run(self, fwd, bwd, x, *params):
+        """Generic check: d(sum(out * w))/dx and /dparams."""
+        out, ctx = fwd()
+        self.w_out = self.rng.standard_normal(out.shape)
+        grads = bwd(self.w_out.copy(), ctx)
+        num_dx = numeric_grad(lambda: self._loss_through(fwd()[0]), x)
+        check(grads[0], num_dx)
+        for p, g in zip(params, grads[1:]):
+            num = numeric_grad(lambda: self._loss_through(fwd()[0]), p)
+            check(g, num)
+
+    def test_conv2d(self):
+        x = self.rng.standard_normal((2, 3, 6, 6))
+        w = self.rng.standard_normal((4, 3, 3, 3)) * 0.3
+        b = self.rng.standard_normal(4) * 0.1
+        self._run(lambda: F.conv2d_forward(x, w, b, 2, 1),
+                  lambda d, c: F.conv2d_backward(d, c, w), x, w, b)
+
+    def test_convtranspose2d(self):
+        x = self.rng.standard_normal((2, 3, 4, 4))
+        w = self.rng.standard_normal((3, 2, 2, 2)) * 0.3
+        self._run(lambda: F.convtranspose2d_forward(x, w, 2),
+                  lambda d, c: F.convtranspose2d_backward(d, c, w), x, w)
+
+    def test_maxpool(self):
+        x = self.rng.standard_normal((2, 3, 6, 6))
+        self._run(lambda: F.maxpool_forward(x, 2, 2, 0),
+                  lambda d, c: (F.maxpool_backward(d, c),), x)
+
+    def test_avgpool(self):
+        x = self.rng.standard_normal((2, 3, 6, 6))
+        self._run(lambda: F.avgpool_forward(x, 3, 3, 0),
+                  lambda d, c: (F.avgpool_backward(d, c),), x)
+
+    def test_batchnorm(self):
+        x = self.rng.standard_normal((4, 3, 4, 4))
+        gamma = self.rng.standard_normal(3)
+        beta = self.rng.standard_normal(3)
+        rm, rv = np.zeros(3), np.ones(3)
+        self._run(lambda: F.batchnorm_forward(x, gamma, beta, rm.copy(),
+                                              rv.copy(), 0.1, 1e-5, True),
+                  lambda d, c: F.batchnorm_backward(d, c, gamma),
+                  x, gamma, beta)
+
+    def test_layernorm(self):
+        x = self.rng.standard_normal((3, 5, 8))
+        gamma = self.rng.standard_normal(8)
+        beta = self.rng.standard_normal(8)
+        self._run(lambda: F.layernorm_forward(x, gamma, beta, 1e-5),
+                  lambda d, c: F.layernorm_backward(d, c, gamma),
+                  x, gamma, beta)
+
+    def test_gelu(self):
+        x = self.rng.standard_normal((4, 7))
+        self._run(lambda: F.gelu_forward(x),
+                  lambda d, c: (F.gelu_backward(d, c),), x)
+
+    def test_softmax(self):
+        x = self.rng.standard_normal((4, 7))
+        self._run(lambda: F.softmax_forward(x),
+                  lambda d, c: (F.softmax_backward(d, c),), x)
+
+    def test_linear(self):
+        x = self.rng.standard_normal((5, 6))
+        w = self.rng.standard_normal((6, 4)) * 0.3
+        b = self.rng.standard_normal(4) * 0.1
+        self._run(lambda: F.linear_forward(x, w, b),
+                  lambda d, c: F.linear_backward(d, c, w), x, w, b)
+
+    def test_attention(self):
+        d = 8
+        x = self.rng.standard_normal((2, 5, d)) * 0.5
+        ws = [self.rng.standard_normal((d, d)) * 0.3 for _ in range(4)]
+        bs = [self.rng.standard_normal(d) * 0.05 for _ in range(4)]
+
+        def fwd():
+            return F.attention_forward(x, *ws, *bs, heads=2, causal=True)
+
+        def bwd(dout, ctx):
+            return F.attention_backward(dout, ctx, *ws)
+
+        self._run(fwd, bwd, x, *ws)
+
+    def test_embedding_backward_scatter(self):
+        tokens = np.array([[0, 2, 1], [2, 2, 0]])
+        w = self.rng.standard_normal((3, 4))
+        out, ctx = F.embedding_forward(tokens, w)
+        dout = np.ones_like(out)
+        dw = F.embedding_backward(dout, ctx)
+        # token 2 appears three times
+        assert np.allclose(dw[2], 3.0)
+
+    def test_cross_entropy_logits_matches_probs_path(self):
+        logits = self.rng.standard_normal((6, 5))
+        targets = self.rng.integers(0, 5, 6)
+        l1, dl = F.cross_entropy_from_logits(logits, targets)
+        probs, pctx = F.softmax_forward(logits)
+        l2, dp = F.cross_entropy_from_probs(probs, targets)
+        assert l1 == pytest.approx(l2, rel=1e-9)
+        dlogits = F.softmax_backward(dp, pctx)
+        check(dl, dlogits, tol=1e-6)
+
+
+class TestDropoutDeterminism:
+    def test_same_seed_step_same_mask(self):
+        x = np.ones((4, 4))
+        o1, _ = F.dropout_forward(x, 0.5, seed=3, step=9, training=True)
+        o2, _ = F.dropout_forward(x, 0.5, seed=3, step=9, training=True)
+        assert np.array_equal(o1, o2)
+
+    def test_different_step_different_mask(self):
+        x = np.ones((64, 64))
+        o1, _ = F.dropout_forward(x, 0.5, seed=3, step=1, training=True)
+        o2, _ = F.dropout_forward(x, 0.5, seed=3, step=2, training=True)
+        assert not np.array_equal(o1, o2)
+
+    def test_eval_mode_identity(self):
+        x = np.ones((4, 4))
+        o, _ = F.dropout_forward(x, 0.5, seed=3, step=0, training=False)
+        assert np.array_equal(o, x)
+
+
+class TestTraining:
+    def test_cnn_converges(self, rng):
+        g = build_small_cnn()
+        m = ExecutableModel(g, dtype=np.float64, seed=1)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        opt = SGD(lr=0.1, momentum=0.9)
+        losses = [m.train_step(x, y, opt, step=s) for s in range(25)]
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_gpt_converges(self, rng):
+        g = tiny_gpt(hidden=32, heads=2, layers=2, seq_len=8, vocab=17)
+        m = ExecutableModel(g, dtype=np.float64, seed=2)
+        tok = rng.integers(0, 17, (4, 8))
+        tgt = np.roll(tok, -1, axis=1)
+        opt = Adam(lr=5e-3)
+        losses = [m.train_step(tok, tgt, opt, step=s) for s in range(30)]
+        assert losses[-1] < losses[0]
+
+    def test_unet_forward_backward_mechanics(self, rng):
+        """U-Net fw/bw runs through concat/upsample joins (mechanics only:
+        the spec softmax normalizes the last axis, so targets index it)."""
+        g = build_small_unet()
+        m = ExecutableModel(g, dtype=np.float64, seed=3)
+        x = rng.standard_normal((2, 1, 32, 32))
+        targets = rng.integers(0, 32, (2, 2, 32))
+        m.set_targets(targets)
+        m.zero_grad()
+        loss = m.forward(x, None)
+        assert np.isfinite(loss)
+        m.backward()
+        grads = [a for _, _, a in m.gradients()]
+        assert any(np.abs(a).max() > 0 for a in grads)
+
+    def test_adam_state_bytes(self):
+        g = build_small_cnn()
+        m = ExecutableModel(g, seed=0)
+        opt = Adam(lr=1e-3)
+        x = np.random.default_rng(0).standard_normal((2, 3, 16, 16)) \
+            .astype(np.float32)
+        y = np.array([0, 1])
+        m.train_step(x, y, opt, step=0)
+        total = sum(a.nbytes for _, _, a in m.parameters())
+        assert opt.state_bytes() == 2 * total
+
+    def test_gradients_accumulate_until_zero_grad(self, rng):
+        g = build_small_cnn()
+        m = ExecutableModel(g, dtype=np.float64, seed=1)
+        x = rng.standard_normal((2, 3, 16, 16))
+        y = rng.integers(0, 5, 2)
+        m.set_step(0)
+        m.zero_grad()
+        m.forward(x, y)
+        m.backward()
+        g1 = {(l, p): a.copy() for l, p, a in m.gradients()}
+        m.forward(x, y)
+        m.backward()
+        for (l, p, a) in m.gradients():
+            assert np.allclose(a, 2 * g1[(l, p)], rtol=1e-9, atol=1e-12)
