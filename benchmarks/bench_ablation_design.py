@@ -29,12 +29,17 @@ def r200():
     return resnet200()
 
 
-def test_ablation_blocking_solver(benchmark, r200):
+def test_ablation_blocking_solver(benchmark, r200, bench_writer):
     device, _, transfer = default_platform()
     cost = profile_graph(r200, device, transfer, 16)
     cap = device.usable_memory
     uni = solve_blocking(r200, cost, cap, r200.name, 16, method="uniform")
     auto = solve_blocking(r200, cost, cap, r200.name, 16, method="auto")
+    bench_writer.emit("ablation_design", {
+        "blocking.uniform_makespan_s": uni.objective,
+        "blocking.auto_makespan_s": auto.objective,
+        "blocking.auto_blocks": len(auto.blocks),
+    })
     print()
     print(render_table([
         {"solver": "uniform blocks", "makespan (ms)":
@@ -46,25 +51,29 @@ def test_ablation_blocking_solver(benchmark, r200):
     assert auto.objective <= uni.objective * 1.001
 
 
-def test_ablation_recompute_interleave(benchmark, r200):
+def test_ablation_recompute_interleave(benchmark, r200, bench_writer):
     rows = []
+    gains = {}
     for bs in (12, 20):
         with_r = plan(r200, batch_size=bs, recompute=True)
         without = plan(r200, batch_size=bs, recompute=False)
         t1 = simulate_plan(with_r.plan, with_r.cost, with_r.capacity)
         t0 = simulate_plan(without.plan, without.cost, without.capacity)
+        gains[bs] = 1 - t1.makespan / t0.makespan
         rows.append({"batch": bs,
                      "KARMA (ms)": f"{t0.makespan * 1e3:.1f}",
                      "KARMA+recompute (ms)": f"{t1.makespan * 1e3:.1f}",
-                     "gain": f"{(1 - t1.makespan / t0.makespan) * 100:.1f}%"})
+                     "gain": f"{gains[bs] * 100:.1f}%"})
         assert t1.makespan <= t0.makespan + 1e-12
     print()
     print(render_table(rows, title="Ablation — Opt-2 recompute interleave"))
+    bench_writer.emit("ablation_design", {
+        f"recompute.batch{bs}.gain": g for bs, g in gains.items()})
     benchmark(lambda: simulate_plan(with_r.plan, with_r.cost,
                                     with_r.capacity))
 
 
-def test_ablation_prefetch_discipline(benchmark, r200):
+def test_ablation_prefetch_discipline(benchmark, r200, bench_writer):
     """The Fig. 2 ladder: eager beats one-ahead beats no prefetch."""
     device, _, transfer = default_platform()
     cost = profile_graph(r200, device, transfer, 16)
@@ -82,12 +91,14 @@ def test_ablation_prefetch_discipline(benchmark, r200):
                      "occupancy": f"{res.gpu_occupancy * 100:.1f}%"})
     print()
     print(render_table(rows, title="Ablation — swap-in prefetch discipline"))
+    bench_writer.emit("ablation_design", {
+        f"prefetch.{m}.makespan_s": t for m, t in times.items()})
     benchmark(lambda: simulate_plan(p, cost, cap))
     assert times["eager"] <= times["one_ahead"] + 1e-12
     assert times["one_ahead"] <= times["none"] + 1e-12
 
 
-def test_ablation_swap_link_bandwidth(benchmark, r200):
+def test_ablation_swap_link_bandwidth(benchmark, r200, bench_writer):
     """The substitution study: the same KARMA plan priced under PCIe,
     NVLink, and the calibrated swap path."""
     device, host = v100_sxm2_16gb(), abci_host()
@@ -103,5 +114,8 @@ def test_ablation_swap_link_bandwidth(benchmark, r200):
     print()
     print(render_table(rows, title="Ablation — swap-path bandwidth "
                                    "(ResNet-200 @ 16)"))
+    bench_writer.emit("ablation_design", {
+        f"link.{r['link']}.samples_per_s": float(r["samples/s"])
+        for r in rows})
     benchmark(lambda: simulate_plan(kp.plan, kp.cost, kp.capacity))
     assert float(rows[0]["samples/s"]) <= float(rows[-1]["samples/s"])

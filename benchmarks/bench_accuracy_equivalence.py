@@ -37,7 +37,7 @@ def _perplexity(model, data, steps=8, batch=8):
     return float(np.exp(np.mean(losses)))
 
 
-def test_ppl_parity_dp_karma_vs_incore(benchmark, grids):
+def test_ppl_parity_dp_karma_vs_incore(benchmark, grids, bench_writer):
     steps = 60 if grids else 30
     graph = tiny_gpt(hidden=48, heads=4, layers=2, seq_len=12, vocab=32)
     data = SyntheticTokens(vocab=32, seq_len=12, seed=5, noise=0.02)
@@ -64,6 +64,9 @@ def test_ppl_parity_dp_karma_vs_incore(benchmark, grids):
     print(f"  initial perplexity          : {ppl_init:8.2f}")
     print(f"  in-core reference perplexity: {ppl_ref:8.2f}")
     print(f"  DP-KARMA (2 workers) ppl    : {ppl_dp:8.2f}")
+    bench_writer.emit("accuracy_equivalence", {
+        "ppl.initial": ppl_init, "ppl.incore": ppl_ref,
+        "ppl.dp_karma": ppl_dp})
     benchmark(_perplexity, ref, data, 2, 4)
     assert ppl_ref < 0.7 * ppl_init, "reference training must learn"
     # dropout masks cover each worker's shard, so sharded training follows a

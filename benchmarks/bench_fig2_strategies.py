@@ -48,7 +48,7 @@ def _run(policies, cost, blocks, capacity, prefetch):
     return simulate_plan(plan, cost, capacity), plan
 
 
-def test_fig2_strategy_comparison(benchmark):
+def test_fig2_strategy_comparison(benchmark, bench_writer):
     graph, cost, blocks, capacity = _six_block_platform()
     pol_a = [S] * 7                      # (a) eager swap of everything
     pol_b = [S, S, S, S, S, R, R]        # (b) capacity-based suffix
@@ -66,5 +66,10 @@ def test_fig2_strategy_comparison(benchmark):
               f"occupancy {res.gpu_occupancy * 100:5.1f}%  "
               f"stall {res.total_stall * 1e3:7.2f} ms")
     print(f"  plan (c): {plan_c.plan_string()}")
+    bench_writer.emit("fig2_strategies", {
+        "makespan_s.eager_swap_all": res_a.makespan,
+        "makespan_s.capacity_based": res_b.makespan,
+        "makespan_s.capacity_plus_recompute": res_c.makespan,
+    })
     assert res_b.makespan < res_a.makespan, "capacity-based must beat eager"
     assert res_c.makespan <= res_b.makespan + 1e-12

@@ -57,12 +57,13 @@ def test_fig5_throughput_panels(benchmark, sweep):
             f"{model}: only the first batch size fits in-core"
 
 
-def test_fig5_karma_speedup_headline(benchmark, sweep):
+def test_fig5_karma_speedup_headline(benchmark, sweep, bench_writer):
     summary = benchmark(karma_speedup_summary, sweep)
     print()
     print("§IV-B headline — KARMA w/ recompute vs best competing method "
           "(geometric mean over out-of-core points):")
     for k, v in summary.items():
         print(f"  {k:24s} {v:.2f}x")
+    bench_writer.emit("fig5_single_gpu", dict(summary))
     assert summary["speedup[mean]"] >= 1.0, \
         "KARMA must at least match the best competing method on average"

@@ -35,7 +35,10 @@ def profiles():
     return out
 
 
-def test_fig6_backward_stall_profiles(benchmark, profiles):
+def test_fig6_backward_stall_profiles(benchmark, profiles, bench_writer):
+    bench_writer.emit("fig6_stall_profile", {
+        f"total_stall_s.{name}": res.total_stall
+        for name, (res, _) in profiles.items()})
     print()
     print("Fig. 6 — backward-phase stalls, ResNet-200 @ batch 12 "
           "(per-block stall in ms, back of model first):")
@@ -54,7 +57,8 @@ def test_fig6_backward_stall_profiles(benchmark, profiles):
         "KARMA w/ recompute must stall less than vDNN++"
 
 
-def test_fig7_stall_reduction_vs_baselines(benchmark, profiles):
+def test_fig7_stall_reduction_vs_baselines(benchmark, profiles,
+                                           bench_writer):
     """§IV-B.2 (Fig. 7 text): KARMA's blocking reduces stalls vs
     SuperNeurons (43% reported) and vDNN++ (37% reported)."""
     karma = benchmark(lambda: profiles["karma+recompute"][0].total_stall)
@@ -67,4 +71,7 @@ def test_fig7_stall_reduction_vs_baselines(benchmark, profiles):
           f"(paper: 43%)")
     print(f"Stall reduction vs vDNN++     : {red_vd * 100:5.1f}% "
           f"(paper: 37%)")
+    bench_writer.emit("fig6_stall_profile", {
+        "stall_reduction.vs_superneurons": red_sn,
+        "stall_reduction.vs_vdnn": red_vd})
     assert red_sn > 0 and red_vd > 0

@@ -16,10 +16,15 @@ def resnet50_plan():
     return plan(graph, batch_size=512)
 
 
-def test_fig7_resnet50_blocking(benchmark, resnet50_plan):
+def test_fig7_resnet50_blocking(benchmark, resnet50_plan, bench_writer):
     kp = resnet50_plan
     res = simulate_plan(kp.plan, kp.cost, kp.capacity)
     benchmark(simulate_plan, kp.plan, kp.cost, kp.capacity)
+    bench_writer.emit("fig7_blocking", {
+        "blocks": kp.plan.num_blocks,
+        "makespan_s": res.makespan,
+        "gpu_occupancy": res.gpu_occupancy,
+    })
     print()
     print("Fig. 7 — best blocking for ResNet-50 @ batch 512 (V100 16 GiB):")
     for b, (s, e) in enumerate(kp.plan.blocks):

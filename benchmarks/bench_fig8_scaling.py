@@ -30,7 +30,7 @@ def _megatron_panel(cfg, mp, gpus):
     return hybrid, phased, karma
 
 
-def test_fig8_megatron_parity(benchmark, grids):
+def test_fig8_megatron_parity(benchmark, grids, bench_writer):
     gpus = (128, 256, 512, 1024, 2048) if grids else (256, 1024, 2048)
     print()
     for key, mp in (("megatron-2.5b", 4), ("megatron-8.3b", 16)):
@@ -41,6 +41,9 @@ def test_fig8_megatron_parity(benchmark, grids):
             {"MP+DP": hybrid, "MP+DP (opt. grad ex.)": phased,
              "DP KARMA": karma}, x_label="GPUs"))
         print()
+        bench_writer.emit("fig8_scaling", {
+            f"{key}.hybrid_epoch_h@{gpus[-1]}": hybrid[-1],
+            f"{key}.karma_epoch_h@{gpus[-1]}": karma[-1]})
         # the paper's crossover: KARMA wins at 2,048 GPUs
         assert karma[-1] < hybrid[-1], \
             f"{key}: KARMA must overtake the hybrid at {gpus[-1]} GPUs"
@@ -48,7 +51,7 @@ def test_fig8_megatron_parity(benchmark, grids):
     benchmark(hybrid_mp_dp_lm, MEGATRON_CONFIGS["megatron-2.5b"], 512, 4, 8)
 
 
-def test_fig8_turing_nlg(benchmark, grids):
+def test_fig8_turing_nlg(benchmark, grids, bench_writer):
     gpus = (512, 1024, 2048) if grids else (1024, 2048)
     zero, karma, zk = [], [], []
     for n in gpus:
@@ -65,6 +68,8 @@ def test_fig8_turing_nlg(benchmark, grids):
     speedup = zero[-1] / zk[-1]
     print(f"\nZeRO+KARMA speedup over ZeRO at {gpus[-1]} GPUs: "
           f"{speedup:.2f}x (paper: 1.35x)")
+    bench_writer.emit("fig8_scaling", {
+        f"turing-nlg.zero_plus_karma_speedup@{gpus[-1]}": speedup})
     benchmark(karma_plus_zero_lm, TURING_NLG, 2048, 128)
     # ordering from §IV-C: KARMA < ZeRO < ZeRO+KARMA
     assert zk[-1] < zero[-1] < karma[-1]

@@ -8,10 +8,11 @@ from repro.baselines import capability_matrix
 from repro.eval import render_table
 
 
-def test_table1_capability_matrix(benchmark):
+def test_table1_capability_matrix(benchmark, bench_writer):
     rows = benchmark(capability_matrix)
     print()
     print(render_table(rows, title="Table I — Limitations and Restrictions "
                                    "of Related Approaches"))
     names = {r["Name"] for r in rows}
+    bench_writer.emit("table1_capabilities", {"methods": sorted(names)})
     assert "KARMA" in names and "vDNN++" in names

@@ -54,10 +54,13 @@ def table4(grids):
     return rows
 
 
-def test_table4_megatron_configurations(benchmark, table4):
+def test_table4_megatron_configurations(benchmark, table4, bench_writer):
     print()
     print(render_table(table4, title="Table IV — Megatron-LM: MP+DP hybrid "
                                      "vs data-parallel KARMA"))
+    bench_writer.emit("table4_megatron", {
+        f"{row['Config']}.eff_karma_vs_hybrid": float(row["eff K/H"])
+        for row in table4})
     cfg = MEGATRON_CONFIGS["megatron-2.5b"]
     benchmark(simulate_dp_karma_lm, cfg, 128, 32)
     # shape: per-GPU training efficiency of DP-KARMA is comparable to the

@@ -56,12 +56,15 @@ def table5(grids):
     return out
 
 
-def test_table5_cost_performance(benchmark, table5):
+def test_table5_cost_performance(benchmark, table5, bench_writer):
     print()
     for model, rows in table5.items():
         print(render_table(rows, title=f"Table V — {model} "
                                        "(normalized cost/performance)"))
         print()
+        bench_writer.emit("table5_cost_perf", {
+            f"{model}.dp_cost_final": float(rows[-1]["DP $/P"]),
+            f"{model}.karma_cost_final": float(rows[-1]["KARMA $/P"])})
         dp_costs = [float(r["DP $/P"]) for r in rows]
         karma_costs = [float(r["KARMA $/P"]) for r in rows]
         # both start at 1.0 and grow as the global batch scales

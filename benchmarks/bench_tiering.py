@@ -1,0 +1,193 @@
+"""Tiered offload: the HBM -> DRAM -> NVMe hierarchy beyond the paper.
+
+ZeRO-Infinity's regime: host DRAM is itself too small for the swapped
+stash, so the cold overflow demotes to node-local NVMe.  This bench
+demonstrates the subsystem's headline claim end to end:
+
+1. a model/capacity configuration whose plan OOMs under the two-tier
+   (DRAM-only far pool) hierarchy plans *and executes* successfully once
+   the NVMe tier is enabled, with gradients bit-identical to vanilla
+   in-core backprop;
+2. the cost of the storage tier is visible: the NVMe-placed plan's
+   simulated makespan strictly exceeds its DRAM-placed twin, with the
+   difference attributable to the d2s/s2d storage links.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import plan as karma_plan
+from repro.core import BlockPolicy, make_plan
+from repro.costs import profile_graph
+from repro.hardware import (
+    GiB,
+    MiB,
+    MemorySpace,
+    OutOfMemoryError,
+    TieredMemorySpace,
+    TransferModel,
+    abci_host,
+    karma_swap_link,
+    tiny_test_device,
+    tiny_test_hierarchy,
+)
+from repro.hardware.spec import LinkSpec
+from repro.hardware.tiering import MemoryHierarchy, TierSpec
+from repro.models.builder import GraphBuilder
+from repro.nn import ExecutableModel
+from repro.runtime import OutOfCoreExecutor
+from repro.sim import simulate_plan
+from repro.tiering import PlacementError, swapped_stash_bytes
+
+from tests.helpers import uniform_blocks as _blocks
+
+S, R = BlockPolicy.SWAPPED, BlockPolicy.RESIDENT
+
+
+def _bench_cnn():
+    b = GraphBuilder("tiering_cnn")
+    b.input((3, 16, 16))
+    for width in (8, 8, 16):
+        b.conv(width, 3)
+        b.relu()
+    b.pool(2, 2)
+    b.conv(16, 3)
+    b.relu()
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(5)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+@pytest.fixture(scope="module")
+def platform():
+    graph = _bench_cnn()
+    device = tiny_test_device(memory=500_000)
+    transfer = TransferModel(link=karma_swap_link(), device=device,
+                             host=abci_host())
+    cost = profile_graph(graph, device, transfer, batch_size=8)
+    return graph, device, transfer, cost
+
+
+def test_tiering_nvme_rescues_dram_oom(benchmark, platform, bench_writer):
+    """The acceptance demo: two-tier OOMs, three-tier trains bit-exactly."""
+    graph, device, transfer, cost = platform
+    blocks = _blocks(graph, 6)
+    policies = [S] * 5 + [R]
+    stash = swapped_stash_bytes(blocks, policies, cost)
+    # a far pool able to hold less than half the swapped stash
+    dram_cap = int(0.4 * sum(stash.values()))
+    nvme_cap = 64 * MiB
+
+    # ---- planning: the two-tier hierarchy has no feasible placement
+    two_tier = MemoryHierarchy(
+        tiers=(TierSpec("hbm", 500_000, 10e9),
+               TierSpec("dram", dram_cap, 10e9)),
+        links_down=(LinkSpec("bench-link", 1e9),))
+    with pytest.raises((PlacementError, ValueError)):
+        karma_plan(graph, 8, device=device, transfer=transfer,
+                   hierarchy=two_tier)
+    three_tier = tiny_test_hierarchy(hbm=500_000, dram=dram_cap,
+                                     nvme=nvme_cap)
+    # capacity-based strategy: with Opt-2 enabled the planner would buy
+    # the NVMe spill back via recompute (its swaps are priced at true
+    # storage cost) — recompute=False pins the pure-swap regime
+    kp = karma_plan(graph, 8, device=device, transfer=transfer,
+                    hierarchy=three_tier, recompute=False)
+    assert kp.plan.uses_storage, "the spill must actually reach NVMe"
+
+    # ---- numeric execution: same story under hard pool capacities
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 3, 16, 16))
+    y = rng.integers(0, 5, 8)
+    ref_model = ExecutableModel(graph, dtype=np.float64, seed=7)
+    ref_model.set_step(0)
+    ref_model.zero_grad()
+    ref_model.forward(x, y)
+    ref_model.backward()
+    ref = {(l, p): a.copy() for l, p, a in ref_model.gradients()}
+
+    exec_plan = make_plan(graph.name, 8, blocks, policies)
+    # numeric ctx bytes run ~4x the analytic stash estimate: pick a DRAM
+    # pool below the ~3.5 MiB two-tier demand yet able to bounce-stage
+    # any single layer (largest ~1.25 MiB) on its way to NVMe
+    exec_dram = int(2.5 * MiB)
+    with pytest.raises(OutOfMemoryError):
+        model = ExecutableModel(graph, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(model, exec_plan,
+                               MemorySpace(2 * GiB, exec_dram))
+        model.zero_grad()
+        ex.run_iteration(x, y, step=0)
+
+    # NVMe enabled: demote the cold majority of blocks past DRAM
+    placements = {b: (2 if b < 3 else 1) for b in stash}
+    tiered_plan = make_plan(graph.name, 8, blocks, policies,
+                            placements=placements)
+    model = ExecutableModel(graph, dtype=np.float64, seed=7)
+    space = TieredMemorySpace([2 * GiB, exec_dram, 4 * GiB])
+    ex = OutOfCoreExecutor(model, tiered_plan, space)
+    model.zero_grad()
+    loss = ex.run_iteration(x, y, step=0)
+    grads = {(l, p): a.copy() for l, p, a in model.gradients()}
+    assert np.isfinite(loss)
+    for key, a in ref.items():
+        assert np.array_equal(a, grads[key]), f"grad mismatch {key}"
+    assert space.pools[2].peak_in_use > 0, "NVMe pool must be exercised"
+
+    print()
+    print("Tiered offload — NVMe rescues a DRAM-bound configuration:")
+    print(f"  swapped stash        : {sum(stash.values()) / 2**20:.2f} MiB "
+          f"over {len(stash)} blocks")
+    print(f"  DRAM far pool        : {exec_dram / 2**20:.2f} MiB -> OOM")
+    print(f"  + NVMe tier          : trains, loss {loss:.4f}, gradients "
+          "bit-identical to in-core")
+    print(f"  planner plan         : {kp.plan.plan_string()[:200]}")
+    bench_writer.emit("tiering", {
+        "swapped_stash_bytes": int(sum(stash.values())),
+        "dram_pool_bytes": exec_dram,
+        "two_tier_outcome": "OOM",
+        "three_tier_outcome": "trained",
+        "gradients_bit_identical": True,
+        "nvme_peak_bytes": int(space.pools[2].peak_in_use),
+        "nvme_demote_bytes": int(space.demote_bytes.get(1, 0)),
+    })
+    benchmark(lambda: simulate_plan(kp.plan, kp.cost, kp.capacity,
+                                    hierarchy=three_tier))
+
+
+def test_tiering_storage_cost_visible(benchmark, platform, bench_writer):
+    """The DRAM/NVMe twin comparison: storage placement costs makespan."""
+    graph, device, transfer, cost = platform
+    blocks = _blocks(graph, 6)
+    policies = [S] * 5 + [R]
+    stash = swapped_stash_bytes(blocks, policies, cost)
+    hier = tiny_test_hierarchy(hbm=500_000,
+                               dram=4 * int(sum(stash.values())),
+                               nvme=64 * MiB)
+    capacity = device.usable_memory
+
+    dram_plan = make_plan(graph.name, 8, blocks, policies,
+                          placements={b: 1 for b in stash})
+    nvme_plan = make_plan(graph.name, 8, blocks, policies,
+                          placements={b: 2 for b in stash})
+    res_dram = simulate_plan(dram_plan, cost, capacity, hierarchy=hier)
+    res_nvme = simulate_plan(nvme_plan, cost, capacity, hierarchy=hier)
+    assert res_nvme.makespan > res_dram.makespan
+    assert res_nvme.storage_busy > 0 and res_dram.storage_busy == 0
+
+    slowdown = res_nvme.makespan / res_dram.makespan
+    print()
+    print("Tiered offload — storage link cost (identical blocking):")
+    print(f"  DRAM-placed twin : {res_dram.summary()}")
+    print(f"  NVMe-placed twin : {res_nvme.summary()}")
+    print(f"  NVMe slowdown    : {slowdown:.2f}x")
+    bench_writer.emit("tiering", {
+        "dram_makespan_s": res_dram.makespan,
+        "nvme_makespan_s": res_nvme.makespan,
+        "nvme_slowdown": slowdown,
+        "nvme_storage_busy_s": res_nvme.storage_busy,
+    })
+    benchmark(lambda: simulate_plan(nvme_plan, cost, capacity,
+                                    hierarchy=hier))

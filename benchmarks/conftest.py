@@ -5,11 +5,21 @@ evaluation section, printing the rows/series the paper reports, and times a
 representative kernel with pytest-benchmark.  Sweeps default to a reduced
 grid so the suite completes in minutes; set ``KARMA_BENCH_FULL=1`` for the
 full paper grids.
+
+Besides the printed tables, every bench emits a machine-readable
+``BENCH_<name>.json`` artifact through the shared :class:`BenchWriter`
+fixture — the perf-trajectory input the ROADMAP tooling tracks across PRs.
+Artifacts land in the repo root by default; override with
+``KARMA_BENCH_DIR``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -21,6 +31,41 @@ def full_grids() -> bool:
 @pytest.fixture(scope="session")
 def grids():
     return full_grids()
+
+
+class BenchWriter:
+    """Writes one ``BENCH_<name>.json`` per benchmark module.
+
+    ``emit`` merges repeated calls for the same name (several tests in one
+    module contribute sections to one artifact) and rewrites the file each
+    time, so partially-failed runs still leave the sections that completed.
+    """
+
+    def __init__(self, out_dir: Path):
+        self.out_dir = out_dir
+        self._payloads: Dict[str, dict] = {}
+
+    def emit(self, name: str, payload: dict) -> Path:
+        """Add ``payload``'s keys to the ``BENCH_<name>.json`` artifact."""
+        record = self._payloads.setdefault(name, {
+            "bench": name,
+            "grid": "full" if full_grids() else "reduced",
+            "unix_time": int(time.time()),
+            "metrics": {},
+        })
+        record["metrics"].update(payload)
+        path = self.out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True,
+                                   default=str) + "\n")
+        return path
+
+
+@pytest.fixture(scope="session")
+def bench_writer() -> BenchWriter:
+    out = os.environ.get("KARMA_BENCH_DIR")
+    out_dir = Path(out) if out else Path(__file__).resolve().parent.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return BenchWriter(out_dir)
 
 
 def pytest_configure(config):

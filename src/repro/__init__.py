@@ -12,11 +12,14 @@ Public entry points:
 * :mod:`repro.distributed` — data-parallel KARMA (5-stage pipeline).
 * :mod:`repro.baselines` — vDNN++, SuperNeurons, Checkmate, checkpointing.
 * :mod:`repro.models` — the Table III model zoo.
+* :mod:`repro.tiering` — stash placement across HBM -> DRAM -> NVMe
+  hierarchies (ZeRO-Infinity-style tiered offload).
 """
 
 __version__ = "1.0.0"
 
-from . import baselines, core, costs, data, distributed, eval, graph, hardware, models, nn, runtime, sim
+from . import baselines, core, costs, data, distributed, eval, graph, hardware, models, nn, runtime, sim, tiering
 
 __all__ = ["baselines", "core", "costs", "data", "distributed", "eval",
-           "graph", "hardware", "models", "nn", "runtime", "sim", "__version__"]
+           "graph", "hardware", "models", "nn", "runtime", "sim", "tiering",
+           "__version__"]

@@ -27,7 +27,15 @@ from .schedule import (
     Stage,
     single_block_plan,
 )
-from .solver import AcoConfig, PartitionProblem, local_search, solve_aco, solve_dp, solve_ilp
+from .solver import (
+    AcoConfig,
+    PartitionProblem,
+    local_search,
+    portfolio_search,
+    solve_aco,
+    solve_dp,
+    solve_ilp,
+)
 from .stages import generate_stages, make_plan
 
 __all__ = [
@@ -41,5 +49,6 @@ __all__ = [
     "occupancy", "swap_in_throughput", "catch_up_step", "estimate_blocking",
     "OccupancyEstimate",
     "PartitionProblem", "solve_dp", "solve_ilp", "solve_aco", "local_search",
+    "portfolio_search",
     "AcoConfig",
 ]

@@ -23,16 +23,24 @@ stash (§III-F.4 support).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
 from ..graph.traversal import checkpoint_boundaries
+from ..hardware.tiering import MemoryHierarchy
 from .schedule import BlockPolicy, ExecutionPlan
-from .solver import AcoConfig, PartitionProblem, local_search, solve_aco, solve_dp
+from .solver import (
+    AcoConfig,
+    PartitionProblem,
+    local_search,
+    portfolio_search,
+    solve_aco,
+    solve_dp,
+)
 from .stages import make_plan
 
 
@@ -226,6 +234,9 @@ class BlockingResult:
     policies: List[BlockPolicy]
     objective: float                    # simulated makespan (seconds)
     method: str
+    # stash tier per swapped block (empty = classic DRAM-only far pool)
+    placements: Dict[int, int] = field(default_factory=dict)
+    placement_policy: Optional[str] = None
 
 
 def fits_without_swapping(inputs: BlockingInputs) -> bool:
@@ -243,7 +254,9 @@ def _uniform_bounds(u: int, k: int) -> List[int]:
 def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
                    model_name: str, batch_size: int,
                    method: str = "auto", max_span: int = 64,
-                   aco_config: Optional[AcoConfig] = None) -> BlockingResult:
+                   aco_config: Optional[AcoConfig] = None,
+                   hierarchy: Optional[MemoryHierarchy] = None,
+                   placement_policy: str = "auto") -> BlockingResult:
     """Run Opt-1 end to end and return the best blocking found.
 
     ``method``:
@@ -254,8 +267,15 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
     * ``'dp'``      — DP surrogate boundaries only (ablation);
     * ``'aco'``     — 'auto' seed + ant-colony refinement (MIDACO role);
     * ``'uniform'`` — naive equal-segment blocks (ablation baseline).
+
+    With a ``hierarchy`` the search gains a third dimension: the stash
+    placement policy (``'bandwidth'`` / ``'pressure'``, or ``'auto'`` to
+    try both), and every candidate is scored with tier-aware simulation —
+    a candidate whose stash overflows the DRAM budget is only feasible if
+    a storage tier can absorb the spill.
     """
     from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
+    from ..tiering.placement import PlacementError, assign_tiers
 
     inputs = build_inputs(graph, cost, capacity)
     u = inputs.num_segments
@@ -272,6 +292,15 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
 
     problem = make_problem(inputs, max_span=max_span)
     margins = (0.5, 1.0, 2.0)
+    if hierarchy is None:
+        ppolicies: Tuple[Optional[str], ...] = (None,)
+    elif placement_policy == "auto":
+        # without a storage tier both policies place everything in DRAM —
+        # sweeping them would just simulate identical plans twice
+        ppolicies = ("bandwidth", "pressure") if hierarchy.has_storage \
+            else ("bandwidth",)
+    else:
+        ppolicies = (placement_policy,)
 
     def realize(bounds: Sequence[int], margin: float
                 ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
@@ -281,12 +310,23 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
         policies = assign_policies(inputs, seg_bounds, margin)
         return blocks, policies
 
-    def evaluate(bounds: Sequence[int], margin: float) -> float:
+    def place(blocks: List[Tuple[int, int]], policies: List[BlockPolicy],
+              ppolicy: Optional[str]) -> Dict[int, int]:
+        if hierarchy is None or ppolicy is None:
+            return {}
+        return assign_tiers(blocks, policies, cost, hierarchy,
+                            policy=ppolicy).placements
+
+    def evaluate(bounds: Sequence[int], margin: float,
+                 ppolicy: Optional[str]) -> float:
         try:
             blocks, policies = realize(bounds, margin)
-            plan = make_plan(model_name, batch_size, blocks, policies)
-            return simulate_plan(plan, cost, capacity).makespan
-        except (OutOfCoreInfeasible, ValueError):
+            placements = place(blocks, policies, ppolicy)
+            plan = make_plan(model_name, batch_size, blocks, policies,
+                             placements=placements)
+            return simulate_plan(plan, cost, capacity,
+                                 hierarchy=hierarchy).makespan
+        except (OutOfCoreInfeasible, PlacementError, ValueError):
             return math.inf
 
     # candidate portfolio ----------------------------------------------------
@@ -306,29 +346,27 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
         candidates.append(_uniform_bounds(
             u, max(2, int(math.ceil(2 * overflow)))))
 
-    best_bounds: Optional[List[int]] = None
-    best_margin = margins[-1]
-    best_value = math.inf
-    for bounds in candidates:
-        for margin in margins:
-            value = evaluate(bounds, margin)
-            if value < best_value:
-                best_bounds, best_margin, best_value = list(bounds), margin, value
+    best_bounds, best_dims, best_value = portfolio_search(
+        candidates, (margins, ppolicies), evaluate)
     if best_bounds is None or not math.isfinite(best_value):
         raise ValueError("no feasible blocking found within device capacity")
+    best_margin, best_ppolicy = best_dims
 
     if method in ("auto", "aco"):
-        margin = best_margin
+        margin, ppol = best_margin, best_ppolicy
         best_bounds, best_value = local_search(
-            best_bounds, u, lambda bs: evaluate(bs, margin),
+            best_bounds, u, lambda bs: evaluate(bs, margin, ppol),
             problem.block_feasible, max_passes=2)
     if method == "aco":
-        margin = best_margin
+        margin, ppol = best_margin, best_ppolicy
         best_bounds, best_value = solve_aco(
-            problem, lambda bs: evaluate(bs, margin),
+            problem, lambda bs: evaluate(bs, margin, ppol),
             seed_boundaries=best_bounds, config=aco_config)
 
     blocks, policies = realize(best_bounds, best_margin)
+    placements = place(blocks, policies, best_ppolicy)
     return BlockingResult(boundaries_segments=list(best_bounds),
                           blocks=blocks, policies=policies,
-                          objective=best_value, method=method)
+                          objective=best_value, method=method,
+                          placements=placements,
+                          placement_policy=best_ppolicy)

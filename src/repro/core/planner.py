@@ -27,6 +27,7 @@ from ..hardware.spec import (
     pcie_gen3_x16,
     v100_sxm2_16gb,
 )
+from ..hardware.tiering import MemoryHierarchy
 from .blocking import BlockingResult, solve_blocking
 from .recompute import RecomputeResult, apply_recompute
 from .schedule import BlockPolicy, ExecutionPlan
@@ -42,10 +43,16 @@ class KarmaPlan:
     blocking: BlockingResult
     recompute: Optional[RecomputeResult]
     capacity: float
+    hierarchy: Optional[MemoryHierarchy] = None
+    placement: Optional[object] = None  # tiering.PlacementResult
 
     @property
     def is_out_of_core(self) -> bool:
         return bool(self.plan.swapped) or bool(self.plan.recomputed)
+
+    @property
+    def uses_storage(self) -> bool:
+        return self.plan.uses_storage
 
     def describe(self) -> str:
         lines = [
@@ -62,6 +69,12 @@ class KarmaPlan:
             lines.append(
                 f"  Opt-2 gain  : {self.recompute.improvement * 100:.1f}% "
                 f"({len(self.recompute.flipped)} block(s) recomputed)")
+        if self.placement is not None:
+            demoted = sorted(b for b, t in self.plan.placements.items()
+                             if t >= 2)
+            lines.append(
+                f"  placement   : {self.placement.policy} "
+                f"(NVMe blocks {demoted})")
         return "\n".join(lines)
 
 
@@ -72,7 +85,9 @@ def plan(graph: LayerGraph, batch_size: int, *,
          recompute: bool = True,
          method: str = "auto",
          max_span: int = 64,
-         capacity: Optional[float] = None) -> KarmaPlan:
+         capacity: Optional[float] = None,
+         hierarchy: Optional[MemoryHierarchy] = None,
+         placement_policy: str = "auto") -> KarmaPlan:
     """Derive a KARMA execution plan for ``graph`` at ``batch_size``.
 
     Defaults to the paper's device (V100 SXM2 16 GiB) with the calibrated
@@ -85,7 +100,16 @@ def plan(graph: LayerGraph, batch_size: int, *,
     PCIe regime (see ``benchmarks/bench_ablation_link.py``).
     ``recompute=False`` yields the capacity-based strategy without the
     Opt-2 interleave ("KARMA" vs "KARMA w/ recompute" in Fig. 5).
+
+    ``hierarchy`` enables tiered offload: swapped stashes are placed across
+    the hierarchy's tiers (DRAM first, NVMe overflow) by the chosen
+    ``placement_policy`` (``'bandwidth'``, ``'pressure'``, or ``'auto'``
+    to let the blocking search pick), and the resulting plan carries
+    tier-qualified swap ops.  Without a hierarchy the planner keeps the
+    classic unbounded-DRAM two-tier assumption.
     """
+    from ..tiering.placement import PlacementResult, assign_tiers
+
     device = device or v100_sxm2_16gb()
     host = host or abci_host()
     transfer = transfer or TransferModel(link=karma_swap_link(),
@@ -94,14 +118,31 @@ def plan(graph: LayerGraph, batch_size: int, *,
     cost = profile_graph(graph, device, transfer, batch_size)
 
     blocking = solve_blocking(graph, cost, capacity, graph.name, batch_size,
-                              method=method, max_span=max_span)
+                              method=method, max_span=max_span,
+                              hierarchy=hierarchy,
+                              placement_policy=placement_policy)
     policies = list(blocking.policies)
     rec_result: Optional[RecomputeResult] = None
     if recompute and any(p is BlockPolicy.SWAPPED for p in policies):
         rec_result = apply_recompute(graph, cost, capacity, graph.name,
-                                     batch_size, blocking.blocks, policies)
+                                     batch_size, blocking.blocks, policies,
+                                     hierarchy=hierarchy,
+                                     placement_policy=blocking
+                                     .placement_policy)
         policies = rec_result.policies
 
-    final = make_plan(graph.name, batch_size, blocking.blocks, policies)
+    # Opt-2 may have flipped swapped blocks to recompute, shrinking the
+    # swapped set — re-place the survivors with the policy the search chose
+    placement: Optional[PlacementResult] = None
+    placements = {}
+    if hierarchy is not None:
+        placement = assign_tiers(blocking.blocks, policies, cost, hierarchy,
+                                 policy=blocking.placement_policy
+                                 or "bandwidth")
+        placements = placement.placements
+
+    final = make_plan(graph.name, batch_size, blocking.blocks, policies,
+                      placements=placements)
     return KarmaPlan(plan=final, cost=cost, blocking=blocking,
-                     recompute=rec_result, capacity=capacity)
+                     recompute=rec_result, capacity=capacity,
+                     hierarchy=hierarchy, placement=placement)

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
 from ..graph.traversal import blocks_with_long_skips
+from ..hardware.tiering import MemoryHierarchy
 from .schedule import BlockPolicy, ExecutionPlan
 from .stages import make_plan
 
@@ -50,23 +51,31 @@ def _chain_length(policies: Sequence[BlockPolicy], b: int) -> int:
 
 
 def admissible(cost: CostModel, blocks: Sequence[Tuple[int, int]],
-               policies: Sequence[BlockPolicy], b: int) -> bool:
+               policies: Sequence[BlockPolicy], b: int,
+               hierarchy: Optional[MemoryHierarchy] = None,
+               placements: Optional[Mapping[int, int]] = None) -> bool:
     """Constraint 10.1 for block ``b``: compute-to-checkpoint < swap time.
 
     Δ is the recompute chain that block ``b`` would join; its total
-    re-forward cost must undercut the swap traffic it removes.
+    re-forward cost must undercut the swap traffic it removes.  With a
+    tiered placement, the removed swap includes the storage-link leg —
+    an NVMe-placed block is far easier to admit than a DRAM-placed one.
     """
     if policies[b] is not BlockPolicy.SWAPPED:
         return False
     comp = 0.0
-    swap = 0.0
     i = b
     while i >= 0 and (i == b or policies[i] is BlockPolicy.RECOMPUTED):
         s, e = blocks[i]
         comp += cost.block_fw_time(s, e)
         i -= 1
     s, e = blocks[b]
-    swap = cost.transfer.swap_time(cost.block_activation_bytes(s, e))
+    stash = cost.block_activation_bytes(s, e)
+    swap = cost.transfer.swap_time(stash)
+    if hierarchy is not None and placements:
+        tier = placements.get(b, 1)
+        if tier >= 2:
+            swap += hierarchy.transfer_time(stash, 1, tier)
     return comp < swap
 
 
@@ -75,22 +84,39 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
                     blocks: Sequence[Tuple[int, int]],
                     policies: Sequence[BlockPolicy],
                     max_chain: int = 3,
-                    max_evals: int = 200) -> RecomputeResult:
+                    max_evals: int = 200,
+                    hierarchy: Optional[MemoryHierarchy] = None,
+                    placement_policy: Optional[str] = None
+                    ) -> RecomputeResult:
     """Greedy Opt-2: flip admissible swapped blocks where the simulator
     confirms a strict makespan win.
 
     Blocks whose activations feed far-downstream blocks (U-Net long skips)
     are considered first — the paper observes the ILP converts exactly
     those to recompute (§III-F.4).
+
+    Under a tiered ``hierarchy`` every trial is re-placed and priced with
+    the storage links included, so an NVMe-placed block's expensive swap
+    is weighed at its true cost — exactly the blocks recompute replaces
+    most profitably.
     """
     from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
 
     policies = list(policies)
 
+    def place(pols: Sequence[BlockPolicy]) -> Dict[int, int]:
+        if hierarchy is None:
+            return {}
+        from ..tiering.placement import assign_tiers
+        return assign_tiers(blocks, pols, cost, hierarchy,
+                            policy=placement_policy or "bandwidth").placements
+
     def simulate(pols: Sequence[BlockPolicy]) -> float:
         try:
-            plan = make_plan(model_name, batch_size, blocks, pols)
-            return simulate_plan(plan, cost, capacity).makespan
+            plan = make_plan(model_name, batch_size, blocks, pols,
+                             placements=place(pols))
+            return simulate_plan(plan, cost, capacity,
+                                 hierarchy=hierarchy).makespan
         except (OutOfCoreInfeasible, ValueError):
             return math.inf
 
@@ -117,12 +143,14 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
     evals = 0
     for _ in range(4):
         accepted_this_pass = False
+        current_placements = place(policies)
         for b in candidates:
             if evals >= max_evals:
                 break
             if policies[b] is not BlockPolicy.SWAPPED:
                 continue
-            if not admissible(cost, blocks, policies, b):
+            if not admissible(cost, blocks, policies, b, hierarchy,
+                              current_placements):
                 continue
             if _chain_length(policies, b) > max_chain:
                 continue
@@ -135,6 +163,7 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
                 current = value
                 flipped.append(b)
                 accepted_this_pass = True
+                current_placements = place(policies)
                 if value < best_value - 1e-12:
                     best_policies, best_value = list(trial), value
         if not accepted_this_pass or evals >= max_evals:

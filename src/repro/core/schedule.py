@@ -43,6 +43,8 @@ class Resource(Enum):
     GPU = "gpu"       # the device compute stream
     H2D = "h2d"       # host-to-device link direction
     D2H = "d2h"       # device-to-host link direction
+    D2S = "d2s"       # DRAM-to-storage link direction (NVMe writes)
+    S2D = "s2d"       # storage-to-DRAM link direction (NVMe reads)
     CPU = "cpu"       # host cores (weight update)
     NET = "net"       # inter-node fabric (allreduce)
 
@@ -69,22 +71,60 @@ class BlockPolicy(Enum):
     CHECKPOINTED = "checkpointed"
 
 
+#: Placement tier of a stash when the plan does not say otherwise: host
+#: DRAM, the classic two-tier "far" memory.
+DEFAULT_STASH_TIER = 1
+
+
 @dataclass(frozen=True)
 class Op:
-    """One scheduled operation on one block."""
+    """One scheduled operation on one block.
+
+    Swap ops may be *tier-qualified*: ``src_tier``/``dst_tier`` name the
+    memory tiers the stash moves between (0 = HBM, 1 = DRAM, 2 = NVMe).
+    Untiered swap ops (both ``None``) keep the classic two-tier meaning
+    (device <-> host DRAM).
+    """
 
     kind: OpKind
     block: int
+    src_tier: Optional[int] = None
+    dst_tier: Optional[int] = None
+
+    @property
+    def stash_tier(self) -> int:
+        """The non-device tier this swap touches (DRAM when untiered)."""
+        if self.kind is OpKind.SWAP_OUT and self.dst_tier is not None:
+            return self.dst_tier
+        if self.kind is OpKind.SWAP_IN and self.src_tier is not None:
+            return self.src_tier
+        return DEFAULT_STASH_TIER
 
     @property
     def resource(self) -> Resource:
+        # a swap that reaches past DRAM is bound by the storage link: its
+        # issue slot belongs to the D2S/S2D queue (the host-link hop it
+        # stages through is modelled by the event compiler, which lowers
+        # such ops to a chained pair)
+        if self.kind is OpKind.SWAP_OUT and self.stash_tier >= 2:
+            return Resource.D2S
+        if self.kind is OpKind.SWAP_IN and self.stash_tier >= 2:
+            return Resource.S2D
         return OP_RESOURCE[self.kind]
 
     def label(self) -> str:
-        """Paper notation: 1-based block ids, e.g. ``Sout3`` or ``F2``."""
+        """Paper notation: 1-based block ids, e.g. ``Sout3`` or ``F2``.
+
+        Tier-qualified swaps past DRAM carry a tier suffix (``Sout3@t2``);
+        DRAM-bound swaps keep the paper's plain notation.
+        """
         # recompute is printed as a forward in the paper's plan strings
         kind = OpKind.FORWARD if self.kind is OpKind.RECOMPUTE else self.kind
-        return f"{kind.value}{self.block + 1}"
+        base = f"{kind.value}{self.block + 1}"
+        if self.kind in (OpKind.SWAP_OUT, OpKind.SWAP_IN) \
+                and self.stash_tier >= 2:
+            return f"{base}@t{self.stash_tier}"
+        return base
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return self.label()
@@ -117,7 +157,9 @@ class ExecutionPlan:
     ``blocks`` are half-open layer ranges; ``policies[b]`` gives block b's
     residency policy; ``stages`` is the launch schedule.  ``checkpoints[b]``
     (for recomputed blocks) names the block whose *output* is the recompute
-    source — the nearest upstream swapped/resident block.
+    source — the nearest upstream swapped/resident block.  ``placements[b]``
+    (for swapped blocks) names the memory tier the stash lands in; absent
+    entries default to DRAM (tier 1), the classic two-tier behaviour.
     """
 
     model_name: str
@@ -126,6 +168,7 @@ class ExecutionPlan:
     policies: Tuple[BlockPolicy, ...]
     stages: Tuple[Stage, ...]
     checkpoints: Dict[int, int] = field(default_factory=dict)
+    placements: Dict[int, int] = field(default_factory=dict)
 
     # -- derived sets ---------------------------------------------------------
 
@@ -148,6 +191,20 @@ class ExecutionPlan:
     def resident(self) -> FrozenSet[int]:
         return frozenset(i for i, p in enumerate(self.policies)
                          if p is BlockPolicy.RESIDENT)
+
+    def stash_tier(self, block: int) -> int:
+        """Which tier block ``block``'s stash is placed in when swapped."""
+        return self.placements.get(block, DEFAULT_STASH_TIER)
+
+    @property
+    def max_tier(self) -> int:
+        """Deepest tier any stash reaches (1 for pure two-tier plans)."""
+        return max(self.placements.values(), default=DEFAULT_STASH_TIER)
+
+    @property
+    def uses_storage(self) -> bool:
+        """True when any stash is placed past DRAM (tier >= 2)."""
+        return self.max_tier >= 2
 
     def block_of_layer(self, layer_index: int) -> int:
         for b, (s, e) in enumerate(self.blocks):
@@ -195,7 +252,49 @@ class ExecutionPlan:
             if src >= 0 and self.policies[src] is BlockPolicy.RECOMPUTED:
                 raise PlanValidationError(
                     f"checkpoint {src} of block {b} is itself recomputed")
+        self._validate_placements()
         self._validate_stage_order()
+
+    def _validate_placements(self) -> None:
+        """Tier legality: placements only for swapped blocks, tiers >= 1,
+        and every tier-qualified swap op consistent with its placement."""
+        swapped = self.swapped
+        for b, tier in self.placements.items():
+            if b not in swapped:
+                raise PlanValidationError(
+                    f"placement for block {b} which is not swapped "
+                    f"(policy {self.policies[b].value})")
+            if tier < 1:
+                raise PlanValidationError(
+                    f"block {b} placed in tier {tier}; stashes must leave "
+                    "the device tier (tier >= 1)")
+        for stage in self.stages:
+            for op in stage.ops:
+                if op.kind is OpKind.SWAP_OUT:
+                    if op.src_tier not in (None, 0):
+                        raise PlanValidationError(
+                            f"{op.label()}: swap-out must leave the device "
+                            f"tier, not tier {op.src_tier}")
+                    if op.dst_tier is not None \
+                            and op.dst_tier != self.stash_tier(op.block):
+                        raise PlanValidationError(
+                            f"{op.label()}: dst tier {op.dst_tier} "
+                            f"contradicts placement "
+                            f"{self.stash_tier(op.block)}")
+                elif op.kind is OpKind.SWAP_IN:
+                    if op.dst_tier not in (None, 0):
+                        raise PlanValidationError(
+                            f"{op.label()}: swap-in must land in the device "
+                            f"tier, not tier {op.dst_tier}")
+                    if op.src_tier is not None \
+                            and op.src_tier != self.stash_tier(op.block):
+                        raise PlanValidationError(
+                            f"{op.label()}: src tier {op.src_tier} "
+                            f"contradicts placement "
+                            f"{self.stash_tier(op.block)}")
+                elif op.src_tier is not None or op.dst_tier is not None:
+                    raise PlanValidationError(
+                        f"{op.label()}: only swap ops may be tier-qualified")
 
     def _validate_stage_order(self) -> None:
         """Dependency sanity over the launch schedule."""

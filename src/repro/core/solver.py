@@ -279,6 +279,34 @@ def solve_aco(problem: PartitionProblem,
     return best_b, best_v
 
 
+def portfolio_search(candidates: Sequence[Sequence[int]],
+                     dimensions: Sequence[Sequence[object]],
+                     evaluate: Callable[..., float]
+                     ) -> Tuple[Optional[List[int]], Tuple[object, ...], float]:
+    """Score a boundary-candidate portfolio against the cross-product of
+    discrete side dimensions.
+
+    The blocking search is not one-dimensional: besides the boundary vector
+    it chooses a residency margin and (under a tiered hierarchy) a stash
+    placement policy.  ``evaluate(candidate, *dims)`` prices one combination
+    (``inf`` = infeasible).  Returns ``(best_candidate, best_dims,
+    best_value)``; ``best_candidate`` is None when nothing was feasible.
+    """
+    import itertools
+
+    best_cand: Optional[List[int]] = None
+    best_dims: Tuple[object, ...] = ()
+    best_value = math.inf
+    for cand in candidates:
+        for combo in itertools.product(*dimensions):
+            value = evaluate(cand, *combo)
+            if value < best_value:
+                best_cand = list(cand)
+                best_dims = combo
+                best_value = value
+    return best_cand, best_dims, best_value
+
+
 def local_search(boundaries: List[int], num_segments: int,
                  objective: Callable[[List[int]], float],
                  feasible: Callable[[int, int], bool],

@@ -23,7 +23,7 @@ and always form chains of length one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .schedule import BlockPolicy, ExecutionPlan, Op, OpKind, Stage
 
@@ -140,17 +140,49 @@ def generate_stages(policies: Sequence[BlockPolicy],
     return tuple(stages), checkpoints
 
 
+def _qualify_tiers(stages: Tuple[Stage, ...],
+                   placements: Mapping[int, int]) -> Tuple[Stage, ...]:
+    """Rewrite swap ops with explicit src/dst tiers per the placement map."""
+    out: List[Stage] = []
+    for stage in stages:
+        ops: List[Op] = []
+        for op in stage.ops:
+            tier = placements.get(op.block)
+            if tier is None:
+                ops.append(op)
+            elif op.kind is OpKind.SWAP_OUT:
+                ops.append(Op(op.kind, op.block, src_tier=0, dst_tier=tier))
+            elif op.kind is OpKind.SWAP_IN:
+                ops.append(Op(op.kind, op.block, src_tier=tier, dst_tier=0))
+            else:
+                ops.append(op)
+        out.append(Stage(tuple(ops)))
+    return tuple(out)
+
+
 def make_plan(model_name: str, batch_size: int,
               blocks: Sequence[Tuple[int, int]],
               policies: Sequence[BlockPolicy],
-              prefetch: str = "eager") -> ExecutionPlan:
-    """Assemble a validated :class:`ExecutionPlan` from blocks + policies."""
+              prefetch: str = "eager",
+              placements: Optional[Mapping[int, int]] = None
+              ) -> ExecutionPlan:
+    """Assemble a validated :class:`ExecutionPlan` from blocks + policies.
+
+    ``placements`` maps swapped block index -> stash tier (1 = DRAM,
+    2 = NVMe); omitted blocks default to DRAM.  The stage schedule itself
+    is tier-agnostic — tiers only change which link a swap occupies and how
+    long it takes, not when it is launched.
+    """
     stages, checkpoints = generate_stages(policies, prefetch=prefetch)
+    placements = {int(b): int(t) for b, t in (placements or {}).items()}
+    if placements:
+        stages = _qualify_tiers(stages, placements)
     plan = ExecutionPlan(
         model_name=model_name, batch_size=batch_size,
         blocks=tuple((int(s), int(e)) for s, e in blocks),
         policies=tuple(policies), stages=stages,
         checkpoints=dict(checkpoints),
+        placements=placements,
     )
     plan.validate()
     return plan

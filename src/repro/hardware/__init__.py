@@ -1,4 +1,5 @@
-"""Hardware substrate: device/host/link specs, memory pools, transfer models."""
+"""Hardware substrate: device/host/link specs, memory pools and tiered
+hierarchies, transfer models."""
 
 from .interconnect import TransferModel, pcie_transfer_model
 from .memory_pool import (
@@ -17,9 +18,11 @@ from .spec import (
     HostSpec,
     LinkSpec,
     NodeSpec,
+    StorageSpec,
     abci_cluster,
     abci_host,
     abci_node,
+    abci_nvme,
     infiniband_edr_x2,
     karma_swap_link,
     nvlink2,
@@ -28,14 +31,32 @@ from .spec import (
     tiny_test_device,
     v100_sxm2_16gb,
 )
+from .tiering import (
+    DEVICE_TIER,
+    DRAM_TIER,
+    STORAGE_TIER,
+    MemoryHierarchy,
+    TieredMemorySpace,
+    TierSpec,
+    abci_hierarchy,
+    hierarchy_from_node,
+    three_tier_hierarchy,
+    tiny_test_hierarchy,
+    two_tier_hierarchy,
+)
 
 __all__ = [
     "GiB", "MiB", "KiB",
     "DeviceSpec", "HostSpec", "LinkSpec", "NodeSpec", "ClusterSpec",
-    "v100_sxm2_16gb", "abci_host", "abci_node", "abci_cluster",
+    "StorageSpec",
+    "v100_sxm2_16gb", "abci_host", "abci_node", "abci_cluster", "abci_nvme",
     "pcie_gen3_x16", "nvlink2", "infiniband_edr_x2", "karma_swap_link",
     "single_v100",
     "tiny_test_device",
     "MemoryPool", "MemorySpace", "Allocation", "Location", "OutOfMemoryError",
     "TransferModel", "pcie_transfer_model",
+    "TierSpec", "MemoryHierarchy", "TieredMemorySpace",
+    "DEVICE_TIER", "DRAM_TIER", "STORAGE_TIER",
+    "two_tier_hierarchy", "three_tier_hierarchy", "hierarchy_from_node",
+    "abci_hierarchy", "tiny_test_hierarchy",
 ]

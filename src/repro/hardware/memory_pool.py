@@ -211,6 +211,36 @@ class MemorySpace:
             return self.far
         raise ValueError(f"no pool for location {location}")
 
+    # -- tier protocol ----------------------------------------------------
+    # The two-pool space is the depth-2 degenerate case of
+    # :class:`repro.hardware.tiering.TieredMemorySpace`; exposing the same
+    # tier-indexed interface lets the executor run either space unchanged.
+
+    @property
+    def num_tiers(self) -> int:
+        return 2
+
+    def tier_pool(self, tier) -> MemoryPool:
+        """Tier-indexed pool access: 0 = near (device), 1 = far (host)."""
+        if isinstance(tier, Location):
+            return self.pool(tier)
+        if tier == 0:
+            return self.near
+        if tier == 1:
+            return self.far
+        raise ValueError(
+            f"two-tier space has no tier {tier}; use a TieredMemorySpace "
+            "for hierarchies with storage tiers")
+
+    def record_tier_swap(self, nbytes: int, src: int, dst: int) -> None:
+        """Tier-indexed swap accounting (maps onto the near/far counters)."""
+        if src == dst:
+            return
+        if dst == 0:
+            self.record_swap(nbytes, Location.NEAR)
+        elif src == 0:
+            self.record_swap(nbytes, Location.FAR)
+
     def record_swap(self, nbytes: int, direction: Location) -> None:
         """Account a swap that *landed in* ``direction``."""
         if direction is Location.FAR:

@@ -19,6 +19,7 @@ Conventions used throughout the package:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 GiB = 1024**3
 MiB = 1024**2
@@ -119,8 +120,50 @@ class HostSpec:
 
 
 @dataclass(frozen=True)
+class StorageSpec:
+    """Node-local block storage (NVMe SSD) forming the third memory tier.
+
+    Reads and writes are asymmetric on flash (ABCI's Intel DC P4600 reads
+    ~3.2 GB/s but writes ~1.9 GB/s), so the two directions carry separate
+    bandwidths.  ``latency`` is the per-I/O submission + flash access cost,
+    orders of magnitude above a DMA doorbell — it is what makes small-block
+    staging to NVMe expensive even when bandwidth would suffice.
+    """
+
+    name: str
+    capacity: float
+    read_bandwidth: float
+    write_bandwidth: float
+    latency: float = 80e-6
+
+    def read_link(self) -> LinkSpec:
+        """The storage->DRAM direction (stash promotion / swap-in path)."""
+        return LinkSpec(name=f"{self.name}-read", bandwidth=self.read_bandwidth,
+                        latency=self.latency, duplex=False)
+
+    def write_link(self) -> LinkSpec:
+        """The DRAM->storage direction (stash demotion / swap-out path)."""
+        return LinkSpec(name=f"{self.name}-write",
+                        bandwidth=self.write_bandwidth,
+                        latency=self.latency, duplex=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.read_bandwidth <= 0 \
+                or self.write_bandwidth <= 0:
+            raise ValueError(f"storage {self.name!r}: sizes/rates must be "
+                             "positive")
+        if self.latency < 0:
+            raise ValueError(f"storage {self.name!r}: latency must be "
+                             "non-negative")
+
+
+@dataclass(frozen=True)
 class NodeSpec:
-    """One compute node: devices + host + the links that join them."""
+    """One compute node: devices + host + the links that join them.
+
+    ``storage`` is the optional node-local NVMe tier below host DRAM;
+    ``None`` models a diskless node (the classic two-tier hierarchy).
+    """
 
     name: str
     device: DeviceSpec
@@ -129,6 +172,7 @@ class NodeSpec:
     h2d: LinkSpec
     d2h: LinkSpec
     intra_node: LinkSpec  # device<->device (NVLink)
+    storage: Optional[StorageSpec] = None
 
     def __post_init__(self) -> None:
         if self.devices_per_node < 1:
@@ -224,8 +268,25 @@ def infiniband_edr_x2() -> LinkSpec:
     return LinkSpec(name="2xEDR-IB", bandwidth=25e9, latency=1.5e-6, duplex=True)
 
 
+def abci_nvme() -> StorageSpec:
+    """ABCI's node-local NVMe SSD (Intel DC P4600, 1.6 TB, Table II).
+
+    Published sustained rates: ~3.2 GB/s sequential read, ~1.9 GB/s
+    sequential write, ~80 us access latency — one to two orders of
+    magnitude below the DRAM tier, which is exactly the regime where
+    bandwidth-aware placement starts to matter.
+    """
+    return StorageSpec(
+        name="Intel-DC-P4600",
+        capacity=1.6e12,
+        read_bandwidth=3.2e9,
+        write_bandwidth=1.9e9,
+        latency=80e-6,
+    )
+
+
 def abci_node() -> NodeSpec:
-    """One ABCI compute node: 4x V100 SXM2 + PCIe Gen3 + NVLink."""
+    """One ABCI compute node: 4x V100 SXM2 + PCIe Gen3 + NVLink + NVMe."""
     pcie = pcie_gen3_x16()
     return NodeSpec(
         name="ABCI-node",
@@ -235,6 +296,7 @@ def abci_node() -> NodeSpec:
         h2d=pcie,
         d2h=pcie,
         intra_node=nvlink2(),
+        storage=abci_nvme(),
     )
 
 

@@ -1,0 +1,412 @@
+"""N-level memory hierarchies: HBM -> DRAM -> NVMe (and beyond).
+
+KARMA's original formulation assumes a two-tier hierarchy (device "near"
+memory backed by host "far" memory).  ZeRO-Infinity-style workloads break
+that assumption: host DRAM itself overflows, and stashes spill to node-local
+NVMe.  This module generalizes the near/far pair into an ordered list of
+*tiers* joined by *links*:
+
+* :class:`TierSpec` — one level's capacity and intra-tier bandwidth;
+* :class:`MemoryHierarchy` — the ordered tier stack plus the per-hop links,
+  with transfer-time queries used by the placement policy and the event
+  simulator (store-and-forward across hops: a GPU->NVMe demotion stages
+  through a DRAM bounce buffer, it does not stream end to end);
+* :class:`TieredMemorySpace` — the *runtime* counterpart: one
+  capacity-enforced :class:`~repro.hardware.memory_pool.MemoryPool` per
+  tier with per-hop swap accounting, consumed by the numeric executor.
+
+Tier indices are hotness-ordered: tier 0 is always the device (HBM), tier 1
+the host (DRAM), tier 2 the storage (NVMe).  Links are asymmetric because
+flash is: ``links_down[i]`` carries demotions from tier i to tier i+1,
+``links_up[i]`` promotions back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .memory_pool import Location, MemoryPool
+from .spec import (
+    GiB,
+    MiB,
+    DeviceSpec,
+    HostSpec,
+    LinkSpec,
+    NodeSpec,
+    StorageSpec,
+    abci_host,
+    abci_node,
+    abci_nvme,
+    karma_swap_link,
+    v100_sxm2_16gb,
+)
+
+#: Canonical tier names by depth (deeper hierarchies keep extending this).
+TIER_NAMES = ("hbm", "dram", "nvme", "network-storage")
+
+#: Tier index of the device pool (the compute tier).
+DEVICE_TIER = 0
+#: Tier index of the host DRAM pool (the classic "far" memory).
+DRAM_TIER = 1
+#: Tier index of the node-local storage pool.
+STORAGE_TIER = 2
+
+TierRef = Union[int, str, Location]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One level of the memory hierarchy.
+
+    ``bandwidth`` is the tier's own memory bandwidth (HBM/DRAM bandwidth,
+    or the SSD's internal streaming rate); transfers in or out of the tier
+    are bounded by ``min(link bandwidth, both endpoint bandwidths)``, the
+    tiered generalization of Eq. 4's min-throughput rule.
+    """
+
+    name: str
+    capacity: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.bandwidth <= 0:
+            raise ValueError(f"tier {self.name!r}: capacity and bandwidth "
+                             "must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """An ordered stack of memory tiers joined by point-to-point links.
+
+    ``links_down[i]`` joins ``tiers[i] -> tiers[i+1]`` (demotion direction);
+    ``links_up[i]`` the reverse.  When ``links_up`` is omitted the hierarchy
+    is symmetric (PCIe-style duplex links at every hop).
+    """
+
+    tiers: Tuple[TierSpec, ...]
+    links_down: Tuple[LinkSpec, ...]
+    links_up: Optional[Tuple[LinkSpec, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.tiers) < 2:
+            raise ValueError("a hierarchy needs at least two tiers")
+        if len(self.links_down) != len(self.tiers) - 1:
+            raise ValueError(
+                f"{len(self.tiers)} tiers need {len(self.tiers) - 1} links, "
+                f"got {len(self.links_down)}")
+        if self.links_up is not None \
+                and len(self.links_up) != len(self.links_down):
+            raise ValueError("links_up must match links_down in length")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+
+    # -- lookup ----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.tiers)
+
+    def tier_index(self, ref: TierRef) -> int:
+        """Resolve a tier reference (index, name, or legacy Location)."""
+        if isinstance(ref, Location):
+            ref = DEVICE_TIER if ref is Location.NEAR else DRAM_TIER
+        if isinstance(ref, str):
+            for i, t in enumerate(self.tiers):
+                if t.name == ref:
+                    return i
+            raise KeyError(f"no tier named {ref!r} in "
+                           f"{[t.name for t in self.tiers]}")
+        if not (0 <= ref < self.depth):
+            raise IndexError(f"tier {ref} outside hierarchy of depth "
+                             f"{self.depth}")
+        return int(ref)
+
+    def tier(self, ref: TierRef) -> TierSpec:
+        return self.tiers[self.tier_index(ref)]
+
+    def link_down(self, upper: int) -> LinkSpec:
+        """The link carrying demotions from tier ``upper`` to ``upper+1``."""
+        return self.links_down[upper]
+
+    def link_up(self, upper: int) -> LinkSpec:
+        """The link carrying promotions from tier ``upper+1`` to ``upper``."""
+        if self.links_up is not None:
+            return self.links_up[upper]
+        return self.links_down[upper]
+
+    # -- transfer model ---------------------------------------------------
+
+    def hop_time(self, nbytes: float, upper: int, *, down: bool) -> float:
+        """One-hop transfer time between tiers ``upper`` and ``upper+1``.
+
+        Bounded by the link and by both endpoint tiers' own bandwidths
+        (Eq. 4 generalized per hop).
+        """
+        if nbytes <= 0:
+            return 0.0
+        link = self.link_down(upper) if down else self.link_up(upper)
+        bw = min(link.bandwidth, self.tiers[upper].bandwidth,
+                 self.tiers[upper + 1].bandwidth)
+        return link.latency + nbytes / bw
+
+    def transfer_time(self, nbytes: float, src: TierRef, dst: TierRef) -> float:
+        """Store-and-forward time to move ``nbytes`` from ``src`` to ``dst``.
+
+        Each hop completes before the next starts (a GPU->NVMe demotion
+        lands fully in the DRAM bounce buffer before the SSD write is
+        submitted), so hop times add.
+        """
+        a, b = self.tier_index(src), self.tier_index(dst)
+        if a == b or nbytes <= 0:
+            return 0.0
+        total = 0.0
+        if a < b:  # demotion: walk down
+            for upper in range(a, b):
+                total += self.hop_time(nbytes, upper, down=True)
+        else:      # promotion: walk up
+            for upper in range(b, a):
+                total += self.hop_time(nbytes, upper, down=False)
+        return total
+
+    def effective_bandwidth(self, src: TierRef, dst: TierRef) -> float:
+        """Sustained bytes/s between two tiers (latency amortized away)."""
+        a, b = self.tier_index(src), self.tier_index(dst)
+        if a == b:
+            return self.tiers[a].bandwidth
+        lo, hi = min(a, b), max(a, b)
+        down = a < b
+        rates = []
+        for upper in range(lo, hi):
+            link = self.link_down(upper) if down else self.link_up(upper)
+            rates.append(min(link.bandwidth, self.tiers[upper].bandwidth,
+                             self.tiers[upper + 1].bandwidth))
+        # store-and-forward: serial hops, aggregate rate is the harmonic
+        # combination 1 / sum(1/r)
+        return 1.0 / sum(1.0 / r for r in rates)
+
+    def storage_tiers(self) -> Tuple[int, ...]:
+        """Tier indices below DRAM (the ones behind the storage link)."""
+        return tuple(range(STORAGE_TIER, self.depth))
+
+    @property
+    def has_storage(self) -> bool:
+        return self.depth > STORAGE_TIER
+
+    def capacities(self) -> Tuple[float, ...]:
+        return tuple(t.capacity for t in self.tiers)
+
+    def describe(self) -> str:
+        parts = []
+        for i, t in enumerate(self.tiers):
+            parts.append(f"[{i}] {t.name} {t.capacity / GiB:.1f} GiB")
+            if i < self.depth - 1:
+                dn = self.link_down(i).bandwidth / 1e9
+                up = self.link_up(i).bandwidth / 1e9
+                parts.append(f"--({dn:.1f}/{up:.1f} GB/s)-->")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Constructors
+# --------------------------------------------------------------------------
+
+def two_tier_hierarchy(device: Optional[DeviceSpec] = None,
+                       host: Optional[HostSpec] = None,
+                       link: Optional[LinkSpec] = None) -> MemoryHierarchy:
+    """The classic KARMA HBM <-> DRAM pair as a depth-2 hierarchy."""
+    device = device or v100_sxm2_16gb()
+    host = host or abci_host()
+    link = link or karma_swap_link()
+    return MemoryHierarchy(
+        tiers=(TierSpec("hbm", device.usable_memory, device.mem_bandwidth),
+               TierSpec("dram", host.memory, host.mem_bandwidth)),
+        links_down=(link,),
+    )
+
+
+def three_tier_hierarchy(device: Optional[DeviceSpec] = None,
+                         host: Optional[HostSpec] = None,
+                         storage: Optional[StorageSpec] = None,
+                         link: Optional[LinkSpec] = None) -> MemoryHierarchy:
+    """HBM <-> DRAM <-> NVMe with asymmetric storage links."""
+    device = device or v100_sxm2_16gb()
+    host = host or abci_host()
+    storage = storage or abci_nvme()
+    link = link or karma_swap_link()
+    # the SSD's internal streaming rate: reads bound promotions, writes
+    # bound demotions; the per-direction links already encode that, so the
+    # tier's own bandwidth is the faster of the two
+    ssd_bw = max(storage.read_bandwidth, storage.write_bandwidth)
+    return MemoryHierarchy(
+        tiers=(TierSpec("hbm", device.usable_memory, device.mem_bandwidth),
+               TierSpec("dram", host.memory, host.mem_bandwidth),
+               TierSpec("nvme", storage.capacity, ssd_bw)),
+        links_down=(link, storage.write_link()),
+        links_up=(link, storage.read_link()),
+    )
+
+
+def hierarchy_from_node(node: NodeSpec,
+                        link: Optional[LinkSpec] = None) -> MemoryHierarchy:
+    """Derive the hierarchy a node's hardware implies (2 or 3 tiers).
+
+    The HBM<->DRAM hop uses the node's own ``h2d`` link unless ``link``
+    overrides it (e.g. with the calibrated swap path — see
+    :func:`repro.hardware.spec.karma_swap_link`'s substitution note).
+    """
+    link = link or node.h2d
+    if node.storage is None:
+        return two_tier_hierarchy(node.device, node.host, link)
+    return three_tier_hierarchy(node.device, node.host, node.storage, link)
+
+
+def abci_hierarchy() -> MemoryHierarchy:
+    """The ABCI node's three-tier hierarchy with the calibrated swap path.
+
+    Like the planner's default transfer model, the HBM<->DRAM hop is the
+    calibrated 100 GB/s path rather than raw PCIe (the DESIGN substitution
+    that keeps the compute-to-transfer ratio paper-faithful).
+    """
+    return hierarchy_from_node(abci_node(), link=karma_swap_link())
+
+
+def tiny_test_hierarchy(hbm: float = 64 * MiB, dram: float = 256 * MiB,
+                        nvme: float = 4 * GiB,
+                        dram_bw: float = 10e9, link_bw: float = 1e9,
+                        nvme_read_bw: float = 0.2e9,
+                        nvme_write_bw: float = 0.1e9) -> MemoryHierarchy:
+    """A deliberately small hierarchy used by tests to force tier spills."""
+    storage = StorageSpec(name="tiny-nvme", capacity=nvme,
+                          read_bandwidth=nvme_read_bw,
+                          write_bandwidth=nvme_write_bw, latency=100e-6)
+    return MemoryHierarchy(
+        tiers=(TierSpec("hbm", hbm, 10 * link_bw),
+               TierSpec("dram", dram, dram_bw),
+               TierSpec("nvme", nvme, max(nvme_read_bw, nvme_write_bw))),
+        links_down=(LinkSpec("tiny-link", link_bw, latency=5e-6),
+                    storage.write_link()),
+        links_up=(LinkSpec("tiny-link", link_bw, latency=5e-6),
+                  storage.read_link()),
+    )
+
+
+# --------------------------------------------------------------------------
+# Runtime pools
+# --------------------------------------------------------------------------
+
+class TieredMemorySpace:
+    """One capacity-enforced pool per tier, with per-hop swap accounting.
+
+    The N-tier generalization of :class:`~repro.hardware.memory_pool.
+    MemorySpace`: the numeric executor allocates stash bytes in tier pools
+    and moves them along the hierarchy, subject to each pool's hard
+    capacity (OOM semantics identical to the two-pool case).  The legacy
+    ``swap_out_*`` / ``swap_in_*`` counters keep their two-tier meaning —
+    traffic leaving / entering the device tier — while ``demote_bytes`` /
+    ``promote_bytes`` break every hop out per tier boundary.
+    """
+
+    def __init__(self, capacities: Sequence[float],
+                 names: Optional[Sequence[str]] = None, *,
+                 caching: bool = True):
+        if len(capacities) < 2:
+            raise ValueError("a tiered space needs at least two tiers")
+        if names is None:
+            names = [TIER_NAMES[i] if i < len(TIER_NAMES) else f"tier{i}"
+                     for i in range(len(capacities))]
+        if len(names) != len(capacities):
+            raise ValueError("one name required per tier")
+        self.pools: List[MemoryPool] = [
+            MemoryPool(str(n), cap, caching=caching)
+            for n, cap in zip(names, capacities)]
+        # hop traffic: (upper tier) -> bytes/count across that boundary
+        self.demote_bytes: Dict[int, int] = {}
+        self.demote_count: Dict[int, int] = {}
+        self.promote_bytes: Dict[int, int] = {}
+        self.promote_count: Dict[int, int] = {}
+        self.swap_out_bytes = 0
+        self.swap_in_bytes = 0
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+
+    @classmethod
+    def from_hierarchy(cls, hierarchy: MemoryHierarchy, *,
+                       caching: bool = True) -> "TieredMemorySpace":
+        return cls(hierarchy.capacities(),
+                   [t.name for t in hierarchy.tiers], caching=caching)
+
+    # -- tier protocol (shared with MemorySpace) --------------------------
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.pools)
+
+    @property
+    def near(self) -> MemoryPool:
+        return self.pools[DEVICE_TIER]
+
+    @property
+    def far(self) -> MemoryPool:
+        return self.pools[DRAM_TIER]
+
+    def tier_pool(self, tier: TierRef) -> MemoryPool:
+        if isinstance(tier, Location):
+            tier = DEVICE_TIER if tier is Location.NEAR else DRAM_TIER
+        if not (0 <= int(tier) < self.num_tiers):
+            raise ValueError(f"no pool for tier {tier} in a "
+                             f"{self.num_tiers}-tier space")
+        return self.pools[int(tier)]
+
+    # legacy MemorySpace alias so either space type drops into the executor
+    def pool(self, location) -> MemoryPool:
+        return self.tier_pool(location)
+
+    def record_tier_swap(self, nbytes: int, src: int, dst: int) -> None:
+        """Account a stash move from tier ``src`` to tier ``dst``."""
+        if src == dst:
+            return
+        lo, hi = min(src, dst), max(src, dst)
+        for upper in range(lo, hi):
+            if dst > src:  # demotion
+                self.demote_bytes[upper] = \
+                    self.demote_bytes.get(upper, 0) + nbytes
+                self.demote_count[upper] = self.demote_count.get(upper, 0) + 1
+            else:          # promotion
+                self.promote_bytes[upper] = \
+                    self.promote_bytes.get(upper, 0) + nbytes
+                self.promote_count[upper] = \
+                    self.promote_count.get(upper, 0) + 1
+        if src == DEVICE_TIER:
+            self.swap_out_bytes += nbytes
+            self.swap_out_count += 1
+        if dst == DEVICE_TIER:
+            self.swap_in_bytes += nbytes
+            self.swap_in_count += 1
+
+    def stats(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for pool in self.pools:
+            out.update({f"{pool.name}.{k}": v
+                        for k, v in pool.memory_stats().items()})
+        for upper, v in sorted(self.demote_bytes.items()):
+            out[f"demote[{upper}->{upper + 1}].bytes"] = v
+            out[f"demote[{upper}->{upper + 1}].count"] = \
+                self.demote_count[upper]
+        for upper, v in sorted(self.promote_bytes.items()):
+            out[f"promote[{upper + 1}->{upper}].bytes"] = v
+            out[f"promote[{upper + 1}->{upper}].count"] = \
+                self.promote_count[upper]
+        out.update({
+            "swap.out_bytes": self.swap_out_bytes,
+            "swap.in_bytes": self.swap_in_bytes,
+            "swap.out_count": self.swap_out_count,
+            "swap.in_count": self.swap_in_count,
+        })
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pools = ", ".join(f"{p.name}={p.bytes_in_use}/{p.capacity}"
+                          for p in self.pools)
+        return f"TieredMemorySpace({pools})"

@@ -8,8 +8,9 @@ with every stash byte accounted in a capacity-enforced near pool:
                contexts to the near pool (OOM here means the plan is
                genuinely infeasible, like a real 16 GiB device);
 * ``Sout b`` — move the block's stash accounting (and array ownership) to
-               the far pool;
-* ``Sin b``  — bring it back;
+               the tier the plan placed it in (DRAM by default, NVMe for
+               storage-placed blocks under a tiered space);
+* ``Sin b``  — bring it back to the device tier;
 * ``R b``    — re-run the block's forwards from its checkpoint source;
                dropout uses counter-based streams, so the recompute is
                bit-identical to the original;
@@ -31,6 +32,7 @@ from ..core.schedule import BlockPolicy, ExecutionPlan, OpKind
 from ..graph.layer_graph import LayerGraph, LayerKind
 from ..graph.traversal import liveness_horizon
 from ..hardware.memory_pool import Allocation, Location, MemorySpace, OutOfMemoryError
+from ..hardware.tiering import DEVICE_TIER, TieredMemorySpace
 from ..nn.build import ExecutableModel
 
 Array = np.ndarray
@@ -55,7 +57,7 @@ class _StashEntry:
 
     nbytes: int
     allocation: Allocation
-    location: Location
+    tier: int  # memory tier index (0 = device)
 
 
 class OutOfCorePlanError(RuntimeError):
@@ -65,14 +67,22 @@ class OutOfCorePlanError(RuntimeError):
 class OutOfCoreExecutor:
     """Executes one training iteration of ``plan`` over ``model``.
 
-    ``space`` supplies the capacity-enforced near/far pools.  The executor
-    owns the activation (``acts``) and saved-context (``ctxs``) stores; the
-    model provides the layer-granular compute.
+    ``space`` supplies the capacity-enforced memory pools — either the
+    classic two-pool :class:`MemorySpace` or an N-pool
+    :class:`~repro.hardware.tiering.TieredMemorySpace`; both expose the
+    same tier-indexed protocol.  The executor owns the activation
+    (``acts``) and saved-context (``ctxs``) stores; the model provides the
+    layer-granular compute.
     """
 
     def __init__(self, model: ExecutableModel, plan: ExecutionPlan,
-                 space: MemorySpace):
+                 space: "MemorySpace | TieredMemorySpace"):
         plan.validate(model.graph)
+        if plan.max_tier >= space.num_tiers:
+            raise OutOfCorePlanError(
+                f"plan places stashes in tier {plan.max_tier} but the "
+                f"space has only {space.num_tiers} tier(s); use a "
+                "TieredMemorySpace matching the hierarchy")
         self.model = model
         self.plan = plan
         self.space = space
@@ -98,26 +108,37 @@ class OutOfCoreExecutor:
         nbytes = _tensor_bytes(self.acts.get(name)) \
             + _tensor_bytes(self.ctxs.get(name, ()))
         alloc = self.space.near.allocate(nbytes, tag=name)
-        self._stash[name] = _StashEntry(nbytes, alloc, Location.NEAR)
+        self._stash[name] = _StashEntry(nbytes, alloc, DEVICE_TIER)
 
     def _free(self, name: str) -> None:
         entry = self._stash.pop(name, None)
         if entry is not None:
-            self.space.pool(entry.location).free(entry.allocation)
+            self.space.tier_pool(entry.tier).free(entry.allocation)
         self.acts.pop(name, None)
         self.ctxs.pop(name, None)
 
-    def _move(self, name: str, dest: Location) -> None:
+    def _move(self, name: str, dest_tier: int) -> None:
         entry = self._stash.get(name)
         if entry is None:
             raise OutOfCorePlanError(f"no stash for layer {name!r}")
-        if entry.location is dest:
+        if entry.tier == dest_tier:
             return
-        new_alloc = self.space.pool(dest).allocate(entry.nbytes, tag=name)
-        self.space.pool(entry.location).free(entry.allocation)
+        src = entry.tier
+        # store-and-forward: a multi-hop move stages through every
+        # intermediate tier (the DRAM bounce buffer of a device<->NVMe
+        # transfer), so each intermediate pool must transiently hold the
+        # stash — matching the timing model's per-hop semantics
+        step = 1 if dest_tier > src else -1
+        for tier in range(src + step, dest_tier, step):
+            bounce = self.space.tier_pool(tier).allocate(
+                entry.nbytes, tag=f"{name}:bounce")
+            self.space.tier_pool(tier).free(bounce)
+        new_alloc = self.space.tier_pool(dest_tier).allocate(
+            entry.nbytes, tag=name)
+        self.space.tier_pool(entry.tier).free(entry.allocation)
         entry.allocation = new_alloc
-        entry.location = dest
-        self.space.record_swap(entry.nbytes, dest)
+        entry.tier = dest_tier
+        self.space.record_tier_swap(entry.nbytes, src, dest_tier)
 
     def _layer_names(self, block: int) -> List[str]:
         s, e = self.plan.blocks[block]
@@ -160,10 +181,10 @@ class OutOfCoreExecutor:
                                          batch=self._batch, training=True)
             self._charge(name)
 
-    def _swap(self, block: int, dest: Location) -> None:
+    def _swap(self, block: int, dest_tier: int) -> None:
         for name in self._layer_names(block):
             if name in self._stash:
-                self._move(name, dest)
+                self._move(name, dest_tier)
 
     def _backward_block(self, block: int) -> None:
         s, e = self.plan.blocks[block]
@@ -171,10 +192,10 @@ class OutOfCoreExecutor:
         if policy is BlockPolicy.SWAPPED:
             for name in self._layer_names(block):
                 entry = self._stash.get(name)
-                if entry is not None and entry.location is not Location.NEAR:
+                if entry is not None and entry.tier != DEVICE_TIER:
                     raise OutOfCorePlanError(
                         f"backward of block {block} before swap-in "
-                        f"({name!r} still far)")
+                        f"({name!r} still in tier {entry.tier})")
         for i in range(e - 1, s - 1, -1):
             name = self.graph[i].name
             if name not in self.douts:
@@ -214,9 +235,9 @@ class OutOfCoreExecutor:
                         loss = float(self.acts[last][0])
                         self.douts[last] = np.ones_like(self.acts[last])
                 elif op.kind is OpKind.SWAP_OUT:
-                    self._swap(b, Location.FAR)
+                    self._swap(b, self.plan.stash_tier(b))
                 elif op.kind is OpKind.SWAP_IN:
-                    self._swap(b, Location.NEAR)
+                    self._swap(b, DEVICE_TIER)
                 elif op.kind is OpKind.RECOMPUTE:
                     self._recompute_block(b)
                 elif op.kind is OpKind.BACKWARD:

@@ -13,6 +13,14 @@ Op semantics (single-worker iteration):
 * ``R b``   — recompute (re-forward) from the nearest upstream checkpoint
 * ``B b``   — backward of block b; releases the stash when done
 
+Stashes placed past DRAM (``plan.placements[b] >= 2``) lower to *chained*
+swap pairs: the host-link hop (``d2h``/``h2d``) plus a storage-link hop on
+the dedicated exclusive ``d2s``/``s2d`` resources, so NVMe contention
+surfaces in the stall profile exactly like host-link contention does.
+Simulating a storage-placed plan requires a
+:class:`~repro.hardware.tiering.MemoryHierarchy` for the storage link's
+timing.
+
 Weights stay device-resident in single-worker plans (Fig. 2 swaps
 activations); the distributed 5-stage pipeline moves weights and gradients
 too and is simulated in :mod:`repro.sim.distributed_sim`.
@@ -33,6 +41,7 @@ from ..core.schedule import (
     Stage,
 )
 from ..costs.profiler import CostModel
+from ..hardware.tiering import MemoryHierarchy
 from .engine import SimOp, SimResult, SimulationDeadlock, simulate
 
 
@@ -49,19 +58,37 @@ class BlockCosts:
     stash_bytes: Tuple[int, ...]
     boundary_bytes: Tuple[int, ...]    # the block's output activation
     weight_bytes: Tuple[int, ...]
-    swap_time: Tuple[float, ...]       # one-way stash transfer
+    swap_time: Tuple[float, ...]       # one-way stash transfer (host link)
     grad_swap_time: Tuple[float, ...]  # gradients D2H (distributed pipeline)
+    # storage-link hop times past DRAM; all zeros for DRAM-only plans
+    storage_out_time: Tuple[float, ...] = ()
+    storage_in_time: Tuple[float, ...] = ()
 
     @property
     def num_blocks(self) -> int:
         return len(self.fw)
 
+    def storage_out(self, block: int) -> float:
+        return self.storage_out_time[block] if self.storage_out_time else 0.0
+
+    def storage_in(self, block: int) -> float:
+        return self.storage_in_time[block] if self.storage_in_time else 0.0
+
 
 def block_costs(blocks: Sequence[Tuple[int, int]],
-                cost: CostModel) -> BlockCosts:
-    """Aggregate the cost model over a blocking."""
+                cost: CostModel,
+                hierarchy: Optional[MemoryHierarchy] = None,
+                placements: Optional[Dict[int, int]] = None) -> BlockCosts:
+    """Aggregate the cost model over a blocking.
+
+    When ``hierarchy``/``placements`` are given, blocks placed past DRAM
+    also get storage-link hop times (the DRAM <-> NVMe legs of the chained
+    transfer); the host-link leg keeps the calibrated ``swap_time``.
+    """
     fw, bw, stash, bnd, wbytes, swap, gswap = [], [], [], [], [], [], []
-    for (s, e) in blocks:
+    sto_out, sto_in = [], []
+    placements = placements or {}
+    for bi, (s, e) in enumerate(blocks):
         fw.append(cost.block_fw_time(s, e))
         bw.append(cost.block_bw_time(s, e))
         sb = cost.block_activation_bytes(s, e)
@@ -71,9 +98,18 @@ def block_costs(blocks: Sequence[Tuple[int, int]],
         wbytes.append(wb)
         swap.append(cost.transfer.swap_time(sb))
         gswap.append(cost.transfer.swap_time(wb))
+        tier = placements.get(bi, 1)
+        if tier >= 2 and hierarchy is not None:
+            sto_out.append(hierarchy.transfer_time(sb, 1, tier))
+            sto_in.append(hierarchy.transfer_time(sb, tier, 1))
+        else:
+            sto_out.append(0.0)
+            sto_in.append(0.0)
     return BlockCosts(fw=tuple(fw), bw=tuple(bw), stash_bytes=tuple(stash),
                       boundary_bytes=tuple(bnd), weight_bytes=tuple(wbytes),
-                      swap_time=tuple(swap), grad_swap_time=tuple(gswap))
+                      swap_time=tuple(swap), grad_swap_time=tuple(gswap),
+                      storage_out_time=tuple(sto_out),
+                      storage_in_time=tuple(sto_in))
 
 
 @dataclass
@@ -88,12 +124,16 @@ class IterationResult:
     total_stall: float
     bw_block_stalls: Dict[int, float]  # idle gap right before each B op
     samples_per_sec: float
+    storage_busy: float = 0.0          # seconds on the d2s + s2d links
 
     def summary(self) -> str:
-        return (f"iteration {self.makespan * 1e3:8.2f} ms | occupancy "
+        line = (f"iteration {self.makespan * 1e3:8.2f} ms | occupancy "
                 f"{self.gpu_occupancy * 100:5.1f}% | stalls "
                 f"{self.total_stall * 1e3:7.2f} ms | "
                 f"{self.samples_per_sec:8.1f} samples/s")
+        if self.storage_busy > 0:
+            line += f" | storage {self.storage_busy * 1e3:7.2f} ms"
+        return line
 
 
 def _stash_ledger_capacity(plan: ExecutionPlan, costs: BlockCosts,
@@ -127,15 +167,24 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
       ``b + prefetch_lookahead`` — prefetch depth is bounded, so eager
       swap-ins cannot hoard the memory that upcoming recompute scratch or
       outstanding forwards still need.
+
+    Swaps placed past DRAM lower to a chained op pair — the host-link hop
+    plus a storage-link hop on the exclusive ``d2s``/``s2d`` resources —
+    so one plan-level op may produce two SimOps.  The ``ids`` map always
+    points at the *final* hop (the one downstream deps must wait for).
     """
-    specs: List[Tuple[OpKind, int, float, List[object], int, int]] = []
+    specs: List[Tuple[OpKind, int, float, List[object], int, int,
+                      Optional[str], Optional[str]]] = []
     ids: Dict[Tuple[OpKind, int], int] = {}
     n = plan.num_blocks
 
     def emit(kind: OpKind, block: int, duration: float, deps: List[object],
-             acquire: int = 0, release: int = 0) -> int:
+             acquire: int = 0, release: int = 0,
+             resource: Optional[str] = None,
+             label: Optional[str] = None) -> int:
         op_id = len(specs)
-        specs.append((kind, block, duration, deps, acquire, release))
+        specs.append((kind, block, duration, deps, acquire, release,
+                      resource, label))
         ids[(kind, block)] = op_id
         return op_id
 
@@ -174,16 +223,40 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
                 emit(OpKind.FORWARD, b, costs.fw[b], deps,
                      acquire=costs.stash_bytes[b], release=release)
             elif op.kind is OpKind.SWAP_OUT:
-                emit(OpKind.SWAP_OUT, b, costs.swap_time[b],
-                     [(OpKind.FORWARD, b)], release=costs.stash_bytes[b])
+                tier = plan.stash_tier(b)
+                if tier >= 2 and costs.storage_out(b) > 0:
+                    # chained demotion: D2H stages into the DRAM bounce
+                    # buffer (stash leaves the device ledger here), then
+                    # the storage write occupies the exclusive D2S link
+                    host_hop = emit(
+                        OpKind.SWAP_OUT, b, costs.swap_time[b],
+                        [(OpKind.FORWARD, b)], release=costs.stash_bytes[b],
+                        resource=Resource.D2H.value, label=f"Sout{b + 1}")
+                    emit(OpKind.SWAP_OUT, b, costs.storage_out(b),
+                         [host_hop], resource=Resource.D2S.value,
+                         label=op.label())
+                else:
+                    emit(OpKind.SWAP_OUT, b, costs.swap_time[b],
+                         [(OpKind.FORWARD, b)], release=costs.stash_bytes[b])
             elif op.kind is OpKind.SWAP_IN:
                 deps = [(OpKind.SWAP_OUT, b)]
                 if last_gpu_prev_stages is not None:
                     deps.append(last_gpu_prev_stages)
                 if prefetch_lookahead and b + prefetch_lookahead < n:
                     deps.append((OpKind.BACKWARD, b + prefetch_lookahead))
-                emit(OpKind.SWAP_IN, b, costs.swap_time[b], deps,
-                     acquire=costs.stash_bytes[b])
+                tier = plan.stash_tier(b)
+                if tier >= 2 and costs.storage_in(b) > 0:
+                    # chained promotion: the storage read (S2D) lands in
+                    # DRAM first; only the H2D hop claims device memory
+                    storage_hop = emit(
+                        OpKind.SWAP_IN, b, costs.storage_in(b), deps,
+                        resource=Resource.S2D.value, label=op.label())
+                    emit(OpKind.SWAP_IN, b, costs.swap_time[b],
+                         [storage_hop], acquire=costs.stash_bytes[b],
+                         resource=Resource.H2D.value, label=f"Sin{b + 1}")
+                else:
+                    emit(OpKind.SWAP_IN, b, costs.swap_time[b], deps,
+                         acquire=costs.stash_bytes[b])
             elif op.kind is OpKind.RECOMPUTE:
                 key = checkpoint_key(b)
                 deps = [key] if key is not None else []
@@ -216,8 +289,8 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
     # resolve symbolic (kind, block) deps to op ids; drop deps on ops that
     # were never emitted (e.g. lookahead pointing past scheduled backwards)
     ops: List[SimOp] = []
-    for op_id, (kind, block, duration, deps, acquire, release) in \
-            enumerate(specs):
+    for op_id, (kind, block, duration, deps, acquire, release,
+                resource, label) in enumerate(specs):
         resolved = []
         for d in deps:
             if isinstance(d, tuple):
@@ -230,22 +303,32 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
             else:
                 resolved.append(d)
         ops.append(SimOp(op_id=op_id,
-                         resource=Op(kind, block).resource.value,
+                         resource=resource
+                         or Op(kind, block).resource.value,
                          duration=duration, deps=tuple(resolved),
                          mem_acquire=acquire, mem_release=release,
-                         label=Op(kind, block).label()))
+                         label=label or Op(kind, block).label()))
     return ops
 
 
 def simulate_plan(plan: ExecutionPlan, cost: CostModel,
-                  capacity: float) -> IterationResult:
+                  capacity: float,
+                  hierarchy: Optional[MemoryHierarchy] = None
+                  ) -> IterationResult:
     """Price one training iteration of ``plan`` on the cost model's device.
 
     Raises :class:`OutOfCoreInfeasible` when the plan cannot fit (either
     persistent state exceeds capacity, or the event simulation deadlocks on
     the stash ledger — e.g. a single block larger than available memory).
+    Plans that place stashes past DRAM need a ``hierarchy`` for the
+    storage link's timing.
     """
-    costs = block_costs(plan.blocks, cost)
+    if plan.uses_storage and hierarchy is None:
+        raise ValueError(
+            "plan places stashes on a storage tier; pass the "
+            "MemoryHierarchy so the storage link can be priced")
+    costs = block_costs(plan.blocks, cost, hierarchy=hierarchy,
+                        placements=plan.placements)
     ledger = _stash_ledger_capacity(plan, costs, cost, capacity)
     ops = compile_plan(plan, costs)
     try:
@@ -271,9 +354,12 @@ def simulate_plan(plan: ExecutionPlan, cost: CostModel,
                 bw_stalls[block] = bw_stalls.get(block, 0.0) \
                     + (t.start - prev_finish)
         prev_finish = t.finish
+    storage_busy = (sim.resource_busy.get(Resource.D2S.value, 0.0)
+                    + sim.resource_busy.get(Resource.S2D.value, 0.0))
     return IterationResult(
         plan=plan, sim=sim, makespan=sim.makespan, gpu_busy=gpu_busy,
         gpu_occupancy=occupancy, total_stall=total_stall,
         bw_block_stalls=bw_stalls,
         samples_per_sec=plan.batch_size / sim.makespan
-        if sim.makespan > 0 else math.inf)
+        if sim.makespan > 0 else math.inf,
+        storage_busy=storage_busy)

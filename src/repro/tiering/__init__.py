@@ -1,0 +1,26 @@
+"""Tiered offload: stash placement across an N-level memory hierarchy.
+
+The :mod:`repro.hardware.tiering` module models *what the hierarchy is*
+(tier capacities, link bandwidths, runtime pools); this package decides
+*how to use it*: which tier each swapped block's stash lands in, given the
+blocking, the cost model, and the hierarchy's capacity/bandwidth profile.
+"""
+
+from .placement import (
+    PLACEMENT_POLICIES,
+    PlacementError,
+    PlacementResult,
+    assign_tiers,
+    bandwidth_aware_placement,
+    capacity_pressure_placement,
+    placement_feasible,
+    random_legal_placement,
+    swapped_stash_bytes,
+)
+
+__all__ = [
+    "PLACEMENT_POLICIES", "PlacementError", "PlacementResult",
+    "assign_tiers", "bandwidth_aware_placement",
+    "capacity_pressure_placement", "placement_feasible",
+    "random_legal_placement", "swapped_stash_bytes",
+]

@@ -1,0 +1,240 @@
+"""Bandwidth-aware stash placement: which tier does each swap land in?
+
+With a two-tier hierarchy the question never arises — every swapped stash
+lands in host DRAM.  A three-tier hierarchy (HBM -> DRAM -> NVMe) poses a
+real optimization problem: the NVMe link is one to two orders of magnitude
+slower than the host link, so placement must weigh each block's *slack* —
+how long its stash sits cold between swap-out and swap-in — against the
+tiers' capacity budgets.
+
+Blocks backward in descending order, so block b's swap-in deadline is the
+end of blocks b+1..n-1's backward phase: *low-index blocks are the coldest*
+(longest slack, most able to hide a slow NVMe round trip) and high-index
+blocks are the hottest (their stash is needed again almost immediately).
+
+Two policies, both returning a :class:`PlacementResult`:
+
+* ``"bandwidth"`` (default) — greedy bandwidth-aware: walk blocks hottest
+  to coldest, placing each in the fastest tier with remaining budget.  Hot
+  blocks monopolize DRAM; the overflow that demotes to NVMe is exactly the
+  cold prefix that can afford it.
+* ``"pressure"`` — capacity-pressure fallback: start everything in DRAM
+  and demote the coldest blocks to NVMe until DRAM usage drops under a
+  pressure threshold.  Keeps DRAM headroom for the host-side pipeline
+  (phased exchange buffers, CPU optimizer state) at the cost of extra
+  storage traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.schedule import BlockPolicy
+from ..costs.profiler import CostModel
+from ..hardware.tiering import DRAM_TIER, MemoryHierarchy
+
+PLACEMENT_POLICIES = ("bandwidth", "pressure")
+
+#: Fraction of each non-device tier's capacity stashes may claim; the rest
+#: is headroom for host/OS state the planner cannot see.
+DEFAULT_UTILIZATION = 0.9
+
+#: The "pressure" policy demotes until DRAM stash usage is under this
+#: fraction of the DRAM budget.
+DEFAULT_PRESSURE = 0.5
+
+
+class PlacementError(ValueError):
+    """The hierarchy cannot hold the plan's swapped stash."""
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """A stash-tier assignment for every swapped block."""
+
+    placements: Dict[int, int]        # swapped block -> tier index (>= 1)
+    policy: str
+    tier_bytes: Dict[int, int]        # tier -> total stash bytes placed
+    demoted: Tuple[int, ...]          # blocks placed past DRAM, ascending
+
+    @property
+    def uses_storage(self) -> bool:
+        return bool(self.demoted)
+
+    def describe(self) -> str:
+        parts = [f"placement[{self.policy}]"]
+        for tier, nbytes in sorted(self.tier_bytes.items()):
+            blocks = sorted(b for b, t in self.placements.items()
+                            if t == tier)
+            parts.append(f"  tier {tier}: {len(blocks)} block(s), "
+                         f"{nbytes / 2**20:.1f} MiB {blocks}")
+        return "\n".join(parts)
+
+
+def swapped_stash_bytes(blocks: Sequence[Tuple[int, int]],
+                        policies: Sequence[BlockPolicy],
+                        cost: CostModel) -> Dict[int, int]:
+    """Stash bytes per swapped block (the bytes that travel on a swap)."""
+    return {b: cost.block_activation_bytes(s, e)
+            for b, ((s, e), p) in enumerate(zip(blocks, policies))
+            if p is BlockPolicy.SWAPPED}
+
+
+def tier_budgets(hierarchy: MemoryHierarchy,
+                 utilization: float = DEFAULT_UTILIZATION) -> Dict[int, int]:
+    """Stash byte budget per non-device tier."""
+    if not (0.0 < utilization <= 1.0):
+        raise ValueError("utilization must be in (0, 1]")
+    return {t: int(hierarchy.tiers[t].capacity * utilization)
+            for t in range(DRAM_TIER, hierarchy.depth)}
+
+
+def placement_feasible(placements: Mapping[int, int],
+                       stash: Mapping[int, int],
+                       hierarchy: MemoryHierarchy,
+                       utilization: float = DEFAULT_UTILIZATION) -> bool:
+    """True when every tier's placed stash fits its budget.
+
+    Conservative: all swapped stashes are counted as coexisting in their
+    tier (they do, between the forward and backward phases).
+    """
+    budgets = tier_budgets(hierarchy, utilization)
+    used: Dict[int, int] = {}
+    for b, tier in placements.items():
+        if tier not in budgets:
+            return False
+        used[tier] = used.get(tier, 0) + stash[b]
+    return all(used.get(t, 0) <= budgets[t] for t in budgets)
+
+
+def _result(placements: Dict[int, int], stash: Mapping[int, int],
+            policy: str) -> PlacementResult:
+    tier_bytes: Dict[int, int] = {}
+    for b, t in placements.items():
+        tier_bytes[t] = tier_bytes.get(t, 0) + stash[b]
+    demoted = tuple(sorted(b for b, t in placements.items() if t >= 2))
+    return PlacementResult(placements=placements, policy=policy,
+                           tier_bytes=tier_bytes, demoted=demoted)
+
+
+def bandwidth_aware_placement(stash: Mapping[int, int],
+                              hierarchy: MemoryHierarchy, *,
+                              utilization: float = DEFAULT_UTILIZATION
+                              ) -> PlacementResult:
+    """Greedy bandwidth-aware placement: hottest blocks get the fastest
+    tier with remaining budget.
+
+    Hotness is swap-in urgency: high block indices backward first, so they
+    are placed first and claim DRAM; the cold low-index overflow demotes
+    down the hierarchy where its slack can absorb the slower links.
+    """
+    budgets = tier_budgets(hierarchy, utilization)
+    free = dict(budgets)
+    placements: Dict[int, int] = {}
+    for b in sorted(stash, reverse=True):          # hottest first
+        need = stash[b]
+        for tier in sorted(free):                  # fastest tier first
+            if need <= free[tier]:
+                placements[b] = tier
+                free[tier] -= need
+                break
+        else:
+            raise PlacementError(
+                f"block {b} stash ({need} B) fits no tier: free "
+                f"{ {t: v for t, v in free.items()} } of budgets "
+                f"{budgets} — the hierarchy cannot hold this plan")
+    return _result(placements, stash, "bandwidth")
+
+
+def capacity_pressure_placement(stash: Mapping[int, int],
+                                hierarchy: MemoryHierarchy, *,
+                                utilization: float = DEFAULT_UTILIZATION,
+                                pressure: float = DEFAULT_PRESSURE
+                                ) -> PlacementResult:
+    """Capacity-pressure fallback: demote cold blocks until DRAM relaxes.
+
+    Everything starts in DRAM; while DRAM usage exceeds ``pressure`` of its
+    budget (or the budget outright), the coldest DRAM-resident block
+    demotes to the shallowest deeper tier with room.  Without a storage
+    tier the pressure target is unreachable but legal — only a hard budget
+    overflow raises.
+    """
+    if not (0.0 < pressure <= 1.0):
+        raise ValueError("pressure must be in (0, 1]")
+    budgets = tier_budgets(hierarchy, utilization)
+    placements: Dict[int, int] = {b: DRAM_TIER for b in stash}
+    used: Dict[int, int] = {t: 0 for t in budgets}
+    used[DRAM_TIER] = sum(stash.values())
+    target = int(budgets[DRAM_TIER] * pressure)
+    deeper = [t for t in sorted(budgets) if t > DRAM_TIER]
+    cold_order = sorted(stash)                     # coldest (lowest) first
+    for b in cold_order:
+        if used[DRAM_TIER] <= target:
+            break
+        for tier in deeper:
+            if used[tier] + stash[b] <= budgets[tier]:
+                placements[b] = tier
+                used[DRAM_TIER] -= stash[b]
+                used[tier] += stash[b]
+                break
+    if used[DRAM_TIER] > budgets[DRAM_TIER]:
+        raise PlacementError(
+            f"DRAM stash {used[DRAM_TIER]} B exceeds budget "
+            f"{budgets[DRAM_TIER]} B and no deeper tier has room")
+    return _result(placements, stash, "pressure")
+
+
+def random_legal_placement(stash: Mapping[int, int],
+                           hierarchy: MemoryHierarchy,
+                           rng: np.random.Generator, *,
+                           utilization: float = DEFAULT_UTILIZATION
+                           ) -> PlacementResult:
+    """A uniformly random tier per block, repaired to respect budgets.
+
+    Test utility: the bit-exactness suite asserts gradient equality under
+    arbitrary legal placements, not just the ones the policies produce.
+    """
+    budgets = tier_budgets(hierarchy, utilization)
+    tiers = sorted(budgets)
+    free = dict(budgets)
+    placements: Dict[int, int] = {}
+    order = list(stash)
+    rng.shuffle(order)
+    for b in order:
+        need = stash[b]
+        choices = [t for t in tiers if need <= free[t]]
+        if not choices:
+            raise PlacementError(f"block {b} stash ({need} B) fits no tier")
+        t = int(rng.choice(choices))
+        placements[b] = t
+        free[t] -= need
+    return _result(placements, stash, "random")
+
+
+def assign_tiers(blocks: Sequence[Tuple[int, int]],
+                 policies: Sequence[BlockPolicy],
+                 cost: CostModel,
+                 hierarchy: Optional[MemoryHierarchy], *,
+                 policy: str = "bandwidth",
+                 utilization: float = DEFAULT_UTILIZATION,
+                 pressure: float = DEFAULT_PRESSURE) -> PlacementResult:
+    """Place every swapped block's stash in a tier of ``hierarchy``.
+
+    ``hierarchy=None`` means the legacy unbounded-DRAM assumption: all
+    stashes in DRAM, no capacity check (the seed's behaviour).
+    """
+    stash = swapped_stash_bytes(blocks, policies, cost)
+    if hierarchy is None:
+        return _result({b: DRAM_TIER for b in stash}, stash, "dram-only")
+    if policy == "bandwidth":
+        return bandwidth_aware_placement(stash, hierarchy,
+                                         utilization=utilization)
+    if policy == "pressure":
+        return capacity_pressure_placement(stash, hierarchy,
+                                           utilization=utilization,
+                                           pressure=pressure)
+    raise ValueError(f"unknown placement policy {policy!r}; "
+                     f"choose from {PLACEMENT_POLICIES}")

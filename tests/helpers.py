@@ -35,3 +35,16 @@ def build_small_unet(name: str = "small_unet"):
     from repro.models.unet import unet
 
     return unet(image=32, in_channels=1, classes=2, base_width=4, depth=2)
+
+
+def uniform_blocks(graph, k: int):
+    """Split a graph's layers into ``k`` roughly equal contiguous blocks.
+
+    ``k`` is a cap: rounding merges boundaries when ``k`` approaches the
+    layer count, so fewer blocks may come back — callers that zip against
+    a fixed-length policy list must keep ``k`` well below ``len(graph)``.
+    """
+    n = len(graph)
+    bounds = sorted({round((i + 1) * n / k) for i in range(k)} - {0})
+    bounds[-1] = n
+    return list(zip([0] + bounds[:-1], bounds))

@@ -1,0 +1,460 @@
+"""Tiered offload subsystem: hierarchy model, placement policies, tier-
+qualified plans, storage-link simulation, and 3-tier numeric execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockPolicy, PlanValidationError, make_plan, plan
+from repro.core.schedule import Op, OpKind, Resource
+from repro.costs.profiler import profile_graph
+from repro.hardware import (
+    GiB,
+    MiB,
+    MemorySpace,
+    OutOfMemoryError,
+    TieredMemorySpace,
+    TransferModel,
+    abci_host,
+    abci_hierarchy,
+    karma_swap_link,
+    three_tier_hierarchy,
+    tiny_test_device,
+    tiny_test_hierarchy,
+    two_tier_hierarchy,
+)
+from repro.hardware.spec import LinkSpec, StorageSpec, abci_nvme
+from repro.hardware.tiering import MemoryHierarchy, TierSpec
+from repro.nn import ExecutableModel
+from repro.runtime import OutOfCoreExecutor, OutOfCorePlanError
+from repro.sim import simulate_plan
+from repro.tiering import (
+    PlacementError,
+    assign_tiers,
+    bandwidth_aware_placement,
+    capacity_pressure_placement,
+    random_legal_placement,
+    swapped_stash_bytes,
+)
+
+from tests.helpers import build_small_cnn, uniform_blocks as blocks_of
+
+S, R, C = BlockPolicy.SWAPPED, BlockPolicy.RESIDENT, BlockPolicy.RECOMPUTED
+
+
+# --------------------------------------------------------------------------
+# hierarchy model
+# --------------------------------------------------------------------------
+
+class TestMemoryHierarchy:
+    def test_abci_hierarchy_shape(self):
+        h = abci_hierarchy()
+        assert h.depth == 3
+        assert [t.name for t in h.tiers] == ["hbm", "dram", "nvme"]
+        assert h.tier_index("nvme") == 2
+        assert h.has_storage
+
+    def test_two_tier_has_no_storage(self):
+        assert not two_tier_hierarchy().has_storage
+
+    def test_transfer_time_adds_hops(self):
+        h = abci_hierarchy()
+        one_hop = h.transfer_time(1 * GiB, 0, 1)
+        two_hop = h.transfer_time(1 * GiB, 0, 2)
+        assert two_hop > one_hop
+        assert two_hop == pytest.approx(
+            one_hop + h.transfer_time(1 * GiB, 1, 2))
+
+    def test_asymmetric_storage_links(self):
+        h = abci_hierarchy()
+        # NVMe writes (demotion) are slower than reads (promotion)
+        assert h.transfer_time(1 * GiB, 1, 2) > h.transfer_time(1 * GiB, 2, 1)
+
+    def test_effective_bandwidth_bounded_by_slowest(self):
+        h = abci_hierarchy()
+        nvme_write = abci_nvme().write_bandwidth
+        assert h.effective_bandwidth(0, 2) < nvme_write
+
+    def test_validation_errors(self):
+        t = TierSpec("hbm", 1 * GiB, 1e9)
+        with pytest.raises(ValueError):
+            MemoryHierarchy(tiers=(t,), links_down=())
+        with pytest.raises(ValueError):
+            MemoryHierarchy(tiers=(t, TierSpec("dram", 1 * GiB, 1e9)),
+                            links_down=())
+        with pytest.raises(ValueError):
+            TierSpec("bad", -1, 1e9)
+        with pytest.raises(ValueError):
+            StorageSpec("bad", 1 * GiB, -1, 1e9)
+
+
+# --------------------------------------------------------------------------
+# placement policies
+# --------------------------------------------------------------------------
+
+class TestPlacement:
+    STASH = {0: 100, 1: 100, 2: 100, 3: 100}
+
+    def _hier(self, dram, nvme=10_000):
+        return tiny_test_hierarchy(hbm=1 * MiB, dram=int(dram / 0.9) + 1,
+                                   nvme=int(nvme / 0.9) + 1)
+
+    def test_bandwidth_fills_dram_hottest_first(self):
+        res = bandwidth_aware_placement(self.STASH, self._hier(dram=200))
+        # blocks 3, 2 (hottest) get DRAM; 1, 0 overflow to NVMe
+        assert res.placements[3] == 1 and res.placements[2] == 1
+        assert res.placements[1] == 2 and res.placements[0] == 2
+        assert res.demoted == (0, 1)
+
+    def test_pressure_demotes_coldest(self):
+        res = capacity_pressure_placement(self.STASH, self._hier(dram=400),
+                                          pressure=0.5)
+        # pressure target = 200 of 400: the two coldest demote
+        assert res.placements[0] == 2 and res.placements[1] == 2
+        assert res.placements[2] == 1 and res.placements[3] == 1
+
+    def test_everything_fits_dram_no_demotion(self):
+        res = bandwidth_aware_placement(self.STASH, self._hier(dram=4000))
+        assert all(t == 1 for t in res.placements.values())
+        assert not res.uses_storage
+
+    def test_overflow_without_storage_raises(self):
+        h = MemoryHierarchy(
+            tiers=(TierSpec("hbm", 1 * MiB, 1e9),
+                   TierSpec("dram", 250, 1e9)),
+            links_down=(LinkSpec("l", 1e9),))
+        with pytest.raises(PlacementError):
+            bandwidth_aware_placement(self.STASH, h)
+        with pytest.raises(PlacementError):
+            capacity_pressure_placement(self.STASH, h)
+
+    def test_random_placement_is_legal(self):
+        from repro.tiering.placement import placement_feasible
+        h = self._hier(dram=250)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            res = random_legal_placement(self.STASH, h, rng)
+            assert placement_feasible(res.placements, self.STASH, h)
+
+    def test_assign_tiers_without_hierarchy_is_dram_only(self, small_cnn,
+                                                         small_cnn_cost):
+        blocks = blocks_of(small_cnn, 4)
+        policies = [S, S, S, R]
+        res = assign_tiers(blocks, policies, small_cnn_cost, None)
+        assert set(res.placements) == {0, 1, 2}
+        assert all(t == 1 for t in res.placements.values())
+
+
+# --------------------------------------------------------------------------
+# tier-qualified plan IR
+# --------------------------------------------------------------------------
+
+class TestTieredPlanIR:
+    def test_tier_qualified_ops_and_labels(self, small_cnn):
+        blocks = blocks_of(small_cnn, 4)
+        p = make_plan(small_cnn.name, 8, blocks, [S, S, S, R],
+                      placements={0: 2, 1: 1})
+        s = p.plan_string()
+        assert "Sout1@t2" in s and "Sin1@t2" in s
+        assert "Sout2@t2" not in s  # DRAM swaps keep plain notation
+        assert p.stash_tier(0) == 2 and p.stash_tier(1) == 1
+        assert p.uses_storage and p.max_tier == 2
+
+    def test_storage_swaps_use_storage_resources(self):
+        out = Op(OpKind.SWAP_OUT, 0, src_tier=0, dst_tier=2)
+        back = Op(OpKind.SWAP_IN, 0, src_tier=2, dst_tier=0)
+        assert out.resource is Resource.D2S
+        assert back.resource is Resource.S2D
+        assert Op(OpKind.SWAP_OUT, 0).resource is Resource.D2H
+
+    def test_placement_for_unswapped_block_rejected(self, small_cnn):
+        blocks = blocks_of(small_cnn, 4)
+        with pytest.raises(PlanValidationError):
+            make_plan(small_cnn.name, 8, blocks, [S, S, S, R],
+                      placements={3: 2})
+
+    def test_device_tier_placement_rejected(self, small_cnn):
+        blocks = blocks_of(small_cnn, 4)
+        with pytest.raises(PlanValidationError):
+            make_plan(small_cnn.name, 8, blocks, [S, S, S, R],
+                      placements={0: 0})
+
+    def test_inconsistent_op_tier_rejected(self, small_cnn):
+        from repro.core.schedule import ExecutionPlan, Stage
+        blocks = blocks_of(small_cnn, 4)
+        base = make_plan(small_cnn.name, 8, blocks, [S, S, S, R],
+                         placements={0: 2, 1: 1, 2: 1})
+        bad_stages = []
+        for stage in base.stages:
+            ops = tuple(Op(o.kind, o.block, src_tier=1, dst_tier=0)
+                        if (o.kind is OpKind.SWAP_IN and o.block == 0)
+                        else o for o in stage.ops)
+            bad_stages.append(Stage(ops))
+        bad = ExecutionPlan(
+            model_name=base.model_name, batch_size=base.batch_size,
+            blocks=base.blocks, policies=base.policies,
+            stages=tuple(bad_stages), checkpoints=dict(base.checkpoints),
+            placements=dict(base.placements))
+        with pytest.raises(PlanValidationError):
+            bad.validate()
+
+
+# --------------------------------------------------------------------------
+# storage-link simulation
+# --------------------------------------------------------------------------
+
+class TestStorageSimulation:
+    @pytest.fixture(scope="class")
+    def sim_case(self, small_cnn, platform):
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, batch_size=8)
+        blocks = blocks_of(small_cnn, 4)
+        policies = [S, S, S, R]
+        stash = swapped_stash_bytes(blocks, policies, cost)
+        hier = tiny_test_hierarchy(hbm=4 * MiB,
+                                   dram=4 * int(sum(stash.values())),
+                                   nvme=64 * MiB)
+        return cost, blocks, policies, stash, hier
+
+    def test_nvme_bound_strictly_slower_than_dram_twin(self, small_cnn,
+                                                       sim_case):
+        cost, blocks, policies, stash, hier = sim_case
+        dram_twin = make_plan(small_cnn.name, 8, blocks, policies,
+                              placements={b: 1 for b in stash})
+        nvme_twin = make_plan(small_cnn.name, 8, blocks, policies,
+                              placements={b: 2 for b in stash})
+        res_d = simulate_plan(dram_twin, cost, 2 * GiB, hierarchy=hier)
+        res_n = simulate_plan(nvme_twin, cost, 2 * GiB, hierarchy=hier)
+        assert res_n.makespan > res_d.makespan
+        assert res_n.storage_busy > 0.0
+        assert res_d.storage_busy == 0.0
+
+    def test_storage_resources_in_stall_profile(self, small_cnn, sim_case):
+        cost, blocks, policies, stash, hier = sim_case
+        nvme_twin = make_plan(small_cnn.name, 8, blocks, policies,
+                              placements={b: 2 for b in stash})
+        res = simulate_plan(nvme_twin, cost, 2 * GiB, hierarchy=hier)
+        assert Resource.D2S.value in res.sim.resource_busy
+        assert Resource.S2D.value in res.sim.resource_busy
+        # every storage swap also stages over the host link
+        assert Resource.D2H.value in res.sim.resource_busy
+        assert Resource.H2D.value in res.sim.resource_busy
+
+    def test_storage_plan_requires_hierarchy(self, small_cnn, sim_case):
+        cost, blocks, policies, stash, _ = sim_case
+        nvme_twin = make_plan(small_cnn.name, 8, blocks, policies,
+                              placements={b: 2 for b in stash})
+        with pytest.raises(ValueError):
+            simulate_plan(nvme_twin, cost, 2 * GiB)
+
+
+# --------------------------------------------------------------------------
+# 3-tier numeric execution: the bit-exactness invariant
+# --------------------------------------------------------------------------
+
+def reference_grads(graph, x, y, seed=7):
+    m = ExecutableModel(graph, dtype=np.float64, seed=seed)
+    m.set_step(0)
+    m.zero_grad()
+    m.forward(x, y)
+    m.backward()
+    return {(l, p): a.copy() for l, p, a in m.gradients()}
+
+
+class TestThreeTierBitExactness:
+    @pytest.fixture(scope="class")
+    def cnn_case(self):
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        return g, x, y, reference_grads(g, x, y)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_legal_3tier_placements_bit_identical(self, cnn_case,
+                                                         seed, platform):
+        """Gradients equal in-core backprop under arbitrary legal tiering."""
+        g, x, y, ref = cnn_case
+        device, _, transfer = platform
+        cost = profile_graph(g, device, transfer, batch_size=8)
+        blocks = blocks_of(g, 4)
+        policies = [S, S, S, R]
+        stash = swapped_stash_bytes(blocks, policies, cost)
+        hier = tiny_test_hierarchy(hbm=64 * MiB, dram=4 * GiB, nvme=4 * GiB)
+        rng = np.random.default_rng(seed)
+        placement = random_legal_placement(stash, hier, rng)
+        p = make_plan(g.name, 8, blocks, policies,
+                      placements=placement.placements)
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, 4 * GiB, 4 * GiB])
+        ex = OutOfCoreExecutor(model, p, space)
+        model.zero_grad()
+        loss = ex.run_iteration(x, y, step=0)
+        assert np.isfinite(loss)
+        for key, a in ref.items():
+            got = {(l, q): arr for l, q, arr in model.gradients()}[key]
+            assert np.array_equal(a, got), \
+                f"grad mismatch {key} under placement {placement.placements}"
+        # stash moves balance: everything demoted was promoted back
+        assert space.swap_out_bytes == space.swap_in_bytes
+
+    def test_mixed_policies_with_nvme_stash(self, cnn_case):
+        g, x, y, ref = cnn_case
+        blocks = blocks_of(g, 4)
+        p = make_plan(g.name, 8, blocks, [S, C, S, R],
+                      placements={0: 2, 2: 1})
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, 4 * GiB, 4 * GiB])
+        ex = OutOfCoreExecutor(model, p, space)
+        model.zero_grad()
+        ex.run_iteration(x, y, step=0)
+        for key, a in ref.items():
+            got = {(l, q): arr for l, q, arr in model.gradients()}[key]
+            assert np.array_equal(a, got), f"grad mismatch {key}"
+        assert space.demote_bytes.get(1, 0) > 0  # NVMe actually used
+
+    def test_no_leak_across_all_tiers(self, cnn_case):
+        g, x, y, _ = cnn_case
+        blocks = blocks_of(g, 4)
+        p = make_plan(g.name, 8, blocks, [S, S, S, R],
+                      placements={0: 2, 1: 2, 2: 1})
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, 4 * GiB, 4 * GiB])
+        OutOfCoreExecutor(model, p, space).run_iteration(x, y, step=0)
+        for pool in space.pools:
+            assert pool.bytes_in_use == 0
+
+
+class TestCapacitySemantics:
+    """The acceptance case: two-tier OOM, three-tier trains."""
+
+    @pytest.fixture(scope="class")
+    def oom_case(self):
+        g = build_small_cnn()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        blocks = blocks_of(g, 4)
+        policies = [S, S, S, R]
+        # smaller than the full swapped stash (~3.2 MiB) but large enough
+        # to bounce-stage any single layer (largest ~1.25 MiB): the
+        # two-tier run overflows, the tiered run stages through cleanly
+        far_cap = int(2.5 * MiB)
+        return g, x, y, blocks, policies, far_cap
+
+    def test_two_tier_far_pool_ooms(self, oom_case):
+        g, x, y, blocks, policies, far_cap = oom_case
+        p = make_plan(g.name, 8, blocks, policies)
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(model, p, MemorySpace(2 * GiB, far_cap))
+        with pytest.raises(OutOfMemoryError):
+            ex.run_iteration(x, y, step=0)
+
+    def test_nvme_tier_rescues_same_config(self, oom_case):
+        g, x, y, blocks, policies, far_cap = oom_case
+        ref = reference_grads(g, x, y)
+        # same DRAM capacity; the cold blocks spill past it to NVMe
+        # (DRAM still transiently stages every NVMe hop — the bounce
+        # buffer — so it must fit one layer's stash at a time)
+        p = make_plan(g.name, 8, blocks, policies,
+                      placements={0: 2, 1: 2, 2: 1})
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, far_cap, 4 * GiB])
+        model.zero_grad()
+        loss = OutOfCoreExecutor(model, p, space).run_iteration(x, y, step=0)
+        assert np.isfinite(loss)
+        for key, a in ref.items():
+            got = {(l, q): arr for l, q, arr in model.gradients()}[key]
+            assert np.array_equal(a, got), f"grad mismatch {key}"
+        assert space.pools[2].peak_in_use > 0
+        assert space.far.peak_in_use <= far_cap
+
+    def test_two_tier_space_rejects_storage_plan(self, oom_case):
+        g, x, y, blocks, policies, far_cap = oom_case
+        p = make_plan(g.name, 8, blocks, policies, placements={0: 2})
+        model = ExecutableModel(g, dtype=np.float64, seed=7)
+        with pytest.raises(OutOfCorePlanError):
+            OutOfCoreExecutor(model, p, MemorySpace(2 * GiB, 64 * GiB))
+
+    def test_memory_space_tier_protocol(self):
+        space = MemorySpace(1 * GiB, 2 * GiB)
+        assert space.num_tiers == 2
+        assert space.tier_pool(0) is space.near
+        assert space.tier_pool(1) is space.far
+        with pytest.raises(ValueError):
+            space.tier_pool(2)
+
+
+# --------------------------------------------------------------------------
+# planner integration
+# --------------------------------------------------------------------------
+
+class TestPlannerIntegration:
+    def test_planner_spills_to_nvme_when_dram_small(self, small_cnn):
+        device = tiny_test_device(memory=500_000)
+        transfer = TransferModel(link=karma_swap_link(), device=device,
+                                 host=abci_host())
+        hier = tiny_test_hierarchy(hbm=500_000, dram=300_000,
+                                   nvme=64 * MiB)
+        # capacity-based strategy (no Opt-2): the DRAM overflow must swap,
+        # and the only place it fits is NVMe
+        kp = plan(small_cnn, 8, device=device, transfer=transfer,
+                  hierarchy=hier, recompute=False)
+        assert kp.plan.uses_storage
+        assert kp.placement is not None
+        res = simulate_plan(kp.plan, kp.cost, kp.capacity, hierarchy=hier)
+        assert res.storage_busy > 0
+
+    def test_recompute_replaces_nvme_swaps(self, small_cnn):
+        """Opt-2 prices NVMe swaps at true cost: re-forwarding the cold
+        block beats its storage round trip, so the interleave converts
+        the spill to recompute."""
+        device = tiny_test_device(memory=500_000)
+        transfer = TransferModel(link=karma_swap_link(), device=device,
+                                 host=abci_host())
+        hier = tiny_test_hierarchy(hbm=500_000, dram=300_000,
+                                   nvme=64 * MiB)
+        kp = plan(small_cnn, 8, device=device, transfer=transfer,
+                  hierarchy=hier, recompute=True)
+        # the blocking search spilled to NVMe...
+        assert any(t >= 2 for t in kp.blocking.placements.values())
+        # ...and the recompute interleave bought the spill back
+        assert not kp.plan.uses_storage
+        assert kp.plan.recomputed
+        with_storage = plan(small_cnn, 8, device=device, transfer=transfer,
+                            hierarchy=hier, recompute=False)
+        t_rec = simulate_plan(kp.plan, kp.cost, kp.capacity,
+                              hierarchy=hier).makespan
+        t_swap = simulate_plan(with_storage.plan, with_storage.cost,
+                               with_storage.capacity,
+                               hierarchy=hier).makespan
+        assert t_rec < t_swap
+
+    def test_planner_two_tier_small_dram_infeasible(self, small_cnn):
+        device = tiny_test_device(memory=500_000)
+        transfer = TransferModel(link=karma_swap_link(), device=device,
+                                 host=abci_host())
+        hier = MemoryHierarchy(
+            tiers=(TierSpec("hbm", 500_000, 10e9),
+                   TierSpec("dram", 300_000, 10e9)),
+            links_down=(LinkSpec("l", 1e9),))
+        with pytest.raises(ValueError):
+            plan(small_cnn, 8, device=device, transfer=transfer,
+                 hierarchy=hier)
+
+    def test_planner_roomy_dram_stays_two_tier(self, small_cnn):
+        device = tiny_test_device(memory=500_000)
+        transfer = TransferModel(link=karma_swap_link(), device=device,
+                                 host=abci_host())
+        kp = plan(small_cnn, 8, device=device, transfer=transfer,
+                  hierarchy=three_tier_hierarchy(device=device))
+        assert kp.plan.swapped and not kp.plan.uses_storage
+
+    def test_explicit_placement_policy(self, small_cnn):
+        device = tiny_test_device(memory=500_000)
+        transfer = TransferModel(link=karma_swap_link(), device=device,
+                                 host=abci_host())
+        hier = tiny_test_hierarchy(hbm=500_000, dram=300_000,
+                                   nvme=64 * MiB)
+        kp = plan(small_cnn, 8, device=device, transfer=transfer,
+                  hierarchy=hier, placement_policy="pressure")
+        assert kp.blocking.placement_policy == "pressure"
