@@ -9,7 +9,7 @@
 
 import pytest
 
-from repro.core import BlockPolicy, make_plan, plan, solve_blocking
+from repro.core import make_plan, plan, solve_blocking
 from repro.costs import profile_graph
 from repro.eval import default_platform, render_table
 from repro.hardware import (

@@ -6,7 +6,6 @@
 (c) capacity-based + interleaved recompute.
 """
 
-import pytest
 
 from repro.core import BlockPolicy, make_plan
 from repro.costs.profiler import CostModel

@@ -4,7 +4,6 @@ exchange) vs data-parallel KARMA at GPU parity, and ZeRO vs KARMA vs
 ZeRO+KARMA.
 """
 
-import pytest
 
 from repro.eval import render_series
 from repro.models.transformer import MEGATRON_CONFIGS, TURING_NLG

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare BENCH_*.json against baselines.
+
+The bench suite emits one ``BENCH_<name>.json`` artifact per module
+(see ``benchmarks/conftest.py``).  This script compares the *key metrics*
+of a fresh run against the committed baselines under
+``benchmarks/baselines/`` and exits non-zero when any key metric regressed
+by more than the tolerance (default 15%).
+
+Key metrics are declared in ``benchmarks/baselines/key_metrics.json``::
+
+    {"fig5_single_gpu": {"speedup[mean]": "higher", ...},
+     "fig2_strategies": {"makespan_s.capacity_based": "lower", ...}}
+
+``"higher"`` means bigger is better (speedups, occupancy, efficiency);
+``"lower"`` means smaller is better (makespans, stalls, costs).  Only
+declared metrics gate — wall-clock timings and informational fields are
+deliberately not listed, because they jitter with the runner.
+
+CI runs this after the bench job; apply the ``allow-bench-regression``
+label to a PR to skip the gate for an intentional trade-off (see README).
+
+Usage::
+
+    python benchmarks/check_regressions.py
+    python benchmarks/check_regressions.py --current-dir /tmp/bench-out \
+        --tolerance 0.15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+DEFAULT_TOLERANCE = 0.15
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE_DIR = BENCH_DIR / "baselines"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One gate violation (regression, missing, or invalid metric)."""
+
+    bench: str
+    metric: str
+    kind: str                     # "regression" | "missing" | "invalid"
+    baseline: Optional[float] = None
+    current: Optional[object] = None   # the raw value for "invalid" kinds
+    change: Optional[float] = None  # signed fractional change, + = worse
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return f"{self.bench}: {self.metric} — missing from current run"
+        if self.kind == "invalid":
+            return (f"{self.bench}: {self.metric} — current value is not a "
+                    f"finite number (got {self.current!r}); the bench run "
+                    "is corrupted")
+        assert self.baseline is not None and self.change is not None
+        return (f"{self.bench}: {self.metric} regressed "
+                f"{self.change * 100:+.1f}% "
+                f"(baseline {self.baseline:.6g} -> current "
+                f"{self.current:.6g})")
+
+
+def load_metrics(path: Path) -> Dict[str, object]:
+    record = json.loads(path.read_text())
+    metrics = record.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' is not an object")
+    return metrics
+
+
+def regression_fraction(baseline: float, current: float,
+                        direction: str) -> float:
+    """Signed fractional change where positive means *worse*.
+
+    ``direction='lower'``: worse = bigger (a makespan growing).
+    ``direction='higher'``: worse = smaller (a speedup shrinking).
+    A zero baseline cannot regress proportionally; treat any change as
+    its absolute value against 1.0 to stay defined.
+    """
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be 'lower' or 'higher', "
+                         f"got {direction!r}")
+    if baseline == 0:
+        delta = current - baseline
+        return delta if direction == "lower" else -delta
+    change = (current - baseline) / abs(baseline)
+    return change if direction == "lower" else -change
+
+
+def compare_bench(bench: str, current: Dict[str, object],
+                  baseline: Dict[str, object],
+                  key_metrics: Dict[str, str],
+                  tolerance: float = DEFAULT_TOLERANCE) -> List[Finding]:
+    """Gate one bench's current metrics against its baseline."""
+    def numeric(value: object) -> Optional[float]:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        v = float(value)
+        return v if math.isfinite(v) else None
+
+    findings: List[Finding] = []
+    for metric, direction in sorted(key_metrics.items()):
+        if metric not in baseline:
+            # baseline does not pin this metric yet: nothing to gate
+            continue
+        base_v = numeric(baseline[metric])
+        if base_v is None:
+            # a non-numeric baseline cannot gate proportionally
+            continue
+        if metric not in current:
+            findings.append(Finding(bench, metric, "missing"))
+            continue
+        cur_v = numeric(current[metric])
+        if cur_v is None:
+            # a gated metric degrading to NaN/null/string is a corrupted
+            # run, not a pass — NaN fails every comparison silently
+            findings.append(Finding(bench, metric, "invalid",
+                                    baseline=base_v,
+                                    current=current[metric]))
+            continue
+        change = regression_fraction(base_v, cur_v, direction)
+        if change > tolerance:
+            findings.append(Finding(bench, metric, "regression",
+                                    baseline=base_v, current=cur_v,
+                                    change=change))
+    return findings
+
+
+def run_gate(current_dir: Path, baseline_dir: Path,
+             key_metrics_path: Path,
+             tolerance: float = DEFAULT_TOLERANCE,
+             allow_missing: bool = False) -> List[Finding]:
+    """Compare every baselined bench; returns all findings."""
+    key_metrics: Dict[str, Dict[str, str]] = json.loads(
+        key_metrics_path.read_text())
+    findings: List[Finding] = []
+    checked = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        bench = baseline_path.stem[len("BENCH_"):]
+        keys = key_metrics.get(bench)
+        if not keys:
+            continue
+        current_path = current_dir / baseline_path.name
+        if not current_path.is_file():
+            if not allow_missing:
+                findings.append(Finding(bench, "<artifact>", "missing"))
+            continue
+        findings.extend(compare_bench(
+            bench, load_metrics(current_path), load_metrics(baseline_path),
+            keys, tolerance))
+        checked += 1
+    print(f"bench gate: checked {checked} artifact(s) against "
+          f"{baseline_dir} at tolerance {tolerance * 100:.0f}%")
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current-dir", type=Path, default=REPO_ROOT,
+                        help="where the fresh BENCH_*.json artifacts live "
+                             "(default: repo root)")
+    parser.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR)
+    parser.add_argument("--key-metrics", type=Path,
+                        default=BASELINE_DIR / "key_metrics.json")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="max tolerated fractional regression "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baselined artifact is "
+                             "absent from the current run")
+    args = parser.parse_args(argv)
+
+    findings = run_gate(args.current_dir, args.baseline_dir,
+                        args.key_metrics, args.tolerance,
+                        args.allow_missing)
+    if findings:
+        print(f"\nFAIL: {len(findings)} gate violation(s):",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f.describe()}", file=sys.stderr)
+        print("\nIf this trade-off is intentional, refresh "
+              "benchmarks/baselines/ in this PR (and say why in the PR "
+              "body), or apply the 'allow-bench-regression' label to "
+              "skip the gate.", file=sys.stderr)
+        return 1
+    print("PASS: no key metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,24 @@ simulator, and then trains numerically under the capacity-enforced
 out-of-core executor — verifying the loss matches vanilla training.
 
 Run: python examples/quickstart.py
+Set KARMA_EXAMPLES_TINY=1 for the reduced CI-smoke step count.
 """
+
+import os
 
 import numpy as np
 
 from repro.core import plan
 from repro.costs import profile_graph
 from repro.data import SyntheticImages
-from repro.hardware import GiB, MiB, MemorySpace, TransferModel, abci_host, \
-    karma_swap_link, v100_sxm2_16gb
+from repro.hardware import (
+    GiB,
+    MemorySpace,
+    TransferModel,
+    abci_host,
+    karma_swap_link,
+    v100_sxm2_16gb,
+)
 from repro.models.builder import GraphBuilder
 from repro.nn import SGD, ExecutableModel
 from repro.runtime import OutOfCoreTrainer
@@ -47,6 +56,7 @@ def build_model():
 def main():
     graph = build_model()
     batch = 16
+    steps = 3 if os.environ.get("KARMA_EXAMPLES_TINY", "0") == "1" else 12
 
     # 1) derive the KARMA plan against a tight capacity so swapping +
     #    recompute actually engage
@@ -69,14 +79,14 @@ def main():
                                MemorySpace(2 * GiB, 64 * GiB),
                                SGD(lr=0.1, momentum=0.9))
     data = SyntheticImages((3, 32, 32), 10, seed=0, dtype=np.float64)
-    losses = trainer.train(data, steps=12)
+    losses = trainer.train(data, steps=steps)
     print(f"\nout-of-core training loss: {losses[0]:.3f} -> {losses[-1]:.3f}")
 
     # 4) the reference: same seeds, vanilla in-core training
     ref = ExecutableModel(graph, dtype=np.float64, seed=0)
     opt = SGD(lr=0.1, momentum=0.9)
     ref_losses = [ref.train_step(*data.batch(batch, s), opt, step=s)
-                  for s in range(12)]
+                  for s in range(steps)]
     drift = max(abs(a - b) for a, b in zip(losses, ref_losses))
     print(f"max loss drift vs in-core reference: {drift:.2e} "
           "(out-of-core execution is exact)")

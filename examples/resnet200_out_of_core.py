@@ -5,17 +5,29 @@ across the method ladder — in-core, vDNN++, SuperNeurons, Checkmate,
 KARMA, KARMA w/ recompute — and prints the throughput panel plus KARMA's
 chosen blocking at the largest batch.
 
+The final plan goes through the planning service's content-addressed
+cache (`repro.cache`): rerunning this example replays the cached search
+decisions and reports the hit.
+
 Run: python examples/resnet200_out_of_core.py
+Set KARMA_EXAMPLES_TINY=1 for the reduced CI-smoke grid.
 """
 
+import os
+import time
+
+from repro.cache import PlanCache
 from repro.core import plan
 from repro.eval import render_series, run_method
 from repro.models import resnet200
 from repro.sim import simulate_plan
 
-METHODS = ("in-core", "vdnn++", "superneurons", "checkmate",
-           "karma", "karma+recompute")
-BATCHES = (4, 8, 12, 16)
+TINY = os.environ.get("KARMA_EXAMPLES_TINY", "0") == "1"
+
+METHODS = ("in-core", "karma", "karma+recompute") if TINY else \
+    ("in-core", "vdnn++", "superneurons", "checkmate",
+     "karma", "karma+recompute")
+BATCHES = (4, 16) if TINY else (4, 8, 12, 16)
 
 
 def main():
@@ -29,12 +41,18 @@ def main():
     print(render_series("ResNet-200 on V100-16GiB (samples/s)",
                         BATCHES, series, x_label="batch"))
 
-    kp = plan(graph, batch_size=BATCHES[-1])
+    cache = PlanCache()
+    t0 = time.perf_counter()
+    kp = plan(graph, batch_size=BATCHES[-1], cache=cache)
+    wall = time.perf_counter() - t0
     res = simulate_plan(kp.plan, kp.cost, kp.capacity)
     print(f"\nKARMA plan at batch {BATCHES[-1]}: {kp.plan.num_blocks} "
           f"blocks — {len(kp.plan.swapped)} swapped, "
           f"{len(kp.plan.recomputed)} recomputed, "
           f"{len(kp.plan.resident)} resident")
+    print(f"plan cache {'hit' if kp.cache_hit else 'miss'} "
+          f"({wall * 1e3:.0f} ms; cold search was "
+          f"{kp.search_time * 1e3:.0f} ms)")
     print(f"simulated iteration: {res.summary()}")
     if kp.recompute is not None:
         print(f"Opt-2 stall reduction: {kp.recompute.improvement * 100:.1f}%")

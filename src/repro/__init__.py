@@ -14,12 +14,14 @@ Public entry points:
 * :mod:`repro.models` — the Table III model zoo.
 * :mod:`repro.tiering` — stash placement across HBM -> DRAM -> NVMe
   hierarchies (ZeRO-Infinity-style tiered offload).
+* :mod:`repro.cache` — the content-addressed plan cache backing the
+  ``python -m repro plan`` planning service (:mod:`repro.cli`).
 """
 
 __version__ = "1.0.0"
 
-from . import baselines, core, costs, data, distributed, eval, graph, hardware, models, nn, runtime, sim, tiering
+from . import baselines, cache, core, costs, data, distributed, eval, graph, hardware, models, nn, runtime, sim, tiering
 
-__all__ = ["baselines", "core", "costs", "data", "distributed", "eval",
-           "graph", "hardware", "models", "nn", "runtime", "sim", "tiering",
-           "__version__"]
+__all__ = ["baselines", "cache", "core", "costs", "data", "distributed",
+           "eval", "graph", "hardware", "models", "nn", "runtime", "sim",
+           "tiering", "__version__"]

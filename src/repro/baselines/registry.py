@@ -16,7 +16,6 @@ from ..core.schedule import ExecutionPlan
 from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
 from .schedulers import (
-    InCoreInfeasible,
     checkmate_plan,
     checkpointing_plan,
     incore_plan,

@@ -23,12 +23,12 @@ from *strategy*, never from a different timing model.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import optimize
 
-from ..core.blocking import build_inputs, segment_graph
+from ..core.blocking import build_inputs
 from ..core.schedule import BlockPolicy, ExecutionPlan
 from ..core.stages import make_plan
 from ..costs.calibration import act_factor_for, optimizer_slots_for

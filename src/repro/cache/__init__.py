@@ -1,0 +1,40 @@
+"""Content-addressed plan caching: make repeated planning effectively free.
+
+KARMA's capacity/performance win comes from searching swap/recompute
+interleavings; the tiered portfolio search made that search combinatorial.
+This package turns the planner into a shared, cached service: planning
+decisions are keyed by a stable digest of the model graph, the hardware
+hierarchy, and the search knobs (:mod:`repro.cache.digest`), and stored in
+an LRU-fronted on-disk JSON cache (:mod:`repro.cache.plan_cache`) that any
+process — the CLI, examples, benchmarks, a training job — can share.
+
+Entry points:
+
+* :func:`repro.core.planner.plan` accepts ``cache=PlanCache(...)``;
+* ``python -m repro plan`` (see :mod:`repro.cli`) is the service front
+  door, with cache hit/miss and wall-time reporting.
+"""
+
+from .digest import (
+    CACHE_FORMAT_VERSION,
+    canonical_json,
+    plan_digest,
+    stable_digest,
+)
+from .plan_cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    PlanCache,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "PlanCache",
+    "canonical_json",
+    "default_cache_dir",
+    "plan_digest",
+    "stable_digest",
+]

@@ -1,0 +1,213 @@
+"""The content-addressed plan cache: in-memory LRU over on-disk JSON.
+
+Planning is the hot path between a (model, hardware) configuration and a
+running job — the portfolio search simulates dozens of candidate plans per
+call.  The decisions it produces are pure functions of the planning inputs,
+so they are cached by content address (:func:`repro.cache.digest.
+plan_digest`) and reused across runs and processes:
+
+* **in-memory LRU** — repeated plans inside one process are a dict hit;
+* **on-disk JSON** — one ``<key>.json`` per entry under the cache
+  directory (``KARMA_PLAN_CACHE_DIR``, default
+  ``~/.cache/karma-repro/plans``), written atomically so concurrent
+  planner processes (the parallel manifest path) never observe torn files;
+* **versioned invalidation** — every entry records the solver and cache
+  format versions; a mismatch on load is treated as a miss and the stale
+  file is dropped.  Version bumps also change the digest itself, so stale
+  entries are doubly unreachable.
+
+The cache stores JSON payloads (plain dicts), not pickles: entries are
+inspectable with a text editor, diffable in review, and safe to load from
+an untrusted checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from .digest import CACHE_FORMAT_VERSION
+
+#: Environment override for the on-disk cache location.
+CACHE_DIR_ENV = "KARMA_PLAN_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache root: env override, else the XDG-ish default."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "karma-repro" / "plans"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`PlanCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class PlanCache:
+    """Content-addressed plan store with an LRU front and a JSON disk back.
+
+    ``capacity`` bounds the in-memory entry count only; the disk layer
+    keeps everything until :meth:`clear`.  ``persist=False`` makes the
+    cache purely in-process (tests, throwaway sweeps).
+    """
+
+    cache_dir: Optional[Path] = None
+    capacity: int = 128
+    persist: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.cache_dir = Path(self.cache_dir) if self.cache_dir is not None \
+            else default_cache_dir()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # -- keys and paths ----------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (self.persist
+                                       and self.path_for(key).is_file())
+
+    def keys(self) -> Iterator[str]:
+        """All keys reachable from this cache (memory + disk), deduped."""
+        seen = set(self._memory)
+        yield from self._memory
+        if self.persist and self.cache_dir is not None \
+                and self.cache_dir.is_dir():
+            for p in sorted(self.cache_dir.glob("*.json")):
+                if p.stem not in seen:
+                    yield p.stem
+
+    # -- core protocol -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or None on miss.
+
+        Disk hits are promoted into the LRU; entries recorded under a
+        different solver/format version are dropped and reported as
+        misses.
+        """
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.persist:
+            payload = self._load(key)
+            if payload is not None:
+                self._insert(key, payload)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (memory now, disk if enabled)."""
+        self._insert(key, payload)
+        self.stats.stores += 1
+        if self.persist:
+            self._store(key, payload)
+
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if disk and self.persist and self.cache_dir is not None \
+                and self.cache_dir.is_dir():
+            for p in self.cache_dir.glob("*.json"):
+                p.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(self, key: str, payload: Dict[str, Any]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _entry_versions(self) -> Dict[str, Any]:
+        from ..core.solver import SOLVER_VERSION
+
+        return {"format_version": CACHE_FORMAT_VERSION,
+                "solver_version": SOLVER_VERSION}
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        expected = self._entry_versions()
+        if not isinstance(record, dict) \
+                or record.get("key") != key \
+                or any(record.get(k) != v for k, v in expected.items()):
+            # stale or foreign entry: invalidate rather than serve
+            path.unlink(missing_ok=True)
+            self.stats.invalidated += 1
+            return None
+        payload = record.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def _store(self, key: str, payload: Dict[str, Any]) -> None:
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        record = dict(self._entry_versions())
+        record["key"] = key
+        record["payload"] = payload
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        # atomic publish: concurrent planner processes may race on the same
+        # key; os.replace guarantees readers see old-or-new, never torn
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                   prefix=f".{key[:16]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, self.path_for(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def describe(self) -> str:
+        where = str(self.cache_dir) if self.persist else "<memory only>"
+        disk = sum(1 for _ in self.keys())
+        s = self.stats
+        return (f"PlanCache at {where}: {len(self._memory)} in memory, "
+                f"{disk} total; {s.hits} hit(s) ({s.memory_hits} mem / "
+                f"{s.disk_hits} disk), {s.misses} miss(es), "
+                f"{s.invalidated} invalidated")

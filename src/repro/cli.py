@@ -1,0 +1,303 @@
+"""``python -m repro`` — the planning service front door.
+
+Examples, benchmarks, and ad-hoc studies all need the same thing: a KARMA
+plan for a (model, hardware) configuration, fast.  This CLI plans one
+configuration or a batch manifest, reports cache hit/miss and search
+wall-time per configuration, and shares the content-addressed plan cache
+(:mod:`repro.cache`) with every other caller.
+
+Usage::
+
+    python -m repro plan --model resnet200 --batch 16
+    python -m repro plan --model resnet200 --batch 16 --hierarchy abci
+    python -m repro plan --manifest configs.json --workers 4
+    python -m repro cache info
+    python -m repro cache clear
+
+A manifest is a JSON list of configuration objects (or ``{"configs":
+[...]}``); each object takes the same keys as the single-config flags::
+
+    [{"model": "resnet200", "batch": 16, "hierarchy": "abci"},
+     {"model": "unet", "batch": 16}]
+
+With ``--workers N`` a manifest is planned N configurations at a time in
+separate processes (each full search is independent); a single
+configuration instead shards its portfolio sweep across N workers, which
+stays bit-identical to the serial sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+HIERARCHIES = ("none", "two-tier", "abci", "tiny")
+LINKS = ("calibrated", "pcie", "nvlink")
+
+
+def _resolve_hierarchy(name: str):
+    from .hardware.tiering import (
+        abci_hierarchy,
+        tiny_test_hierarchy,
+        two_tier_hierarchy,
+    )
+
+    if name == "none":
+        return None
+    if name == "two-tier":
+        return two_tier_hierarchy()
+    if name == "abci":
+        return abci_hierarchy()
+    if name == "tiny":
+        return tiny_test_hierarchy()
+    raise ValueError(f"unknown hierarchy {name!r}; choose from {HIERARCHIES}")
+
+
+def _resolve_transfer(link: str):
+    from .hardware.interconnect import TransferModel
+    from .hardware.spec import (
+        abci_host,
+        karma_swap_link,
+        nvlink2,
+        pcie_gen3_x16,
+        v100_sxm2_16gb,
+    )
+
+    links = {"calibrated": karma_swap_link, "pcie": pcie_gen3_x16,
+             "nvlink": nvlink2}
+    if link not in links:
+        raise ValueError(f"unknown link {link!r}; choose from {LINKS}")
+    device = v100_sxm2_16gb()
+    return device, TransferModel(link=links[link](), device=device,
+                                 host=abci_host())
+
+
+def plan_config(config: Dict[str, Any], *,
+                cache_dir: Optional[str] = None,
+                use_cache: bool = True,
+                n_workers: int = 1) -> Dict[str, Any]:
+    """Plan one configuration dict; returns a JSON-ready result record.
+
+    This is the service call the CLI, examples, and benchmarks go
+    through.  Module-level and argument-picklable so batch manifests can
+    fan out across processes.
+    """
+    from .cache.plan_cache import PlanCache
+    from .core.planner import plan
+    from .hardware.tiering import STORAGE_TIER
+    from .models.registry import build
+
+    model = config["model"]
+    batch = int(config["batch"])
+    graph = build(model)
+    device, transfer = _resolve_transfer(config.get("link", "calibrated"))
+    hierarchy = _resolve_hierarchy(config.get("hierarchy", "none"))
+    capacity = config.get("capacity")
+    cache = None
+    if use_cache:
+        cache = PlanCache(cache_dir=Path(cache_dir) if cache_dir else None)
+
+    t0 = time.perf_counter()
+    kp = plan(graph, batch_size=batch, device=device, transfer=transfer,
+              recompute=bool(config.get("recompute", True)),
+              method=config.get("method", "auto"),
+              max_span=int(config.get("max_span", 64)),
+              capacity=float(capacity) if capacity is not None else None,
+              hierarchy=hierarchy,
+              placement_policy=config.get("placement", "auto"),
+              cache=cache, n_workers=n_workers)
+    wall = time.perf_counter() - t0
+
+    return {
+        "model": model,
+        "batch": batch,
+        "hierarchy": config.get("hierarchy", "none"),
+        "method": kp.blocking.method,
+        "cache": ("off" if cache is None
+                  else "hit" if kp.cache_hit else "miss"),
+        "cache_key": kp.cache_key,
+        "wall_s": round(wall, 6),
+        "search_s": round(kp.search_time, 6),
+        "makespan_s": kp.blocking.objective,
+        "blocks": kp.plan.num_blocks,
+        "swapped": len(kp.plan.swapped),
+        "recomputed": len(kp.plan.recomputed),
+        "resident": len(kp.plan.resident),
+        "storage_blocks": sorted(b for b, t in kp.plan.placements.items()
+                                 if t >= STORAGE_TIER),
+        "rejected_grid_points": len(kp.blocking.rejected),
+        "plan_string": kp.plan.plan_string(),
+    }
+
+
+def _plan_config_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry for one manifest configuration.
+
+    Never raises: a failed configuration reports an ``error`` record so
+    one infeasible entry cannot sink the rest of the batch.
+    """
+    try:
+        return plan_config(task["config"], cache_dir=task["cache_dir"],
+                           use_cache=task["use_cache"],
+                           n_workers=task.get("n_workers", 1))
+    except Exception as exc:  # noqa: BLE001 - surfaced in the result record
+        return {"model": task["config"].get("model", "?"),
+                "batch": task["config"].get("batch", "?"),
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _load_manifest(path: Path) -> List[Dict[str, Any]]:
+    data = json.loads(path.read_text())
+    if isinstance(data, dict):
+        data = data.get("configs", [])
+    if not isinstance(data, list) or not all(isinstance(c, dict)
+                                             for c in data):
+        raise ValueError(f"manifest {path} must be a JSON list of config "
+                         "objects (or {'configs': [...]})")
+    return data
+
+
+def _format_result(r: Dict[str, Any]) -> str:
+    if "error" in r:
+        return (f"  {r['model']:<14} batch {r['batch']:<5} "
+                f"FAILED: {r['error']}")
+    return (f"  {r['model']:<14} batch {r['batch']:<5} "
+            f"cache={r['cache']:<4} wall={r['wall_s'] * 1e3:9.1f} ms  "
+            f"search={r['search_s'] * 1e3:9.1f} ms  "
+            f"blocks={r['blocks']:<3} "
+            f"S/R/C={r['swapped']}/{r['resident']}/{r['recomputed']}")
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    if (args.manifest is None) == (args.model is None):
+        print("error: provide exactly one of --model or --manifest",
+              file=sys.stderr)
+        return 2
+
+    if args.manifest is not None:
+        configs = _load_manifest(Path(args.manifest))
+    else:
+        configs = [{"model": args.model, "batch": args.batch,
+                    "hierarchy": args.hierarchy, "method": args.method,
+                    "recompute": not args.no_recompute,
+                    "max_span": args.max_span, "placement": args.placement,
+                    "link": args.link,
+                    **({"capacity": args.capacity}
+                       if args.capacity is not None else {})}]
+    use_cache = not args.no_cache
+    workers = max(1, args.workers)
+
+    t0 = time.perf_counter()
+    if args.manifest is not None and workers > 1 and len(configs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = mp.get_context("spawn")
+        tasks = [{"config": c, "cache_dir": args.cache_dir,
+                  "use_cache": use_cache} for c in configs]
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            results = list(pool.map(_plan_config_task, tasks))
+    else:
+        # single config (or serial manifest): the portfolio sweep inside
+        # each plan gets the workers instead of the manifest level
+        results = [_plan_config_task(
+            {"config": c, "cache_dir": args.cache_dir,
+             "use_cache": use_cache, "n_workers": workers})
+            for c in configs]
+    total = time.perf_counter() - t0
+
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(f"planned {len(results)} configuration(s) in {total:.2f} s "
+              f"({workers} worker(s), cache "
+              f"{'off' if not use_cache else 'on'}):")
+        for r in results:
+            print(_format_result(r))
+        hits = sum(1 for r in results if r.get("cache") == "hit")
+        misses = sum(1 for r in results if r.get("cache") == "miss")
+        errors = sum(1 for r in results if "error" in r)
+        print(f"  -> {hits} cache hit(s), {misses} miss(es), "
+              f"{errors} failure(s)")
+    return 1 if any("error" in r for r in results) else 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    from .cache.plan_cache import PlanCache
+
+    cache = PlanCache(cache_dir=Path(args.cache_dir)
+                      if args.cache_dir else None)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached plan(s) from {cache.cache_dir}")
+        return 0
+    entries = list(cache.keys())
+    print(f"plan cache at {cache.cache_dir}: {len(entries)} entr(ies)")
+    for key in entries[:20]:
+        print(f"  {key}")
+    if len(entries) > 20:
+        print(f"  ... and {len(entries) - 20} more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="KARMA planning service: plan models against memory "
+                    "hierarchies, backed by a content-addressed plan "
+                    "cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="plan one config or a batch manifest")
+    p.add_argument("--model", help="registered model name "
+                                   "(see repro.models.REGISTRY)")
+    p.add_argument("--batch", type=int, default=16, help="batch size")
+    p.add_argument("--manifest", help="JSON file with a list of configs")
+    p.add_argument("--hierarchy", choices=HIERARCHIES, default="none",
+                   help="memory hierarchy preset")
+    p.add_argument("--link", choices=LINKS, default="calibrated",
+                   help="host<->device swap link preset")
+    p.add_argument("--method", default="auto",
+                   choices=("auto", "dp", "aco", "uniform"))
+    p.add_argument("--placement", default="auto",
+                   choices=("auto", "bandwidth", "pressure"))
+    p.add_argument("--max-span", type=int, default=64)
+    p.add_argument("--capacity", type=float, default=None,
+                   help="device capacity override in bytes")
+    p.add_argument("--no-recompute", action="store_true",
+                   help="skip the Opt-2 recompute interleave")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process workers: shards the portfolio sweep "
+                        "(single config) or the manifest (batch)")
+    p.add_argument("--cache-dir", default=None,
+                   help="plan cache directory (default: "
+                        "$KARMA_PLAN_CACHE_DIR or "
+                        "~/.cache/karma-repro/plans)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the plan cache entirely")
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON instead of a table")
+    p.set_defaults(func=_run_plan)
+
+    c = sub.add_parser("cache", help="inspect or clear the plan cache")
+    c.add_argument("cache_command", choices=("info", "clear"))
+    c.add_argument("--cache-dir", default=None)
+    c.set_defaults(func=_run_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI convenience
+    sys.exit(main())

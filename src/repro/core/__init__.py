@@ -3,6 +3,7 @@
 from .blocking import (
     BlockingInputs,
     BlockingResult,
+    CandidateEvaluator,
     assign_policies,
     build_inputs,
     segment_graph,
@@ -28,8 +29,11 @@ from .schedule import (
     single_block_plan,
 )
 from .solver import (
+    SOLVER_VERSION,
     AcoConfig,
     PartitionProblem,
+    PortfolioResult,
+    RejectedCandidate,
     local_search,
     portfolio_search,
     solve_aco,
@@ -44,11 +48,12 @@ __all__ = [
     "PlanValidationError", "single_block_plan",
     "generate_stages", "make_plan",
     "solve_blocking", "BlockingResult", "BlockingInputs", "build_inputs",
-    "segment_graph", "assign_policies",
+    "segment_graph", "assign_policies", "CandidateEvaluator",
     "apply_recompute", "RecomputeResult", "admissible",
     "occupancy", "swap_in_throughput", "catch_up_step", "estimate_blocking",
     "OccupancyEstimate",
     "PartitionProblem", "solve_dp", "solve_ilp", "solve_aco", "local_search",
-    "portfolio_search",
+    "portfolio_search", "PortfolioResult", "RejectedCandidate",
+    "SOLVER_VERSION",
     "AcoConfig",
 ]

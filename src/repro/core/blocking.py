@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
 from ..graph.traversal import checkpoint_boundaries
 from ..hardware.tiering import MemoryHierarchy
-from .schedule import BlockPolicy, ExecutionPlan
+from .schedule import BlockPolicy
 from .solver import (
     AcoConfig,
     PartitionProblem,
@@ -237,6 +237,10 @@ class BlockingResult:
     # stash tier per swapped block (empty = classic DRAM-only far pool)
     placements: Dict[int, int] = field(default_factory=dict)
     placement_policy: Optional[str] = None
+    # grid points the placement-legality checks rejected during the sweep
+    # (recorded, not fatal), as "ErrorType: reason" summaries
+    rejected: Tuple[str, ...] = ()
+    evaluated: int = 0
 
 
 def fits_without_swapping(inputs: BlockingInputs) -> bool:
@@ -251,12 +255,73 @@ def _uniform_bounds(u: int, k: int) -> List[int]:
     return bounds
 
 
+@dataclass
+class CandidateEvaluator:
+    """Prices one (boundaries, margin, placement policy) grid point.
+
+    Module-level (not a closure) so :func:`~repro.core.solver.
+    portfolio_search` can ship it to process workers by pickle.  Raises
+    the underlying infeasibility error instead of flattening it to ``inf``
+    — the portfolio search is responsible for skipping and recording
+    rejected combinations.
+    """
+
+    inputs: BlockingInputs
+    cost: CostModel
+    capacity: float
+    model_name: str
+    batch_size: int
+    hierarchy: Optional[MemoryHierarchy] = None
+
+    def realize(self, bounds: Sequence[int], margin: float
+                ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
+        seg_bounds = list(bounds)
+        blocks = [self.inputs.layers_of(a, b)
+                  for a, b in zip([0] + seg_bounds[:-1], seg_bounds)]
+        policies = assign_policies(self.inputs, seg_bounds, margin)
+        return blocks, policies
+
+    def place(self, blocks: List[Tuple[int, int]],
+              policies: List[BlockPolicy],
+              ppolicy: Optional[str]) -> Dict[int, int]:
+        from ..tiering.placement import assign_tiers
+
+        if self.hierarchy is None or ppolicy is None:
+            return {}
+        return assign_tiers(blocks, policies, self.cost, self.hierarchy,
+                            policy=ppolicy).placements
+
+    def __call__(self, bounds: Sequence[int], margin: float,
+                 ppolicy: Optional[str]) -> float:
+        from ..sim.trainer_sim import simulate_plan
+
+        blocks, policies = self.realize(bounds, margin)
+        placements = self.place(blocks, policies, ppolicy)
+        plan = make_plan(self.model_name, self.batch_size, blocks, policies,
+                         placements=placements)
+        return simulate_plan(plan, self.cost, self.capacity,
+                             hierarchy=self.hierarchy).makespan
+
+    def safe(self, bounds: Sequence[int], margin: float,
+             ppolicy: Optional[str]) -> float:
+        """``inf``-on-reject wrapper for the refinement loops (local
+        search / ACO probe many illegal neighbours by design)."""
+        from ..sim.trainer_sim import OutOfCoreInfeasible
+        from ..tiering.placement import PlacementError
+
+        try:
+            return self(bounds, margin, ppolicy)
+        except (OutOfCoreInfeasible, PlacementError, ValueError):
+            return math.inf
+
+
 def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
                    model_name: str, batch_size: int,
                    method: str = "auto", max_span: int = 64,
                    aco_config: Optional[AcoConfig] = None,
                    hierarchy: Optional[MemoryHierarchy] = None,
-                   placement_policy: str = "auto") -> BlockingResult:
+                   placement_policy: str = "auto",
+                   n_workers: int = 1) -> BlockingResult:
     """Run Opt-1 end to end and return the best blocking found.
 
     ``method``:
@@ -272,10 +337,15 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
     placement policy (``'bandwidth'`` / ``'pressure'``, or ``'auto'`` to
     try both), and every candidate is scored with tier-aware simulation —
     a candidate whose stash overflows the DRAM budget is only feasible if
-    a storage tier can absorb the spill.
+    a storage tier can absorb the spill.  Combinations a placement-legality
+    check rejects are skipped and surfaced in ``result.rejected``.
+
+    ``n_workers > 1`` shards the portfolio sweep across a process pool;
+    the result is bit-identical to the serial sweep (deterministic
+    ``(value, index)`` tie-breaking in :func:`portfolio_search`).
     """
     from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
-    from ..tiering.placement import PlacementError, assign_tiers
+    from ..tiering.placement import PlacementError
 
     inputs = build_inputs(graph, cost, capacity)
     u = inputs.num_segments
@@ -302,32 +372,10 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
     else:
         ppolicies = (placement_policy,)
 
-    def realize(bounds: Sequence[int], margin: float
-                ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
-        seg_bounds = list(bounds)
-        blocks = [inputs.layers_of(a, b)
-                  for a, b in zip([0] + seg_bounds[:-1], seg_bounds)]
-        policies = assign_policies(inputs, seg_bounds, margin)
-        return blocks, policies
-
-    def place(blocks: List[Tuple[int, int]], policies: List[BlockPolicy],
-              ppolicy: Optional[str]) -> Dict[int, int]:
-        if hierarchy is None or ppolicy is None:
-            return {}
-        return assign_tiers(blocks, policies, cost, hierarchy,
-                            policy=ppolicy).placements
-
-    def evaluate(bounds: Sequence[int], margin: float,
-                 ppolicy: Optional[str]) -> float:
-        try:
-            blocks, policies = realize(bounds, margin)
-            placements = place(blocks, policies, ppolicy)
-            plan = make_plan(model_name, batch_size, blocks, policies,
-                             placements=placements)
-            return simulate_plan(plan, cost, capacity,
-                                 hierarchy=hierarchy).makespan
-        except (OutOfCoreInfeasible, PlacementError, ValueError):
-            return math.inf
+    evaluator = CandidateEvaluator(inputs=inputs, cost=cost,
+                                   capacity=capacity, model_name=model_name,
+                                   batch_size=batch_size,
+                                   hierarchy=hierarchy)
 
     # candidate portfolio ----------------------------------------------------
     candidates: List[List[int]] = []
@@ -346,27 +394,34 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
         candidates.append(_uniform_bounds(
             u, max(2, int(math.ceil(2 * overflow)))))
 
-    best_bounds, best_dims, best_value = portfolio_search(
-        candidates, (margins, ppolicies), evaluate)
+    sweep = portfolio_search(
+        candidates, (margins, ppolicies), evaluator, n_workers=n_workers,
+        reject_on=(OutOfCoreInfeasible, PlacementError, ValueError))
+    best_bounds, best_dims, best_value = sweep
+    rejected = tuple(f"{r.error_type}: {r.reason}" for r in sweep.rejected)
     if best_bounds is None or not math.isfinite(best_value):
-        raise ValueError("no feasible blocking found within device capacity")
+        raise ValueError(
+            "no feasible blocking found within device capacity"
+            + (f" ({len(rejected)} grid point(s) rejected; first: "
+               f"{rejected[0]})" if rejected else ""))
     best_margin, best_ppolicy = best_dims
 
     if method in ("auto", "aco"):
         margin, ppol = best_margin, best_ppolicy
         best_bounds, best_value = local_search(
-            best_bounds, u, lambda bs: evaluate(bs, margin, ppol),
+            best_bounds, u, lambda bs: evaluator.safe(bs, margin, ppol),
             problem.block_feasible, max_passes=2)
     if method == "aco":
         margin, ppol = best_margin, best_ppolicy
         best_bounds, best_value = solve_aco(
-            problem, lambda bs: evaluate(bs, margin, ppol),
+            problem, lambda bs: evaluator.safe(bs, margin, ppol),
             seed_boundaries=best_bounds, config=aco_config)
 
-    blocks, policies = realize(best_bounds, best_margin)
-    placements = place(blocks, policies, best_ppolicy)
+    blocks, policies = evaluator.realize(best_bounds, best_margin)
+    placements = evaluator.place(blocks, policies, best_ppolicy)
     return BlockingResult(boundaries_segments=list(best_bounds),
                           blocks=blocks, policies=policies,
                           objective=best_value, method=method,
                           placements=placements,
-                          placement_policy=best_ppolicy)
+                          placement_policy=best_ppolicy,
+                          rejected=rejected, evaluated=sweep.evaluated)

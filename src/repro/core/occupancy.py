@@ -11,7 +11,7 @@ bytes here (the paper's B quantities multiplied by buffer size).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..hardware.interconnect import TransferModel
 

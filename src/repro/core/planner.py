@@ -7,13 +7,20 @@
 4. solve Optimization Problem 2 — recompute interleave;
 5. generate the execution plan (stage schedule + plan string).
 
-:func:`plan` is the package's primary public entry point.
+:func:`plan` is the package's primary public entry point.  It doubles as
+the planning *service*: pass ``cache=PlanCache(...)`` and the search
+outcome (steps 3-4, the expensive part) is stored under a content address
+of the planning inputs, so replanning the same (model, hardware, knobs)
+configuration — in this process or any later one — skips the search
+entirely, and ``n_workers > 1`` shards the portfolio sweep across
+processes with results bit-identical to the serial sweep.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from ..costs.profiler import CostModel, profile_graph
 from ..graph.layer_graph import LayerGraph
@@ -23,8 +30,6 @@ from ..hardware.spec import (
     HostSpec,
     abci_host,
     karma_swap_link,
-    nvlink2,
-    pcie_gen3_x16,
     v100_sxm2_16gb,
 )
 from ..hardware.tiering import MemoryHierarchy
@@ -32,6 +37,9 @@ from .blocking import BlockingResult, solve_blocking
 from .recompute import RecomputeResult, apply_recompute
 from .schedule import BlockPolicy, ExecutionPlan
 from .stages import make_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..cache.plan_cache import PlanCache
 
 
 @dataclass
@@ -45,6 +53,9 @@ class KarmaPlan:
     capacity: float
     hierarchy: Optional[MemoryHierarchy] = None
     placement: Optional[object] = None  # tiering.PlacementResult
+    cache_hit: bool = False
+    cache_key: Optional[str] = None
+    search_time: float = 0.0            # seconds spent in Opt-1 + Opt-2
 
     @property
     def is_out_of_core(self) -> bool:
@@ -75,7 +86,121 @@ class KarmaPlan:
             lines.append(
                 f"  placement   : {self.placement.policy} "
                 f"(NVMe blocks {demoted})")
+        if self.blocking.rejected:
+            lines.append(
+                f"  rejected    : {len(self.blocking.rejected)} grid "
+                "point(s) skipped by placement-legality checks")
+        if self.cache_key is not None:
+            state = "hit" if self.cache_hit else "miss"
+            lines.append(f"  plan cache  : {state} "
+                         f"({self.cache_key[:16]}…)")
         return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Cache payload (de)serialization
+# --------------------------------------------------------------------------
+
+def _encode_decisions(blocking: BlockingResult,
+                      rec: Optional[RecomputeResult],
+                      placement: Optional[object],
+                      search_time: float) -> Dict[str, Any]:
+    """The JSON-ready search outcome: everything needed to rebuild the
+    plan without re-searching (the cost model is cheap to re-profile)."""
+    payload: Dict[str, Any] = {
+        "blocking": {
+            "boundaries_segments": list(blocking.boundaries_segments),
+            "blocks": [list(b) for b in blocking.blocks],
+            "policies": [p.name for p in blocking.policies],
+            "objective": blocking.objective,
+            "method": blocking.method,
+            "placements": {str(b): t
+                           for b, t in sorted(blocking.placements.items())},
+            "placement_policy": blocking.placement_policy,
+            "rejected": list(blocking.rejected),
+            "evaluated": blocking.evaluated,
+        },
+        "recompute": None,
+        "placement": None,
+        "search_time": search_time,
+    }
+    if rec is not None:
+        payload["recompute"] = {
+            "policies": [p.name for p in rec.policies],
+            "flipped": list(rec.flipped),
+            "makespan_before": rec.makespan_before,
+            "makespan_after": rec.makespan_after,
+        }
+    if placement is not None:
+        payload["placement"] = {
+            "policy": placement.policy,
+            "placements": {str(b): t
+                           for b, t in sorted(placement.placements.items())},
+            "tier_bytes": {str(t): n
+                           for t, n in sorted(placement.tier_bytes.items())},
+            "demoted": list(placement.demoted),
+        }
+    return payload
+
+
+def _decode_decisions(payload: Dict[str, Any]):
+    """Inverse of :func:`_encode_decisions`."""
+    from ..tiering.placement import PlacementResult
+
+    b = payload["blocking"]
+    blocking = BlockingResult(
+        boundaries_segments=list(b["boundaries_segments"]),
+        blocks=[tuple(blk) for blk in b["blocks"]],
+        policies=[BlockPolicy[name] for name in b["policies"]],
+        objective=b["objective"],
+        method=b["method"],
+        placements={int(k): v for k, v in b["placements"].items()},
+        placement_policy=b["placement_policy"],
+        rejected=tuple(b.get("rejected", ())),
+        evaluated=b.get("evaluated", 0),
+    )
+    rec = None
+    if payload.get("recompute") is not None:
+        r = payload["recompute"]
+        rec = RecomputeResult(
+            policies=[BlockPolicy[name] for name in r["policies"]],
+            flipped=list(r["flipped"]),
+            makespan_before=r["makespan_before"],
+            makespan_after=r["makespan_after"],
+        )
+    placement = None
+    if payload.get("placement") is not None:
+        p = payload["placement"]
+        placement = PlacementResult(
+            placements={int(k): v for k, v in p["placements"].items()},
+            policy=p["policy"],
+            tier_bytes={int(k): v for k, v in p["tier_bytes"].items()},
+            demoted=tuple(p["demoted"]),
+        )
+    return blocking, rec, placement, float(payload.get("search_time", 0.0))
+
+
+def _digest_inputs(graph: LayerGraph, batch_size: int, device: DeviceSpec,
+                   transfer: TransferModel, capacity: float,
+                   hierarchy: Optional[MemoryHierarchy], cost: CostModel,
+                   recompute: bool, method: str, max_span: int,
+                   placement_policy: str) -> str:
+    from ..cache.digest import plan_digest
+
+    return plan_digest(
+        graph, batch_size, device=device, transfer=transfer,
+        capacity=capacity, hierarchy=hierarchy,
+        knobs={
+            "recompute": bool(recompute),
+            "method": method,
+            "max_span": int(max_span),
+            "placement_policy": placement_policy,
+            # cost-model scaling the calibration tables chose for this
+            # graph — a calibration change must miss the cache
+            "act_factor": cost.act_factor,
+            "optimizer_slots": cost.optimizer_slots,
+            "dtype_bytes": cost.dtype_bytes,
+        })
 
 
 def plan(graph: LayerGraph, batch_size: int, *,
@@ -87,7 +212,9 @@ def plan(graph: LayerGraph, batch_size: int, *,
          max_span: int = 64,
          capacity: Optional[float] = None,
          hierarchy: Optional[MemoryHierarchy] = None,
-         placement_policy: str = "auto") -> KarmaPlan:
+         placement_policy: str = "auto",
+         cache: "Optional[PlanCache]" = None,
+         n_workers: int = 1) -> KarmaPlan:
     """Derive a KARMA execution plan for ``graph`` at ``batch_size``.
 
     Defaults to the paper's device (V100 SXM2 16 GiB) with the calibrated
@@ -107,6 +234,12 @@ def plan(graph: LayerGraph, batch_size: int, *,
     to let the blocking search pick), and the resulting plan carries
     tier-qualified swap ops.  Without a hierarchy the planner keeps the
     classic unbounded-DRAM two-tier assumption.
+
+    ``cache`` short-circuits the search: on a content-address hit the
+    cached Opt-1/Opt-2 decisions are replayed against a fresh (cheap)
+    cost model and the returned plan is identical to a cold search's.
+    ``n_workers > 1`` shards the portfolio sweep across processes —
+    results stay bit-identical to the serial sweep.
     """
     from ..tiering.placement import PlacementResult, assign_tiers
 
@@ -117,10 +250,33 @@ def plan(graph: LayerGraph, batch_size: int, *,
     capacity = device.usable_memory if capacity is None else capacity
     cost = profile_graph(graph, device, transfer, batch_size)
 
+    key: Optional[str] = None
+    if cache is not None:
+        key = _digest_inputs(graph, batch_size, device, transfer, capacity,
+                             hierarchy, cost, recompute, method, max_span,
+                             placement_policy)
+        payload = cache.get(key)
+        if payload is not None:
+            blocking, rec_result, placement, cold_time = \
+                _decode_decisions(payload)
+            policies = (rec_result.policies if rec_result is not None
+                        else list(blocking.policies))
+            placements = placement.placements if placement is not None \
+                else {}
+            final = make_plan(graph.name, batch_size, blocking.blocks,
+                              policies, placements=placements)
+            return KarmaPlan(plan=final, cost=cost, blocking=blocking,
+                             recompute=rec_result, capacity=capacity,
+                             hierarchy=hierarchy, placement=placement,
+                             cache_hit=True, cache_key=key,
+                             search_time=cold_time)
+
+    t_search = time.perf_counter()
     blocking = solve_blocking(graph, cost, capacity, graph.name, batch_size,
                               method=method, max_span=max_span,
                               hierarchy=hierarchy,
-                              placement_policy=placement_policy)
+                              placement_policy=placement_policy,
+                              n_workers=n_workers)
     policies = list(blocking.policies)
     rec_result: Optional[RecomputeResult] = None
     if recompute and any(p is BlockPolicy.SWAPPED for p in policies):
@@ -140,9 +296,16 @@ def plan(graph: LayerGraph, batch_size: int, *,
                                  policy=blocking.placement_policy
                                  or "bandwidth")
         placements = placement.placements
+    search_time = time.perf_counter() - t_search
+
+    if cache is not None and key is not None:
+        cache.put(key, _encode_decisions(blocking, rec_result, placement,
+                                         search_time))
 
     final = make_plan(graph.name, batch_size, blocking.blocks, policies,
                       placements=placements)
     return KarmaPlan(plan=final, cost=cost, blocking=blocking,
                      recompute=rec_result, capacity=capacity,
-                     hierarchy=hierarchy, placement=placement)
+                     hierarchy=hierarchy, placement=placement,
+                     cache_hit=False, cache_key=key,
+                     search_time=search_time)

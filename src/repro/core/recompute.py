@@ -20,7 +20,7 @@ from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
 from ..graph.traversal import blocks_with_long_skips
 from ..hardware.tiering import MemoryHierarchy
-from .schedule import BlockPolicy, ExecutionPlan
+from .schedule import BlockPolicy
 from .stages import make_plan
 
 

@@ -23,12 +23,20 @@ segment indices.
 
 from __future__ import annotations
 
+import itertools
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 from scipy import optimize, sparse
+
+#: Version of the search semantics.  Bump whenever a change to the solver
+#: suite (objective, candidate portfolio, tie-breaking, placement sweep)
+#: could alter the plan produced for identical inputs — the plan cache keys
+#: on it, so bumping invalidates every cached plan.
+SOLVER_VERSION = "2.0"
 
 
 @dataclass(frozen=True)
@@ -279,32 +287,166 @@ def solve_aco(problem: PartitionProblem,
     return best_b, best_v
 
 
+@dataclass(frozen=True)
+class RejectedCandidate:
+    """One (candidate, dims) combination the evaluator refused to price.
+
+    Placement-legality checks (a stash that fits no tier, a plan that
+    deadlocks on the ledger) reject combinations mid-sweep; the search
+    records them instead of crashing or requiring callers to pre-filter.
+    """
+
+    index: int                      # position in the serial sweep order
+    candidate: Tuple[int, ...]
+    dims: Tuple[object, ...]
+    error_type: str
+    reason: str
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of :func:`portfolio_search`.
+
+    Iterable as the legacy ``(best_candidate, best_dims, best_value)``
+    triple, so existing ``a, b, c = portfolio_search(...)`` call sites keep
+    working.
+    """
+
+    best_candidate: Optional[List[int]]
+    best_dims: Tuple[object, ...]
+    best_value: float
+    evaluated: int = 0
+    rejected: List[RejectedCandidate] = field(default_factory=list)
+    n_workers: int = 1
+
+    def __iter__(self):
+        return iter((self.best_candidate, self.best_dims, self.best_value))
+
+
+def _score(evaluate: Callable[..., float],
+           reject_on: Tuple[Type[BaseException], ...],
+           index: int, cand: Tuple[int, ...], combo: Tuple[object, ...]
+           ) -> Tuple[int, float, Optional[Tuple[str, str]]]:
+    try:
+        value = float(evaluate(list(cand), *combo))
+    except reject_on as exc:
+        return index, math.inf, (type(exc).__name__, str(exc))
+    if math.isnan(value):
+        value = math.inf
+    return index, value, None
+
+
+# Per-process state for portfolio workers: the evaluator travels once per
+# worker (pool initializer), not once per task — the evaluator carries the
+# whole cost model, and re-pickling it for every grid point dominated the
+# sweep at ResNet-1001 scale.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_portfolio_worker(evaluate: Callable[..., float],
+                           reject_on: Tuple[Type[BaseException], ...]
+                           ) -> None:
+    _WORKER_STATE["evaluate"] = evaluate
+    _WORKER_STATE["reject_on"] = reject_on
+
+
+def _score_combo(task: Tuple[int, Tuple[int, ...], Tuple[object, ...]]
+                 ) -> Tuple[int, float, Optional[Tuple[str, str]]]:
+    """Price one grid point in a pool worker; must stay module-level
+    (process workers pickle it by reference)."""
+    index, cand, combo = task
+    evaluate = _WORKER_STATE["evaluate"]
+    reject_on = _WORKER_STATE["reject_on"]
+    return _score(evaluate, reject_on, index, cand, combo)  # type: ignore[arg-type]
+
+
+def _parallelizable(evaluate: Callable[..., float],
+                    reject_on: Tuple[Type[BaseException], ...]) -> bool:
+    """Process workers receive tasks by pickle; closures cannot travel."""
+    try:
+        pickle.dumps((evaluate, reject_on))
+        return True
+    except Exception:
+        return False
+
+
 def portfolio_search(candidates: Sequence[Sequence[int]],
                      dimensions: Sequence[Sequence[object]],
-                     evaluate: Callable[..., float]
-                     ) -> Tuple[Optional[List[int]], Tuple[object, ...], float]:
+                     evaluate: Callable[..., float], *,
+                     n_workers: int = 1,
+                     reject_on: Tuple[Type[BaseException], ...] = (ValueError,)
+                     ) -> PortfolioResult:
     """Score a boundary-candidate portfolio against the cross-product of
     discrete side dimensions.
 
     The blocking search is not one-dimensional: besides the boundary vector
     it chooses a residency margin and (under a tiered hierarchy) a stash
     placement policy.  ``evaluate(candidate, *dims)`` prices one combination
-    (``inf`` = infeasible).  Returns ``(best_candidate, best_dims,
-    best_value)``; ``best_candidate`` is None when nothing was feasible.
-    """
-    import itertools
+    (``inf`` = infeasible).  Combinations whose evaluation raises one of
+    ``reject_on`` are *skipped and recorded* in ``result.rejected`` — the
+    placement-legality checks reject illegal tier assignments mid-sweep and
+    the search carries on.
 
-    best_cand: Optional[List[int]] = None
-    best_dims: Tuple[object, ...] = ()
-    best_value = math.inf
+    ``n_workers > 1`` shards the (candidate x dims) grid across a process
+    pool.  Evaluations are pure and independent, and the winner is reduced
+    by the lexicographic ``(value, serial index)`` minimum, so the result
+    is **bit-identical to the serial sweep** regardless of worker count or
+    completion order (the serial loop's strict ``<`` keeps the earliest
+    minimum, which is exactly the ``(value, index)`` minimum).  When
+    ``evaluate`` cannot be pickled the search degrades to the serial path.
+
+    Returns a :class:`PortfolioResult`; ``best_candidate`` is None when no
+    combination was feasible.
+    """
+    grid: List[Tuple[int, Tuple[int, ...], Tuple[object, ...]]] = []
     for cand in candidates:
         for combo in itertools.product(*dimensions):
-            value = evaluate(cand, *combo)
-            if value < best_value:
-                best_cand = list(cand)
-                best_dims = combo
-                best_value = value
-    return best_cand, best_dims, best_value
+            grid.append((len(grid), tuple(cand), tuple(combo)))
+
+    use_workers = max(1, int(n_workers))
+    if use_workers > 1 and (len(grid) < 2
+                            or not _parallelizable(evaluate, reject_on)):
+        use_workers = 1
+
+    scores: List[Tuple[int, float, Optional[Tuple[str, str]]]] = []
+    if use_workers == 1:
+        for index, cand, combo in grid:
+            scores.append(_score(evaluate, reject_on, index, cand, combo))
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:          # pragma: no cover - non-POSIX hosts
+            ctx = mp.get_context("spawn")
+        chunk = max(1, len(grid) // (4 * use_workers))
+        with ProcessPoolExecutor(max_workers=use_workers, mp_context=ctx,
+                                 initializer=_init_portfolio_worker,
+                                 initargs=(evaluate, reject_on)) as pool:
+            scores = list(pool.map(_score_combo, grid, chunksize=chunk))
+
+    best_index: Optional[int] = None
+    best_value = math.inf
+    rejected: List[RejectedCandidate] = []
+    for index, value, error in sorted(scores):
+        if error is not None:
+            _, cand, combo = grid[index]
+            rejected.append(RejectedCandidate(
+                index=index, candidate=cand, dims=combo,
+                error_type=error[0], reason=error[1]))
+            continue
+        if value < best_value:
+            best_index, best_value = index, value
+    if best_index is None:
+        return PortfolioResult(best_candidate=None, best_dims=(),
+                               best_value=math.inf, evaluated=len(grid),
+                               rejected=rejected, n_workers=use_workers)
+    _, best_cand, best_combo = grid[best_index]
+    return PortfolioResult(best_candidate=list(best_cand),
+                           best_dims=best_combo, best_value=best_value,
+                           evaluated=len(grid), rejected=rejected,
+                           n_workers=use_workers)
 
 
 def local_search(boundaries: List[int], num_segments: int,

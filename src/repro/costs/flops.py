@@ -16,7 +16,6 @@ them.
 
 from __future__ import annotations
 
-import math
 from typing import Dict
 
 from ..graph.layer_graph import LayerKind, LayerSpec

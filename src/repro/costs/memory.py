@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict
 
 from ..graph.layer_graph import LayerGraph, LayerKind, LayerSpec
 from .flops import param_count

@@ -19,10 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..graph.layer_graph import LayerGraph, LayerSpec
+from ..graph.layer_graph import LayerGraph
 from ..hardware.interconnect import TransferModel
 from ..hardware.spec import DeviceSpec
-from .flops import backward_flops, forward_flops, param_count
+from .flops import backward_flops, forward_flops
 from .memory import DTYPE_BYTES, BlockMemory, LayerMemory, block_memory, layer_memory
 
 

@@ -9,8 +9,8 @@ alpha-beta cost model in :mod:`repro.sim.collectives` prices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ strengthened to exact equality (tests assert it).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

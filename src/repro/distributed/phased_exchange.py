@@ -9,7 +9,7 @@ model of Shi et al. [36] (consecutive blocks merged to a target volume).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -4,15 +4,15 @@ table/figure of the paper's evaluation section)."""
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import SCHEDULERS, InCoreInfeasible
-from ..costs.profiler import CostModel, profile_graph
+from ..costs.profiler import profile_graph
 from ..graph.layer_graph import LayerGraph
 from ..hardware.interconnect import TransferModel
 from ..hardware.spec import abci_host, karma_swap_link, v100_sxm2_16gb
-from ..models.registry import REGISTRY, ModelEntry, fig5_models
+from ..models.registry import REGISTRY, fig5_models
 from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
 
 

@@ -209,6 +209,31 @@ class LayerGraph:
         succ = [self._index[s] for s in self._g.successors(name)]
         return max(succ, default=self._index[name])
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """A deterministic, JSON-ready description of the graph.
+
+        Two graphs with identical structure produce byte-identical
+        canonical JSON (``json.dumps(..., sort_keys=True)``) in any
+        process on any platform — the plan cache digests this to key
+        cached plans, so it must capture everything the planner reads:
+        layer identities, kinds, shapes, attrs, and the edge set.
+        """
+        return {
+            "name": self.name,
+            "layers": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind.value,
+                    "input_shape": list(spec.input_shape),
+                    "output_shape": list(spec.output_shape),
+                    "attrs": {k: spec.attrs[k] for k in sorted(spec.attrs)},
+                }
+                for spec in self._layers
+            ],
+            "edges": sorted(
+                [u, v] for u, v in self._g.edges()),
+        }
+
     def describe(self) -> str:
         lines = [f"LayerGraph {self.name!r}: {len(self)} layers, "
                  f"{len(self.skip_edges())} skip edge(s)"]

@@ -30,6 +30,12 @@ class TransferModel:
     pageable_derate: float = 0.6
     chunk_bytes: int = 4 * 1024 * 1024  # prefetcher granularity
 
+    def canonical_dict(self) -> dict:
+        """Deterministic JSON-ready form (plan-cache digest input)."""
+        from .spec import canonical_spec
+
+        return canonical_spec(self)
+
     @property
     def effective_bandwidth(self) -> float:
         """Eq. 4: min of far-memory, near-memory and interconnect rates."""

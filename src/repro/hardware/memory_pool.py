@@ -15,9 +15,9 @@ numeric engine, its backing array) between the pools.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Dict, Iterator
 
 
 class OutOfMemoryError(RuntimeError):

@@ -18,12 +18,36 @@ Conventions used throughout the package:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any, Dict, Optional
 
 GiB = 1024**3
 MiB = 1024**2
 KiB = 1024
+
+
+def canonical_spec(obj: Any) -> Dict[str, Any]:
+    """A deterministic, JSON-ready dict for any frozen hardware spec.
+
+    Field order is sorted (not declaration order) and the concrete type is
+    recorded, so the output is stable across processes, platforms, and
+    field reorderings — the plan cache digests it.  Nested specs (a
+    :class:`NodeSpec`'s device/host/links) recurse.
+    """
+    if not is_dataclass(obj):
+        raise TypeError(f"not a spec dataclass: {type(obj).__name__}")
+
+    def convert(value: Any) -> Any:
+        if is_dataclass(value) and not isinstance(value, type):
+            return canonical_spec(value)
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        return value
+
+    out: Dict[str, Any] = {"spec": type(obj).__name__}
+    for f in sorted(fields(obj), key=lambda f: f.name):
+        out[f.name] = convert(getattr(obj, f.name))
+    return out
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ flash is: ``links_down[i]`` carries demotions from tier i to tier i+1,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .memory_pool import Location, MemoryPool
@@ -196,6 +196,17 @@ class MemoryHierarchy:
 
     def capacities(self) -> Tuple[float, ...]:
         return tuple(t.capacity for t in self.tiers)
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-ready form for content-addressed digesting.
+
+        Two hierarchies with identical tiers and links canonicalize to
+        byte-identical JSON across processes; an asymmetric hierarchy
+        (explicit ``links_up``) never collides with its symmetric twin.
+        """
+        from .spec import canonical_spec
+
+        return canonical_spec(self)
 
     def describe(self) -> str:
         parts = []

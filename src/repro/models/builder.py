@@ -8,7 +8,7 @@ of this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.layer_graph import LayerGraph, LayerKind, LayerSpec

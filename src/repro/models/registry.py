@@ -3,18 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..graph.layer_graph import LayerGraph
 from .resnet import resnet50, resnet200, resnet1001, wrn28_10
-from .transformer import (
-    MEGATRON_CONFIGS,
-    TURING_NLG,
-    megatron_lm,
-    tiny_gpt,
-    transformer_lm,
-    turing_nlg,
-)
 from .unet import unet
 from .vgg import vgg16
 

@@ -9,10 +9,10 @@ counts in the test suite (>25M, >64M, >10M, >36M respectively).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
-from ..graph.layer_graph import LayerGraph, LayerKind
-from .builder import Cursor, GraphBuilder
+from ..graph.layer_graph import LayerGraph
+from .builder import GraphBuilder
 
 
 def _bottleneck(b: GraphBuilder, out_channels: int, stride: int,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..graph.layer_graph import LayerGraph, LayerKind
+from ..graph.layer_graph import LayerGraph
 from .builder import Cursor, GraphBuilder
 
 

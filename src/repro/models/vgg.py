@@ -8,7 +8,7 @@ is so low on a 16 GiB V100.
 
 from __future__ import annotations
 
-from ..graph.layer_graph import LayerGraph, LayerKind
+from ..graph.layer_graph import LayerGraph
 from .builder import GraphBuilder
 
 _CFG_D = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))

@@ -14,7 +14,7 @@ windows) per the HPC guide: no Python loops over samples or channels.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

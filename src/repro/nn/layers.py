@@ -9,7 +9,7 @@ runtime owns the stash so it can evict, reload, or recompute it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

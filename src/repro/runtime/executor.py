@@ -23,16 +23,16 @@ impact on accuracy" claim, strengthened to exact equality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..core.schedule import BlockPolicy, ExecutionPlan, OpKind
-from ..graph.layer_graph import LayerGraph, LayerKind
+from ..graph.layer_graph import LayerGraph
 from ..graph.traversal import liveness_horizon
-from ..hardware.memory_pool import Allocation, Location, MemorySpace, OutOfMemoryError
-from ..hardware.tiering import DEVICE_TIER, TieredMemorySpace
+from ..hardware.memory_pool import Allocation
+from ..hardware.tiering import DEVICE_TIER
 from ..nn.build import ExecutableModel
 
 Array = np.ndarray

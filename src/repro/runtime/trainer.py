@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
-from ..core.planner import KarmaPlan
 from ..core.schedule import ExecutionPlan
 from ..hardware.memory_pool import MemorySpace
 from ..nn.build import ExecutableModel

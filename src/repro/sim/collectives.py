@@ -10,11 +10,10 @@ memory bandwidth since the reduction arithmetic runs on the CPU.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
-from ..hardware.spec import ClusterSpec, HostSpec, LinkSpec
+from ..hardware.spec import HostSpec, LinkSpec
 
 
 @dataclass(frozen=True)

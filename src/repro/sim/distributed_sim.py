@@ -22,20 +22,11 @@ extra gather volume for ZeRO) is what our formulas encode.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..costs.flops import graph_param_count
 from ..hardware.interconnect import TransferModel
-from ..hardware.spec import (
-    ClusterSpec,
-    DeviceSpec,
-    HostSpec,
-    LinkSpec,
-    abci_cluster,
-    karma_swap_link,
-)
+from ..hardware.spec import ClusterSpec, abci_cluster
 from ..models.transformer import TransformerConfig
 from .collectives import AllreduceModel, phased_groups
 from .engine import SimOp, simulate

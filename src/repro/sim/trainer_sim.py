@@ -32,14 +32,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.schedule import (
-    BlockPolicy,
-    ExecutionPlan,
-    Op,
-    OpKind,
-    Resource,
-    Stage,
-)
+from ..core.schedule import BlockPolicy, ExecutionPlan, Op, OpKind, Resource
 from ..costs.profiler import CostModel
 from ..hardware.tiering import MemoryHierarchy
 from .engine import SimOp, SimResult, SimulationDeadlock, simulate

@@ -11,11 +11,10 @@ reduce-scatter exchange.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
-from ..hardware.spec import ClusterSpec, abci_cluster
+from ..hardware.spec import ClusterSpec
 from ..models.transformer import TransformerConfig
 from .distributed_sim import DpKarmaResult, HybridResult, hybrid_mp_dp_lm, simulate_dp_karma_lm
 

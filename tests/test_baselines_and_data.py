@@ -15,7 +15,6 @@ from repro.baselines import (
     vdnn_plan,
 )
 from repro.core import BlockPolicy
-from repro.costs import profile_graph
 from repro.data import (
     CIFAR10,
     IMAGENET,

@@ -1,0 +1,133 @@
+"""The CI benchmark regression gate must trip on injected regressions
+and stay quiet on improvements or within-tolerance noise."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+from check_regressions import (  # noqa: E402 - path set up above
+    DEFAULT_TOLERANCE,
+    compare_bench,
+    regression_fraction,
+    run_gate,
+)
+
+
+class TestRegressionFraction:
+    def test_lower_is_better(self):
+        assert regression_fraction(1.0, 1.2, "lower") == pytest.approx(0.2)
+        assert regression_fraction(1.0, 0.8, "lower") == pytest.approx(-0.2)
+
+    def test_higher_is_better(self):
+        assert regression_fraction(2.0, 1.0, "higher") == pytest.approx(0.5)
+        assert regression_fraction(2.0, 3.0, "higher") \
+            == pytest.approx(-0.5)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            regression_fraction(1.0, 1.0, "sideways")
+
+
+class TestCompareBench:
+    KEYS = {"makespan_s": "lower", "occupancy": "higher"}
+    BASE = {"makespan_s": 1.0, "occupancy": 0.9}
+
+    def test_clean_run_passes(self):
+        assert compare_bench("b", dict(self.BASE), self.BASE, self.KEYS) \
+            == []
+
+    def test_injected_regression_fails(self):
+        current = {"makespan_s": 1.25, "occupancy": 0.9}
+        findings = compare_bench("b", current, self.BASE, self.KEYS)
+        assert len(findings) == 1
+        assert findings[0].metric == "makespan_s"
+        assert findings[0].change == pytest.approx(0.25)
+        assert "regressed" in findings[0].describe()
+
+    def test_within_tolerance_noise_passes(self):
+        current = {"makespan_s": 1.0 + DEFAULT_TOLERANCE * 0.9,
+                   "occupancy": 0.9 * (1 - DEFAULT_TOLERANCE * 0.9)}
+        assert compare_bench("b", current, self.BASE, self.KEYS) == []
+
+    def test_improvement_passes(self):
+        current = {"makespan_s": 0.1, "occupancy": 1.0}
+        assert compare_bench("b", current, self.BASE, self.KEYS) == []
+
+    def test_missing_metric_fails(self):
+        findings = compare_bench("b", {"occupancy": 0.9}, self.BASE,
+                                 self.KEYS)
+        assert [f.kind for f in findings] == ["missing"]
+
+    def test_unbaselined_key_is_skipped(self):
+        keys = {"brand_new_metric": "lower", **self.KEYS}
+        assert compare_bench("b", dict(self.BASE), self.BASE, keys) == []
+
+    def test_non_numeric_baseline_ignored(self):
+        keys = {"outcome": "lower"}
+        assert compare_bench("b", {"outcome": "trained"},
+                             {"outcome": "OOM"}, keys) == []
+
+    def test_nan_or_corrupt_current_fails(self):
+        """A gated metric degrading to NaN/null/string must trip the
+        gate, not slip through a silent NaN comparison."""
+        for bad in (float("nan"), None, "broken"):
+            findings = compare_bench(
+                "b", {"makespan_s": bad, "occupancy": 0.9},
+                self.BASE, self.KEYS)
+            assert [f.kind for f in findings] == ["invalid"], bad
+            assert "not a finite number" in findings[0].describe()
+
+
+class TestRunGate:
+    def _write(self, directory, bench, metrics):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{bench}.json").write_text(json.dumps(
+            {"bench": bench, "metrics": metrics}))
+
+    def test_end_to_end_pass_and_fail(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        current = tmp_path / "current"
+        self._write(baselines, "demo", {"makespan_s": 1.0})
+        keys_path = baselines / "key_metrics.json"
+        keys_path.write_text(json.dumps(
+            {"demo": {"makespan_s": "lower"}}))
+
+        self._write(current, "demo", {"makespan_s": 1.05})
+        assert run_gate(current, baselines, keys_path) == []
+
+        self._write(current, "demo", {"makespan_s": 1.5})
+        findings = run_gate(current, baselines, keys_path)
+        assert len(findings) == 1 and findings[0].kind == "regression"
+
+    def test_missing_artifact_fails_unless_allowed(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        self._write(baselines, "demo", {"makespan_s": 1.0})
+        keys_path = baselines / "key_metrics.json"
+        keys_path.write_text(json.dumps(
+            {"demo": {"makespan_s": "lower"}}))
+        empty = tmp_path / "current"
+        empty.mkdir()
+        findings = run_gate(empty, baselines, keys_path)
+        assert len(findings) == 1 and findings[0].kind == "missing"
+        assert run_gate(empty, baselines, keys_path,
+                        allow_missing=True) == []
+
+    def test_repo_baselines_are_self_consistent(self):
+        """The committed baselines gate the committed artifacts cleanly."""
+        baselines = BENCH_DIR / "baselines"
+        keys_path = baselines / "key_metrics.json"
+        keys = json.loads(keys_path.read_text())
+        for bench, metrics_keys in keys.items():
+            baseline_path = baselines / f"BENCH_{bench}.json"
+            assert baseline_path.is_file(), f"no baseline for {bench}"
+            metrics = json.loads(baseline_path.read_text())["metrics"]
+            for metric, direction in metrics_keys.items():
+                assert direction in ("lower", "higher")
+                assert metric in metrics, f"{bench}: {metric} not pinned"
+        findings = run_gate(baselines, baselines, keys_path)
+        assert findings == []

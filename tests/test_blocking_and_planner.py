@@ -13,7 +13,6 @@ from repro.core import (
     assign_policies,
     build_inputs,
     local_search,
-    make_plan,
     plan,
     segment_graph,
     solve_aco,

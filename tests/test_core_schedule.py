@@ -20,7 +20,6 @@ from repro.core.occupancy import (
     available_buffers_trace,
     buffer_occupancy,
     refined_occupancy,
-    step_occupancy,
     swapped_in_bytes,
 )
 

@@ -3,7 +3,7 @@ ZeRO — the machinery behind Table IV, Fig. 8 and Table V."""
 
 import pytest
 
-from repro.hardware import abci_cluster, abci_host, infiniband_edr_x2
+from repro.hardware import abci_host, infiniband_edr_x2
 from repro.models.transformer import MEGATRON_CONFIGS, TURING_NLG
 from repro.sim import (
     AllreduceModel,

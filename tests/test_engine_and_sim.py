@@ -1,6 +1,5 @@
 """Event engine semantics, plan pricing, vDNN turnaround, stall profiles."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

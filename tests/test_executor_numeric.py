@@ -7,7 +7,7 @@ from repro.core import BlockPolicy, make_plan
 from repro.hardware import GiB, MiB, MemorySpace, OutOfMemoryError
 from repro.models import tiny_gpt
 from repro.nn import SGD, ExecutableModel
-from repro.runtime import OutOfCoreExecutor, OutOfCorePlanError, OutOfCoreTrainer
+from repro.runtime import OutOfCoreExecutor, OutOfCoreTrainer
 
 from tests.helpers import build_small_cnn, build_small_unet
 

@@ -1,12 +1,10 @@
 """Layer graphs, traversal, FLOP formulas, memory model, model zoo."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.costs import (
-    CostModel,
     act_factor_for,
     backward_flops,
     fits_in_core,
@@ -17,7 +15,6 @@ from repro.costs import (
     model_memory_total,
     optimizer_slots_for,
     param_count,
-    profile_graph,
     projected_memory,
 )
 from repro.graph import (
@@ -38,7 +35,6 @@ from repro.models import (
     TURING_NLG,
     REGISTRY,
     fig5_models,
-    resnet50,
     tiny_gpt,
     unet,
     vgg16,

@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import LayerKind
 from repro.models import tiny_gpt
-from repro.models.builder import GraphBuilder
 from repro.nn import SGD, Adam, ExecutableModel
 from repro.nn import functional as F
 
