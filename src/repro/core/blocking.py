@@ -23,8 +23,9 @@ stash (§III-F.4 support).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from .solver import (
     solve_dp,
 )
 from .stages import make_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.trainer_sim import LoweringCache
 
 
 def segment_graph(graph: LayerGraph) -> List[Tuple[int, int]]:
@@ -121,23 +125,30 @@ class BlockingInputs:
         """Map a segment range back to a layer range."""
         return self.segments[seg_start][0], self.segments[seg_end - 1][1]
 
-    # prefix sums for O(1) block queries in segment space
+    # prefix sums for O(1) block queries in segment space.  The query
+    # methods read plain-python mirrors of the numpy prefixes: the DP
+    # surrogate calls pair_cost ~10^6 times per search and numpy *scalar*
+    # indexing plus float()/int() boxing dominated it (values are
+    # identical — the mirrors hold the exact same IEEE doubles / int64s)
     def __post_init__(self) -> None:
         self._fw = np.concatenate([[0.0], np.cumsum(self.seg_fw)])
         self._bw = np.concatenate([[0.0], np.cumsum(self.seg_bw)])
         self._st = np.concatenate([[0], np.cumsum(self.seg_stash)])
+        self._fw_list: List[float] = self._fw.tolist()
+        self._bw_list: List[float] = self._bw.tolist()
+        self._st_list: List[int] = self._st.tolist()
 
     def fw(self, a: int, b: int) -> float:
-        return float(self._fw[b] - self._fw[a])
+        return self._fw_list[b] - self._fw_list[a]
 
     def bw(self, a: int, b: int) -> float:
-        return float(self._bw[b] - self._bw[a])
+        return self._bw_list[b] - self._bw_list[a]
 
     def stash(self, a: int, b: int) -> int:
-        return int(self._st[b] - self._st[a])
+        return self._st_list[b] - self._st_list[a]
 
     def swap_time(self, a: int, b: int) -> float:
-        return self.stash(a, b) / self.swap_throughput
+        return (self._st_list[b] - self._st_list[a]) / self.swap_throughput
 
 
 def build_inputs(graph: LayerGraph, cost: CostModel,
@@ -241,6 +252,8 @@ class BlockingResult:
     # (recorded, not fatal), as "ErrorType: reason" summaries
     rejected: Tuple[str, ...] = ()
     evaluated: int = 0
+    # lowering-cache counters from the shared evaluator (diagnostics only)
+    sim_cache: Dict[str, int] = field(default_factory=dict)
 
 
 def fits_without_swapping(inputs: BlockingInputs) -> bool:
@@ -255,6 +268,12 @@ def _uniform_bounds(u: int, k: int) -> List[int]:
     return bounds
 
 
+#: Entry cap for each of the evaluator's memo layers (realize / place /
+#: plan).  Grid sweeps stay well below this; it only guards ACO runs that
+#: probe thousands of candidates from hoarding memory.
+_EVALUATOR_CACHE_ENTRIES = 4096
+
+
 @dataclass
 class CandidateEvaluator:
     """Prices one (boundaries, margin, placement policy) grid point.
@@ -264,6 +283,17 @@ class CandidateEvaluator:
     the underlying infeasibility error instead of flattening it to ``inf``
     — the portfolio search is responsible for skipping and recording
     rejected combinations.
+
+    Evaluation is *batched*: every stage of a grid point's pricing
+    pipeline is memoized across calls.  Residency assignment, tier
+    placement and stage generation are cached here (different margins and
+    placement policies very often realize the same plan), and the
+    simulation itself runs through a shared
+    :class:`~repro.sim.trainer_sim.LoweringCache` (``lowering``) so
+    identical plans are priced once and structurally similar plans reuse
+    the lowered SimOp skeleton with re-bound durations.  The portfolio
+    sweep, local search and ACO refinement all hit the same caches —
+    their neighbourhoods overlap heavily.
     """
 
     inputs: BlockingInputs
@@ -272,14 +302,46 @@ class CandidateEvaluator:
     model_name: str
     batch_size: int
     hierarchy: Optional[MemoryHierarchy] = None
+    lowering: "Optional[LoweringCache]" = None
+
+    def __post_init__(self) -> None:
+        if self.lowering is None:
+            from ..sim.trainer_sim import LoweringCache
+
+            self.lowering = LoweringCache(self.cost, self.capacity,
+                                          self.hierarchy)
+        self._realize_cache: OrderedDict = OrderedDict()
+        self._place_cache: OrderedDict = OrderedDict()
+        self._plan_cache: OrderedDict = OrderedDict()
+
+    @staticmethod
+    def _memo(store: OrderedDict, key, value):
+        store[key] = value
+        if len(store) > _EVALUATOR_CACHE_ENTRIES:
+            store.popitem(last=False)
+        return value
+
+    @staticmethod
+    def _recall(store: OrderedDict, key):
+        """LRU lookup: refresh recency on hit so hot shared entries are
+        not evicted in insertion order."""
+        value = store.get(key)
+        if value is not None:
+            store.move_to_end(key)
+        return value
 
     def realize(self, bounds: Sequence[int], margin: float
                 ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
-        seg_bounds = list(bounds)
-        blocks = [self.inputs.layers_of(a, b)
-                  for a, b in zip([0] + seg_bounds[:-1], seg_bounds)]
-        policies = assign_policies(self.inputs, seg_bounds, margin)
-        return blocks, policies
+        key = (tuple(bounds), margin)
+        hit = self._recall(self._realize_cache, key)
+        if hit is None:
+            seg_bounds = list(bounds)
+            blocks = [self.inputs.layers_of(a, b)
+                      for a, b in zip([0] + seg_bounds[:-1], seg_bounds)]
+            policies = assign_policies(self.inputs, seg_bounds, margin)
+            hit = self._memo(self._realize_cache, key, (blocks, policies))
+        # copies: callers (Opt-2, local search) mutate policy lists freely
+        return list(hit[0]), list(hit[1])
 
     def place(self, blocks: List[Tuple[int, int]],
               policies: List[BlockPolicy],
@@ -288,8 +350,29 @@ class CandidateEvaluator:
 
         if self.hierarchy is None or ppolicy is None:
             return {}
-        return assign_tiers(blocks, policies, self.cost, self.hierarchy,
-                            policy=ppolicy).placements
+        key = (tuple(blocks), tuple(policies), ppolicy)
+        hit = self._recall(self._place_cache, key)
+        if hit is None:
+            hit = self._memo(
+                self._place_cache, key,
+                assign_tiers(blocks, policies, self.cost, self.hierarchy,
+                             policy=ppolicy).placements)
+        return dict(hit)
+
+    def plan_for(self, blocks: List[Tuple[int, int]],
+                 policies: List[BlockPolicy],
+                 placements: Dict[int, int]):
+        """The validated :class:`~repro.core.schedule.ExecutionPlan` for a
+        realized grid point (stage generation + validation memoized)."""
+        key = (tuple(blocks), tuple(policies),
+               tuple(sorted(placements.items())))
+        plan = self._recall(self._plan_cache, key)
+        if plan is None:
+            plan = self._memo(
+                self._plan_cache, key,
+                make_plan(self.model_name, self.batch_size, blocks,
+                          policies, placements=placements))
+        return plan
 
     def __call__(self, bounds: Sequence[int], margin: float,
                  ppolicy: Optional[str]) -> float:
@@ -297,10 +380,10 @@ class CandidateEvaluator:
 
         blocks, policies = self.realize(bounds, margin)
         placements = self.place(blocks, policies, ppolicy)
-        plan = make_plan(self.model_name, self.batch_size, blocks, policies,
-                         placements=placements)
+        plan = self.plan_for(blocks, policies, placements)
         return simulate_plan(plan, self.cost, self.capacity,
-                             hierarchy=self.hierarchy).makespan
+                             hierarchy=self.hierarchy,
+                             cache=self.lowering).makespan
 
     def safe(self, bounds: Sequence[int], margin: float,
              ppolicy: Optional[str]) -> float:
@@ -321,7 +404,9 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
                    aco_config: Optional[AcoConfig] = None,
                    hierarchy: Optional[MemoryHierarchy] = None,
                    placement_policy: str = "auto",
-                   n_workers: int = 1) -> BlockingResult:
+                   n_workers: int = 1,
+                   lowering: "Optional[LoweringCache]" = None
+                   ) -> BlockingResult:
     """Run Opt-1 end to end and return the best blocking found.
 
     ``method``:
@@ -343,6 +428,11 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
     ``n_workers > 1`` shards the portfolio sweep across a process pool;
     the result is bit-identical to the serial sweep (deterministic
     ``(value, index)`` tie-breaking in :func:`portfolio_search`).
+
+    ``lowering`` shares one :class:`~repro.sim.trainer_sim.LoweringCache`
+    between this search and the caller's other pricing passes (the planner
+    hands the same cache to Opt-2, whose trial plans share blocks with the
+    winning blocking); omitted, the evaluator builds its own.
     """
     from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
     from ..tiering.placement import PlacementError
@@ -375,7 +465,7 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
     evaluator = CandidateEvaluator(inputs=inputs, cost=cost,
                                    capacity=capacity, model_name=model_name,
                                    batch_size=batch_size,
-                                   hierarchy=hierarchy)
+                                   hierarchy=hierarchy, lowering=lowering)
 
     # candidate portfolio ----------------------------------------------------
     candidates: List[List[int]] = []
@@ -419,9 +509,11 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
 
     blocks, policies = evaluator.realize(best_bounds, best_margin)
     placements = evaluator.place(blocks, policies, best_ppolicy)
+    stats = evaluator.lowering.stats() if evaluator.lowering else {}
     return BlockingResult(boundaries_segments=list(best_bounds),
                           blocks=blocks, policies=policies,
                           objective=best_value, method=method,
                           placements=placements,
                           placement_policy=best_ppolicy,
-                          rejected=rejected, evaluated=sweep.evaluated)
+                          rejected=rejected, evaluated=sweep.evaluated,
+                          sim_cache=stats)

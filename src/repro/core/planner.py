@@ -272,11 +272,17 @@ def plan(graph: LayerGraph, batch_size: int, *,
                              search_time=cold_time)
 
     t_search = time.perf_counter()
+    # one lowering cache spans Opt-1 and Opt-2: the searches revisit the
+    # same block partitions and policy structures, so sharing it prices
+    # repeated grid points at lookup cost (see sim.trainer_sim)
+    from ..sim.trainer_sim import LoweringCache
+
+    lowering = LoweringCache(cost, capacity, hierarchy)
     blocking = solve_blocking(graph, cost, capacity, graph.name, batch_size,
                               method=method, max_span=max_span,
                               hierarchy=hierarchy,
                               placement_policy=placement_policy,
-                              n_workers=n_workers)
+                              n_workers=n_workers, lowering=lowering)
     policies = list(blocking.policies)
     rec_result: Optional[RecomputeResult] = None
     if recompute and any(p is BlockPolicy.SWAPPED for p in policies):
@@ -284,7 +290,8 @@ def plan(graph: LayerGraph, batch_size: int, *,
                                      batch_size, blocking.blocks, policies,
                                      hierarchy=hierarchy,
                                      placement_policy=blocking
-                                     .placement_policy)
+                                     .placement_policy,
+                                     lowering=lowering)
         policies = rec_result.policies
 
     # Opt-2 may have flipped swapped blocks to recompute, shrinking the

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..costs.profiler import CostModel
 from ..graph.layer_graph import LayerGraph
@@ -22,6 +22,9 @@ from ..graph.traversal import blocks_with_long_skips
 from ..hardware.tiering import MemoryHierarchy
 from .schedule import BlockPolicy
 from .stages import make_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.trainer_sim import LoweringCache
 
 
 @dataclass
@@ -86,7 +89,8 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
                     max_chain: int = 3,
                     max_evals: int = 200,
                     hierarchy: Optional[MemoryHierarchy] = None,
-                    placement_policy: Optional[str] = None
+                    placement_policy: Optional[str] = None,
+                    lowering: "Optional[LoweringCache]" = None
                     ) -> RecomputeResult:
     """Greedy Opt-2: flip admissible swapped blocks where the simulator
     confirms a strict makespan win.
@@ -99,8 +103,22 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
     the storage links included, so an NVMe-placed block's expensive swap
     is weighed at its true cost — exactly the blocks recompute replaces
     most profitably.
+
+    ``lowering`` shares the Opt-1 search's
+    :class:`~repro.sim.trainer_sim.LoweringCache`: every trial keeps the
+    winning block partition, so its block costs and ledger sizing are
+    already cached, and re-probed policy vectors price as lookups.
     """
-    from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
+    from ..sim.trainer_sim import (
+        LoweringCache,
+        OutOfCoreInfeasible,
+        simulate_plan,
+    )
+
+    if lowering is None:
+        lowering = LoweringCache(cost, capacity, hierarchy)
+    elif not lowering.matches(cost, capacity, hierarchy):
+        raise ValueError("lowering cache does not match the Opt-2 context")
 
     policies = list(policies)
 
@@ -115,8 +133,8 @@ def apply_recompute(graph: LayerGraph, cost: CostModel, capacity: float,
         try:
             plan = make_plan(model_name, batch_size, blocks, pols,
                              placements=place(pols))
-            return simulate_plan(plan, cost, capacity,
-                                 hierarchy=hierarchy).makespan
+            return simulate_plan(plan, cost, capacity, hierarchy=hierarchy,
+                                 cache=lowering).makespan
         except (OutOfCoreInfeasible, ValueError):
             return math.inf
 

@@ -387,6 +387,14 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
     placement-legality checks reject illegal tier assignments mid-sweep and
     the search carries on.
 
+    Stateful evaluators are welcome: the grid is priced through the same
+    ``evaluate`` object in serial sweep order (or per-worker copies of it),
+    so an evaluator carrying memo tables — like
+    :class:`~repro.core.blocking.CandidateEvaluator` with its shared
+    lowering cache — amortizes pricing across grid points that realize the
+    same plan.  Memoization must be value-transparent; determinism of the
+    reduced winner relies on it.
+
     ``n_workers > 1`` shards the (candidate x dims) grid across a process
     pool.  Evaluations are pure and independent, and the winner is reduced
     by the lexicographic ``(value, serial index)`` minimum, so the result
@@ -429,7 +437,11 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
     best_index: Optional[int] = None
     best_value = math.inf
     rejected: List[RejectedCandidate] = []
-    for index, value, error in sorted(scores):
+    if use_workers > 1:
+        scores = sorted(scores)
+    # the serial path appends in index order already; pool.map preserves
+    # task order too, but sorting is kept there as a cheap invariant guard
+    for index, value, error in scores:
         if error is not None:
             _, cand, combo = grid[index]
             rejected.append(RejectedCandidate(

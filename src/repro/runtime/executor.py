@@ -76,7 +76,8 @@ class OutOfCoreExecutor:
     """
 
     def __init__(self, model: ExecutableModel, plan: ExecutionPlan,
-                 space: "MemorySpace | TieredMemorySpace"):
+                 space: "MemorySpace | TieredMemorySpace",
+                 allow_leaks: bool = False):
         plan.validate(model.graph)
         if plan.max_tier >= space.num_tiers:
             raise OutOfCorePlanError(
@@ -86,6 +87,7 @@ class OutOfCoreExecutor:
         self.model = model
         self.plan = plan
         self.space = space
+        self.allow_leaks = allow_leaks
         self.graph: LayerGraph = model.graph
         self._horizon = liveness_horizon(self.graph)
         self._block_end: Dict[int, int] = {
@@ -199,7 +201,13 @@ class OutOfCoreExecutor:
         for i in range(e - 1, s - 1, -1):
             name = self.graph[i].name
             if name not in self.douts:
-                continue  # dead branch (token inputs)
+                # dead branch (token inputs): no gradient will ever flow
+                # here, so the stash is dead exactly like after a normal
+                # backward — free it now instead of leaking to iteration
+                # end (edges only point forward, so every consumer's
+                # backward/recompute already ran in descending block order)
+                self._free(name)
+                continue
             if name not in self.ctxs:
                 raise OutOfCorePlanError(
                     f"backward of {name!r} without saved context "
@@ -247,8 +255,17 @@ class OutOfCoreExecutor:
                         f"numeric executor cannot run op {op.kind}")
         if loss is None:
             raise OutOfCorePlanError("plan never produced the loss")
-        # all stash must be gone: the iteration leaks nothing
-        leaked = [n for n in self._stash]
-        for n in leaked:
-            self._free(n)
+        # all stash must be gone: a leak means some op never ran (the plan
+        # is wrong) or the executor lost track of a stash (the executor is
+        # wrong) — either way the pool accounting can no longer be trusted
+        leaked = sorted(self._stash)
+        if leaked:
+            for n in leaked:
+                self._free(n)  # restore pool accounting before reporting
+            if not self.allow_leaks:
+                raise OutOfCorePlanError(
+                    f"iteration leaked {len(leaked)} stash entr"
+                    f"{'y' if len(leaked) == 1 else 'ies'}: "
+                    f"{', '.join(leaked)} (pass allow_leaks=True to "
+                    "tolerate this in tests)")
         return loss

@@ -11,20 +11,32 @@ from .distributed_sim import (
     hybrid_mp_dp_lm,
     simulate_dp_karma_lm,
 )
-from .engine import SimOp, SimResult, SimulationDeadlock, simulate
+from .engine import (
+    ScheduleBuilder,
+    SimOp,
+    SimResult,
+    SimulationDeadlock,
+    simulate,
+)
+from .reference_engine import simulate_reference
 from .zero_model import ZeroConfig, karma_plus_zero_lm, zero_hybrid_lm, zero_min_gpus
 from .trainer_sim import (
     BlockCosts,
     IterationResult,
+    LoweringCache,
     OutOfCoreInfeasible,
+    bind_costs,
     block_costs,
     compile_plan,
+    compile_skeleton,
     simulate_plan,
 )
 
 __all__ = [
-    "simulate", "SimOp", "SimResult", "SimulationDeadlock",
-    "simulate_plan", "compile_plan", "block_costs", "BlockCosts",
+    "simulate", "simulate_reference", "SimOp", "SimResult",
+    "SimulationDeadlock", "ScheduleBuilder",
+    "simulate_plan", "compile_plan", "compile_skeleton", "bind_costs",
+    "block_costs", "BlockCosts", "LoweringCache",
     "IterationResult", "OutOfCoreInfeasible",
     "AllreduceModel", "phased_groups", "flat_exchange_time",
     "simulate_dp_karma_lm", "hybrid_mp_dp_lm", "DpKarmaResult",

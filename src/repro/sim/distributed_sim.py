@@ -29,7 +29,7 @@ from ..hardware.interconnect import TransferModel
 from ..hardware.spec import ClusterSpec, abci_cluster
 from ..models.transformer import TransformerConfig
 from .collectives import AllreduceModel, phased_groups
-from .engine import SimOp, simulate
+from .engine import ScheduleBuilder, simulate
 
 GiB = 1024 ** 3
 
@@ -139,16 +139,16 @@ def simulate_dp_karma_lm(config: TransformerConfig, num_gpus: int,
     u_time = host.update_time(10.0 * params_per_block,
                               16.0 * params_per_block) * upd_scale
 
-    ops: List[SimOp] = []
-    ids: Dict[Tuple[str, int, int], int] = {}
+    # symbolic (kind, iteration, block) keys resolve at build time;
+    # missing keys (pipeline edges past the first/last block or
+    # iteration) drop silently — same semantics as the old ad-hoc ids
+    # dict, without the per-emit filtering
+    builder = ScheduleBuilder()
 
     def emit(kind: str, it: int, b: int, resource: str, duration: float,
              deps: Sequence[Tuple[str, int, int]]) -> None:
-        dep_ids = [ids[d] for d in deps if d in ids]
-        op_id = len(ops)
-        ops.append(SimOp(op_id=op_id, resource=resource, duration=duration,
-                         deps=tuple(dep_ids), label=f"{kind}{b}@{it}"))
-        ids[(kind, it, b)] = op_id
+        builder.emit(resource, duration, key=(kind, it, b), deps=deps,
+                     label=f"{kind}{b}@{it}")
 
     group_members: Dict[int, List[int]] = {gi: list(g)
                                            for gi, g in enumerate(groups)}
@@ -184,10 +184,12 @@ def simulate_dp_karma_lm(config: TransformerConfig, num_gpus: int,
             for b in members:
                 emit("U", it, b, "cpu", u_time, [("G", it, gi)])
 
-    result = simulate(ops)
+    result = simulate(builder.build())
     if iterations >= 3:
-        t2 = max(result.timing(ids[k]).finish for k in ids if k[1] == 1)
-        t3 = max(result.timing(ids[k]).finish for k in ids if k[1] == 2)
+        t2 = max(result.timing(builder.id_of(k)).finish
+                 for k in builder.keys() if k[1] == 1)
+        t3 = max(result.timing(builder.id_of(k)).finish
+                 for k in builder.keys() if k[1] == 2)
         iter_time = t3 - t2
     else:
         iter_time = result.makespan / iterations

@@ -24,18 +24,44 @@ timing.
 Weights stay device-resident in single-worker plans (Fig. 2 swaps
 activations); the distributed 5-stage pipeline moves weights and gradients
 too and is simulated in :mod:`repro.sim.distributed_sim`.
+
+Lowering is split in two so the blocking search can batch candidate
+evaluation:
+
+* :func:`compile_skeleton` walks the stage schedule once and produces the
+  *structure* — op roles, resources, labels, resolved dependency ids —
+  which depends only on policies / stage order / which blocks chain
+  through storage, **not** on where the block boundaries sit;
+* :func:`bind_costs` stamps durations and acquire/release byte counts
+  from a :class:`BlockCosts` onto a skeleton, yielding the
+  :class:`~repro.sim.engine.SimOp` list.
+
+A :class:`LoweringCache` memoizes every stage of that pipeline (block
+costs, ledger sizing, skeletons, bound ops, and whole simulation results)
+for one fixed ``(cost model, capacity, hierarchy)`` planning context, so
+grid points that differ only in margin / placement policy — which very
+often lower to the same plan — are priced at dictionary-lookup cost, and
+boundary candidates that share a policy structure reuse the lowered
+skeleton with patched durations instead of rebuilding from scratch.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.schedule import BlockPolicy, ExecutionPlan, Op, OpKind, Resource
 from ..costs.profiler import CostModel
 from ..hardware.tiering import MemoryHierarchy
-from .engine import SimOp, SimResult, SimulationDeadlock, simulate
+from .engine import (
+    ScheduleBuilder,
+    SimOp,
+    SimResult,
+    SimulationDeadlock,
+    simulate,
+)
 
 
 class OutOfCoreInfeasible(RuntimeError):
@@ -130,15 +156,23 @@ class IterationResult:
 
 
 def _stash_ledger_capacity(plan: ExecutionPlan, costs: BlockCosts,
-                           cost: CostModel, capacity: float) -> int:
+                           cost: CostModel, capacity: float,
+                           workspace_of=None) -> int:
     """Near-memory bytes available to activation stashes.
 
     Weights, gradients and optimizer state stay resident in single-worker
     plans; the largest transient workspace is reserved as margin.
+    ``workspace_of`` overrides the per-block peak-workspace lookup (the
+    lowering cache memoizes it — neighbouring search candidates share
+    almost all their blocks).
     """
     persistent = cost.persistent_bytes()
-    workspace = max((cost.block_memory(s, e).peak_workspace
-                     for (s, e) in plan.blocks), default=0)
+    if workspace_of is None:
+        workspace = max((cost.block_memory(s, e).peak_workspace
+                         for (s, e) in plan.blocks), default=0)
+    else:
+        workspace = max((workspace_of(s, e) for (s, e) in plan.blocks),
+                        default=0)
     ledger = int(capacity - persistent - workspace)
     if ledger <= 0:
         raise OutOfCoreInfeasible(
@@ -147,9 +181,54 @@ def _stash_ledger_capacity(plan: ExecutionPlan, costs: BlockCosts,
     return ledger
 
 
-def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
-                 prefetch_lookahead: int = 3) -> List[SimOp]:
-    """Lower the stage schedule to SimOps with explicit data dependencies.
+# ---------------------------------------------------------------------------
+# Lowering: plan -> skeleton -> SimOps
+# ---------------------------------------------------------------------------
+
+# Op roles: the cost-binding rule for each emitted op.  The skeleton pins
+# (role, block, resource, label, deps); bind_costs turns a role into
+# (duration, mem_acquire, mem_release) for a concrete BlockCosts.
+_ROLE_FW_KEEP = 0     # forward, stash stays near
+_ROLE_FW_DROP = 1     # forward of a RECOMPUTED block (drop whole stash)
+_ROLE_FW_CKPT = 2     # forward of a CHECKPOINTED block (keep boundary)
+_ROLE_SOUT = 3        # host-link swap-out hop (plain, or leg 1 of chained)
+_ROLE_SOUT_STORE = 4  # storage-link swap-out hop (leg 2 of chained)
+_ROLE_SIN = 5         # host-link swap-in hop (plain, or leg 2 of chained)
+_ROLE_SIN_STORE = 6   # storage-link swap-in hop (leg 1 of chained)
+_ROLE_RC = 7          # recompute of a RECOMPUTED block
+_ROLE_RC_CKPT = 8     # recompute of a CHECKPOINTED block
+_ROLE_BW = 9          # backward
+
+#: One skeleton op: (role, block, resource, label, resolved dep ids).
+SkeletonOp = Tuple[int, int, str, str, Tuple[int, ...]]
+
+
+def plan_structure_key(plan: ExecutionPlan, costs: BlockCosts,
+                       prefetch_lookahead: int = 3) -> Tuple:
+    """Hashable key capturing everything :func:`compile_skeleton` reads.
+
+    Two plans with equal keys lower to the same skeleton even when their
+    block boundaries (and therefore durations and byte counts) differ —
+    that is the reuse the blocking search's lowering cache exploits.
+    """
+    stage_sig = tuple(
+        tuple((op.kind, op.block, op.src_tier, op.dst_tier)
+              for op in stage.ops)
+        for stage in plan.stages)
+    placements_sig = tuple(sorted(plan.placements.items()))
+    chained_out = frozenset(
+        b for b in range(plan.num_blocks)
+        if plan.stash_tier(b) >= 2 and costs.storage_out(b) > 0)
+    chained_in = frozenset(
+        b for b in range(plan.num_blocks)
+        if plan.stash_tier(b) >= 2 and costs.storage_in(b) > 0)
+    return (stage_sig, plan.policies, placements_sig, chained_out,
+            chained_in, prefetch_lookahead)
+
+
+def compile_skeleton(plan: ExecutionPlan, costs: BlockCosts,
+                     prefetch_lookahead: int = 3) -> Tuple[SkeletonOp, ...]:
+    """Lower the stage schedule to a cost-free op skeleton.
 
     Two throttles shape swap-in timing, both mirroring the paper's runtime:
 
@@ -163,23 +242,23 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
 
     Swaps placed past DRAM lower to a chained op pair — the host-link hop
     plus a storage-link hop on the exclusive ``d2s``/``s2d`` resources —
-    so one plan-level op may produce two SimOps.  The ``ids`` map always
-    points at the *final* hop (the one downstream deps must wait for).
+    so one plan-level op may produce two skeleton ops.  Symbolic keys
+    always point at the *final* hop (the one downstream deps must wait
+    for); the :class:`~repro.sim.engine.ScheduleBuilder` resolves them
+    against the final key map at build time.
     """
-    specs: List[Tuple[OpKind, int, float, List[object], int, int,
-                      Optional[str], Optional[str]]] = []
-    ids: Dict[Tuple[OpKind, int], int] = {}
+    builder = ScheduleBuilder()
+    roles: List[int] = []
+    blocks: List[int] = []
     n = plan.num_blocks
 
-    def emit(kind: OpKind, block: int, duration: float, deps: List[object],
-             acquire: int = 0, release: int = 0,
-             resource: Optional[str] = None,
-             label: Optional[str] = None) -> int:
-        op_id = len(specs)
-        specs.append((kind, block, duration, deps, acquire, release,
-                      resource, label))
-        ids[(kind, block)] = op_id
-        return op_id
+    def emit(role: int, block: int, resource: str, label: str,
+             deps: Sequence[object], key: Optional[Tuple[OpKind, int]],
+             require_deps: bool = False) -> int:
+        roles.append(role)
+        blocks.append(block)
+        return builder.emit(resource, 0.0, key=key, deps=deps, label=label,
+                            require_deps=require_deps)
 
     def checkpoint_key(block: int) -> Optional[Tuple[OpKind, int]]:
         """The op whose output feeds block's recompute."""
@@ -201,6 +280,7 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
         for op in stage.ops:
             b = op.block
             policy = plan.policies[b]
+            plain = Op(op.kind, b)
             if op.kind is OpKind.FORWARD:
                 deps: List[object] = []
                 if b > 0:
@@ -208,13 +288,13 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
                 # RECOMPUTED blocks drop their whole stash after forward;
                 # CHECKPOINTED blocks keep only their output boundary
                 if policy is BlockPolicy.RECOMPUTED:
-                    release = costs.stash_bytes[b]
+                    role = _ROLE_FW_DROP
                 elif policy is BlockPolicy.CHECKPOINTED:
-                    release = costs.stash_bytes[b] - costs.boundary_bytes[b]
+                    role = _ROLE_FW_CKPT
                 else:
-                    release = 0
-                emit(OpKind.FORWARD, b, costs.fw[b], deps,
-                     acquire=costs.stash_bytes[b], release=release)
+                    role = _ROLE_FW_KEEP
+                emit(role, b, Resource.GPU.value, plain.label(), deps,
+                     (OpKind.FORWARD, b))
             elif op.kind is OpKind.SWAP_OUT:
                 tier = plan.stash_tier(b)
                 if tier >= 2 and costs.storage_out(b) > 0:
@@ -222,15 +302,13 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
                     # buffer (stash leaves the device ledger here), then
                     # the storage write occupies the exclusive D2S link
                     host_hop = emit(
-                        OpKind.SWAP_OUT, b, costs.swap_time[b],
-                        [(OpKind.FORWARD, b)], release=costs.stash_bytes[b],
-                        resource=Resource.D2H.value, label=f"Sout{b + 1}")
-                    emit(OpKind.SWAP_OUT, b, costs.storage_out(b),
-                         [host_hop], resource=Resource.D2S.value,
-                         label=op.label())
+                        _ROLE_SOUT, b, Resource.D2H.value, f"Sout{b + 1}",
+                        [(OpKind.FORWARD, b)], None)
+                    emit(_ROLE_SOUT_STORE, b, Resource.D2S.value,
+                         op.label(), [host_hop], (OpKind.SWAP_OUT, b))
                 else:
-                    emit(OpKind.SWAP_OUT, b, costs.swap_time[b],
-                         [(OpKind.FORWARD, b)], release=costs.stash_bytes[b])
+                    emit(_ROLE_SOUT, b, Resource.D2H.value, plain.label(),
+                         [(OpKind.FORWARD, b)], (OpKind.SWAP_OUT, b))
             elif op.kind is OpKind.SWAP_IN:
                 deps = [(OpKind.SWAP_OUT, b)]
                 if last_gpu_prev_stages is not None:
@@ -242,22 +320,22 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
                     # chained promotion: the storage read (S2D) lands in
                     # DRAM first; only the H2D hop claims device memory
                     storage_hop = emit(
-                        OpKind.SWAP_IN, b, costs.storage_in(b), deps,
-                        resource=Resource.S2D.value, label=op.label())
-                    emit(OpKind.SWAP_IN, b, costs.swap_time[b],
-                         [storage_hop], acquire=costs.stash_bytes[b],
-                         resource=Resource.H2D.value, label=f"Sin{b + 1}")
+                        _ROLE_SIN_STORE, b, Resource.S2D.value, op.label(),
+                        deps, None)
+                    emit(_ROLE_SIN, b, Resource.H2D.value, f"Sin{b + 1}",
+                         [storage_hop], (OpKind.SWAP_IN, b))
                 else:
-                    emit(OpKind.SWAP_IN, b, costs.swap_time[b], deps,
-                         acquire=costs.stash_bytes[b])
+                    emit(_ROLE_SIN, b, Resource.H2D.value, plain.label(),
+                         deps, (OpKind.SWAP_IN, b))
             elif op.kind is OpKind.RECOMPUTE:
                 key = checkpoint_key(b)
                 deps = [key] if key is not None else []
                 if plan.policies[b] is BlockPolicy.CHECKPOINTED:
-                    acquire = costs.stash_bytes[b] - costs.boundary_bytes[b]
+                    role = _ROLE_RC_CKPT
                 else:
-                    acquire = costs.stash_bytes[b]
-                emit(OpKind.RECOMPUTE, b, costs.fw[b], deps, acquire=acquire)
+                    role = _ROLE_RC
+                emit(role, b, Resource.GPU.value, plain.label(), deps,
+                     (OpKind.RECOMPUTE, b), require_deps=True)
             elif op.kind is OpKind.BACKWARD:
                 deps = []
                 if b + 1 < n:
@@ -269,8 +347,8 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
                     deps.append((OpKind.RECOMPUTE, b))
                 else:
                     deps.append((OpKind.FORWARD, b))
-                emit(OpKind.BACKWARD, b, costs.bw[b], deps,
-                     release=costs.stash_bytes[b])
+                emit(_ROLE_BW, b, Resource.GPU.value, plain.label(), deps,
+                     (OpKind.BACKWARD, b))
             else:
                 raise ValueError(f"single-worker plans cannot contain "
                                  f"{op.kind}")
@@ -279,65 +357,220 @@ def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
         if stage_gpu is not None:
             last_gpu_prev_stages = stage_gpu
 
-    # resolve symbolic (kind, block) deps to op ids; drop deps on ops that
-    # were never emitted (e.g. lookahead pointing past scheduled backwards)
+    built = builder.build()
+    return tuple((roles[i], blocks[i], sim_op.resource, sim_op.label,
+                  sim_op.deps) for i, sim_op in enumerate(built))
+
+
+def bind_costs(skeleton: Sequence[SkeletonOp],
+               costs: BlockCosts) -> List[SimOp]:
+    """Stamp durations and byte counts from ``costs`` onto a skeleton."""
+    fw, bw = costs.fw, costs.bw
+    stash, boundary = costs.stash_bytes, costs.boundary_bytes
+    swap = costs.swap_time
     ops: List[SimOp] = []
-    for op_id, (kind, block, duration, deps, acquire, release,
-                resource, label) in enumerate(specs):
-        resolved = []
-        for d in deps:
-            if isinstance(d, tuple):
-                if d in ids:
-                    resolved.append(ids[d])
-                elif kind is OpKind.RECOMPUTE:
-                    raise SimulationDeadlock(
-                        f"recompute of block {block} has no scheduled "
-                        f"source {d}")
-            else:
-                resolved.append(d)
-        ops.append(SimOp(op_id=op_id,
-                         resource=resource
-                         or Op(kind, block).resource.value,
-                         duration=duration, deps=tuple(resolved),
-                         mem_acquire=acquire, mem_release=release,
-                         label=label or Op(kind, block).label()))
+    for op_id, (role, b, resource, label, deps) in enumerate(skeleton):
+        acquire = 0
+        release = 0
+        if role == _ROLE_FW_KEEP:
+            duration, acquire = fw[b], stash[b]
+        elif role == _ROLE_FW_DROP:
+            duration, acquire, release = fw[b], stash[b], stash[b]
+        elif role == _ROLE_FW_CKPT:
+            duration, acquire = fw[b], stash[b]
+            release = stash[b] - boundary[b]
+        elif role == _ROLE_SOUT:
+            duration, release = swap[b], stash[b]
+        elif role == _ROLE_SOUT_STORE:
+            duration = costs.storage_out(b)
+        elif role == _ROLE_SIN:
+            duration, acquire = swap[b], stash[b]
+        elif role == _ROLE_SIN_STORE:
+            duration = costs.storage_in(b)
+        elif role == _ROLE_RC:
+            duration, acquire = fw[b], stash[b]
+        elif role == _ROLE_RC_CKPT:
+            duration = fw[b]
+            acquire = stash[b] - boundary[b]
+        else:  # _ROLE_BW
+            duration, release = bw[b], stash[b]
+        ops.append(SimOp(op_id=op_id, resource=resource, duration=duration,
+                         deps=deps, mem_acquire=acquire,
+                         mem_release=release, label=label))
     return ops
 
 
-def simulate_plan(plan: ExecutionPlan, cost: CostModel,
-                  capacity: float,
-                  hierarchy: Optional[MemoryHierarchy] = None
-                  ) -> IterationResult:
-    """Price one training iteration of ``plan`` on the cost model's device.
+def compile_plan(plan: ExecutionPlan, costs: BlockCosts,
+                 prefetch_lookahead: int = 3) -> List[SimOp]:
+    """Lower the stage schedule to SimOps with explicit data dependencies.
 
-    Raises :class:`OutOfCoreInfeasible` when the plan cannot fit (either
-    persistent state exceeds capacity, or the event simulation deadlocks on
-    the stash ledger — e.g. a single block larger than available memory).
-    Plans that place stashes past DRAM need a ``hierarchy`` for the
-    storage link's timing.
+    Equivalent to ``bind_costs(compile_skeleton(plan, costs), costs)`` —
+    the split exists so the blocking search can reuse skeletons across
+    candidates (see :class:`LoweringCache`).
     """
-    if plan.uses_storage and hierarchy is None:
-        raise ValueError(
-            "plan places stashes on a storage tier; pass the "
-            "MemoryHierarchy so the storage link can be priced")
-    costs = block_costs(plan.blocks, cost, hierarchy=hierarchy,
-                        placements=plan.placements)
-    ledger = _stash_ledger_capacity(plan, costs, cost, capacity)
-    ops = compile_plan(plan, costs)
-    try:
-        sim = simulate(ops, memory_capacity=ledger)
-    except SimulationDeadlock as exc:
-        raise OutOfCoreInfeasible(str(exc)) from exc
+    return bind_costs(compile_skeleton(plan, costs, prefetch_lookahead),
+                      costs)
 
+
+# ---------------------------------------------------------------------------
+# The lowering cache
+# ---------------------------------------------------------------------------
+
+class LoweringCache:
+    """Memoizes the plan-pricing pipeline for one planning context.
+
+    The blocking search prices thousands of (boundaries, margin,
+    placement-policy) grid points against one fixed cost model, device
+    capacity and memory hierarchy.  Candidates that differ only in margin
+    or placement policy very often *lower to the same plan*, and boundary
+    candidates that share a policy structure share the lowered skeleton.
+    This cache exploits both, layer by layer:
+
+    * ``results``   — full :class:`IterationResult` per (structure, blocks)
+      key: identical plans are priced once;
+    * ``ops``       — bound :class:`~repro.sim.engine.SimOp` lists per
+      (structure, blocks, placements) key;
+    * ``skeletons`` — cost-free skeletons per structure key, so a new
+      boundary vector only re-binds durations / byte counts;
+    * ``costs`` / ``ledgers`` — :func:`block_costs` and the stash-ledger
+      sizing per block partition.
+
+    Instances are bound to their ``(cost, capacity, hierarchy)`` triple;
+    :func:`simulate_plan` refuses a cache built for a different context
+    (a silent key collision would return wrong prices).  All layers are
+    LRU-bounded.  Safe to pickle (fork-based portfolio workers each carry
+    their own copy).
+    """
+
+    def __init__(self, cost: CostModel, capacity: float,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 max_entries: int = 1024):
+        self.cost = cost
+        self.capacity = capacity
+        self.hierarchy = hierarchy
+        self.max_entries = max_entries
+        self._costs: "OrderedDict[Tuple, BlockCosts]" = OrderedDict()
+        self._ledgers: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._skeletons: "OrderedDict[Tuple, Tuple[SkeletonOp, ...]]" = \
+            OrderedDict()
+        self._ops: "OrderedDict[Tuple, List[SimOp]]" = OrderedDict()
+        self._results: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._workspace: Dict[Tuple[int, int], int] = {}
+        self.hits = 0            # result-level hits (sim fully skipped)
+        self.misses = 0          # result-level misses (sim actually ran)
+        self.skeleton_hits = 0   # re-binds that skipped stage lowering
+
+    def matches(self, cost: CostModel, capacity: float,
+                hierarchy: Optional[MemoryHierarchy]) -> bool:
+        return (self.cost is cost and self.capacity == capacity
+                and self.hierarchy is hierarchy)
+
+    def stats(self) -> Dict[str, int]:
+        return {"result_hits": self.hits, "result_misses": self.misses,
+                "skeleton_hits": self.skeleton_hits,
+                "results": len(self._results),
+                "skeletons": len(self._skeletons)}
+
+    @staticmethod
+    def _put(store: "OrderedDict", key: Tuple, value: object,
+             limit: int) -> None:
+        store[key] = value
+        if len(store) > limit:
+            store.popitem(last=False)
+
+    @staticmethod
+    def _get(store: "OrderedDict", key: Tuple) -> object:
+        """Lookup that refreshes recency, so eviction is true LRU — the
+        skeleton a thousand boundary candidates share must not be evicted
+        by one-off entries just because it was inserted first."""
+        value = store.get(key)
+        if value is not None:
+            store.move_to_end(key)
+        return value
+
+    def block_costs(self, plan: ExecutionPlan,
+                    placements_sig: Tuple) -> BlockCosts:
+        key = (plan.blocks, placements_sig)
+        costs = self._get(self._costs, key)
+        if costs is None:
+            costs = block_costs(plan.blocks, self.cost,
+                                hierarchy=self.hierarchy,
+                                placements=plan.placements)
+            self._put(self._costs, key, costs, self.max_entries)
+        return costs  # type: ignore[return-value]
+
+    def _block_workspace(self, s: int, e: int) -> int:
+        key = (s, e)
+        w = self._workspace.get(key)
+        if w is None:
+            w = self.cost.block_memory(s, e).peak_workspace
+            self._workspace[key] = w
+        return w
+
+    def ledger_capacity(self, plan: ExecutionPlan,
+                        costs: BlockCosts) -> int:
+        """Stash-ledger sizing per block partition; infeasible partitions
+        cache their error so repeated probes fail fast."""
+        key = plan.blocks
+        cached = self._get(self._ledgers, key)
+        if cached is None:
+            try:
+                cached = _stash_ledger_capacity(
+                    plan, costs, self.cost, self.capacity,
+                    workspace_of=self._block_workspace)
+            except OutOfCoreInfeasible as exc:
+                cached = exc
+            self._put(self._ledgers, key, cached, self.max_entries)
+        if isinstance(cached, OutOfCoreInfeasible):
+            raise OutOfCoreInfeasible(str(cached))
+        return cached  # type: ignore[return-value]
+
+    def skeleton(self, plan: ExecutionPlan, costs: BlockCosts,
+                 structure_key: Tuple,
+                 prefetch_lookahead: int) -> Tuple[SkeletonOp, ...]:
+        skeleton = self._get(self._skeletons, structure_key)
+        if skeleton is None:
+            skeleton = compile_skeleton(plan, costs, prefetch_lookahead)
+            self._put(self._skeletons, structure_key, skeleton,
+                      self.max_entries)
+        else:
+            self.skeleton_hits += 1
+        return skeleton  # type: ignore[return-value]
+
+    def ops(self, plan: ExecutionPlan, costs: BlockCosts,
+            structure_key: Tuple, placements_sig: Tuple,
+            prefetch_lookahead: int) -> List[SimOp]:
+        key = (structure_key, plan.blocks, placements_sig)
+        ops = self._get(self._ops, key)
+        if ops is None:
+            skeleton = self.skeleton(plan, costs, structure_key,
+                                     prefetch_lookahead)
+            ops = bind_costs(skeleton, costs)
+            self._put(self._ops, key, ops, self.max_entries)
+        return ops  # type: ignore[return-value]
+
+    def result(self, key: Tuple) -> Optional[object]:
+        return self._get(self._results, key)
+
+    def store_result(self, key: Tuple, value: object) -> None:
+        self._put(self._results, key, value, self.max_entries)
+
+
+# ---------------------------------------------------------------------------
+# Plan pricing
+# ---------------------------------------------------------------------------
+
+def _analyze(plan: ExecutionPlan, sim: SimResult) -> IterationResult:
+    """Fold a raw simulation into the per-iteration report."""
     gpu = Resource.GPU.value
     gpu_busy = sim.resource_busy.get(gpu, 0.0)
     occupancy = sim.occupancy(gpu)
+    # one cached sort serves both the gap list and the stall attribution
+    gpu_ops = sim.resource_timings(gpu)
     gaps = sim.idle_gaps(gpu)
     total_stall = sum(hi - lo for lo, hi in gaps)
 
     # attribute each idle gap to the GPU op that follows it
-    gpu_ops = sorted((t for t in sim.timings.values()
-                      if t.op.resource == gpu), key=lambda t: t.start)
     bw_stalls: Dict[int, float] = {}
     prev_finish: Optional[float] = None
     for t in gpu_ops:
@@ -356,3 +589,70 @@ def simulate_plan(plan: ExecutionPlan, cost: CostModel,
         samples_per_sec=plan.batch_size / sim.makespan
         if sim.makespan > 0 else math.inf,
         storage_busy=storage_busy)
+
+
+def simulate_plan(plan: ExecutionPlan, cost: CostModel,
+                  capacity: float,
+                  hierarchy: Optional[MemoryHierarchy] = None,
+                  cache: Optional[LoweringCache] = None
+                  ) -> IterationResult:
+    """Price one training iteration of ``plan`` on the cost model's device.
+
+    Raises :class:`OutOfCoreInfeasible` when the plan cannot fit (either
+    persistent state exceeds capacity, or the event simulation deadlocks on
+    the stash ledger — e.g. a single block larger than available memory).
+    Plans that place stashes past DRAM need a ``hierarchy`` for the
+    storage link's timing.
+
+    ``cache`` batches repeated pricing: pass the search's shared
+    :class:`LoweringCache` (built for the *same* cost model, capacity and
+    hierarchy — anything else raises) and structurally identical plans
+    reuse lowered skeletons, bound op lists and whole results.
+    """
+    if plan.uses_storage and hierarchy is None:
+        raise ValueError(
+            "plan places stashes on a storage tier; pass the "
+            "MemoryHierarchy so the storage link can be priced")
+    if cache is not None and not cache.matches(cost, capacity, hierarchy):
+        raise ValueError(
+            "LoweringCache was built for a different (cost, capacity, "
+            "hierarchy) context; results would be silently wrong")
+
+    if cache is None:
+        costs = block_costs(plan.blocks, cost, hierarchy=hierarchy,
+                            placements=plan.placements)
+        ledger = _stash_ledger_capacity(plan, costs, cost, capacity)
+        ops = compile_plan(plan, costs)
+        try:
+            sim = simulate(ops, memory_capacity=ledger)
+        except SimulationDeadlock as exc:
+            raise OutOfCoreInfeasible(str(exc)) from exc
+        return _analyze(plan, sim)
+
+    placements_sig = tuple(sorted(plan.placements.items()))
+    costs = cache.block_costs(plan, placements_sig)
+    structure_key = plan_structure_key(plan, costs)
+    result_key = (structure_key, plan.blocks)
+    cached = cache.result(result_key)
+    if cached is not None:
+        cache.hits += 1
+        if isinstance(cached, OutOfCoreInfeasible):
+            raise OutOfCoreInfeasible(str(cached))
+        # same structure + same blocks + same context => same timings;
+        # only the plan object identity may differ
+        return replace(cached, plan=plan)  # type: ignore[arg-type]
+    cache.misses += 1
+    try:
+        ledger = cache.ledger_capacity(plan, costs)
+        ops = cache.ops(plan, costs, structure_key, placements_sig,
+                        prefetch_lookahead=3)
+        try:
+            sim = simulate(ops, memory_capacity=ledger)
+        except SimulationDeadlock as exc:
+            raise OutOfCoreInfeasible(str(exc)) from exc
+    except OutOfCoreInfeasible as exc:
+        cache.store_result(result_key, exc)
+        raise
+    result = _analyze(plan, sim)
+    cache.store_result(result_key, result)
+    return result

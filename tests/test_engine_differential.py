@@ -1,0 +1,279 @@
+"""Differential tests: the event-heap engine must be bit-identical to the
+seed round-robin engine (``sim.reference_engine``), and the batched
+lowering cache must be value-transparent."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockPolicy, make_plan
+from repro.costs import profile_graph
+from repro.runtime.executor import OutOfCorePlanError
+from repro.sim import (
+    LoweringCache,
+    ScheduleBuilder,
+    SimOp,
+    SimulationDeadlock,
+    block_costs,
+    compile_plan,
+    simulate,
+    simulate_plan,
+    simulate_reference,
+)
+
+R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
+              BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED)
+
+RESOURCES = ("gpu", "h2d", "d2h", "d2s", "s2d", "cpu")
+
+
+def assert_bit_identical(ops, capacity):
+    """Both engines agree exactly — timings, summaries, or the deadlock."""
+    try:
+        ref = simulate_reference(ops, capacity)
+    except SimulationDeadlock:
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops, capacity)
+        return None
+    new = simulate(ops, capacity)
+    assert new.timings == ref.timings          # exact float equality
+    assert new.makespan == ref.makespan
+    assert new.resource_busy == ref.resource_busy
+    assert new.resource_span == ref.resource_span
+    for r in RESOURCES:
+        assert new.idle_gaps(r) == ref.idle_gaps(r)
+        assert new.occupancy(r) == ref.occupancy(r)
+    return new
+
+
+@st.composite
+def op_dags(draw):
+    """Randomized op DAGs: resources, deps, acquires/releases, capacity."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    n_res = draw(st.integers(min_value=1, max_value=4))
+    ops = []
+    for i in range(n):
+        n_deps = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        deps = tuple(sorted(
+            draw(st.sets(st.integers(0, i - 1), min_size=n_deps,
+                         max_size=n_deps)))) if i else ()
+        ops.append(SimOp(
+            op_id=i,
+            resource=RESOURCES[draw(st.integers(0, n_res - 1))],
+            duration=draw(st.floats(min_value=0.0, max_value=3.0,
+                                    allow_nan=False)),
+            deps=deps,
+            mem_acquire=draw(st.sampled_from([0, 0, 10, 40, 80, 130])),
+            mem_release=draw(st.sampled_from([0, 0, 10, 40, 80, 130])),
+        ))
+    capacity = draw(st.sampled_from([None, 60, 100, 200, 500]))
+    return ops, capacity
+
+
+class TestDifferential:
+    @given(op_dags())
+    @settings(max_examples=300, deadline=None)
+    def test_property_randomized_dags(self, case):
+        ops, capacity = case
+        assert_bit_identical(ops, capacity)
+
+    def test_ledger_contention_chain(self):
+        """Swap-style pattern: acquires held across resources under a
+        tight ledger — the order-sensitive case for the ledgered path."""
+        ops = []
+        n = 12
+        for b in range(n):
+            f = len(ops)
+            ops.append(SimOp(f, "gpu", 1.0,
+                             deps=(ops[-3].op_id,) if b else (),
+                             mem_acquire=30))
+            ops.append(SimOp(f + 1, "d2h", 1.5, deps=(f,), mem_release=30))
+            ops.append(SimOp(f + 2, "h2d", 1.5, deps=(f + 1,),
+                             mem_acquire=30))
+        for b in range(n):
+            ops.append(SimOp(len(ops), "gpu", 0.7,
+                             deps=(3 * b + 2,), mem_release=30))
+        assert_bit_identical(ops, 100)
+
+    def test_memory_deadlock_both_engines(self):
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=80),
+               SimOp(1, "h2d", 1.0, mem_acquire=50)]  # never released
+        with pytest.raises(SimulationDeadlock):
+            simulate_reference(ops, 100)
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops, 100)
+
+    def test_capacity_overflow_both_engines(self):
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=200)]
+        with pytest.raises(SimulationDeadlock):
+            simulate_reference(ops, 100)
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops, 100)
+
+    def test_circular_dependency_both_engines(self):
+        ops = [SimOp(0, "gpu", 1.0, deps=(1,)),
+               SimOp(1, "h2d", 1.0, deps=(0,))]
+        with pytest.raises(SimulationDeadlock):
+            simulate_reference(ops)
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops)
+
+    def test_zero_capacity_ledger(self):
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=1)]
+        with pytest.raises(SimulationDeadlock):
+            simulate(ops, 0)
+
+    def test_plan_level_differential(self, small_cnn, platform):
+        """Compiled plans (the production op streams) agree exactly."""
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 64)
+        n = len(small_cnn)
+        blocks = [(0, n // 3), (n // 3, 2 * n // 3), (2 * n // 3, n)]
+        for policies in ([S, S, R], [S, C, R], [C, S, R], [S, S, S]):
+            plan = make_plan(small_cnn.name, 64, blocks, policies)
+            costs = block_costs(plan.blocks, cost)
+            ops = compile_plan(plan, costs)
+            for ledger in (None, 2 ** 40, 2 ** 34):
+                assert_bit_identical(ops, ledger)
+
+
+class TestScheduleBuilder:
+    def test_symbolic_resolution_and_final_hop(self):
+        b = ScheduleBuilder()
+        first = b.emit("d2h", 1.0, key=("Sout", 0), label="hop1")
+        b.emit("d2s", 2.0, key=("Sout", 0), deps=[first], label="hop2")
+        b.emit("gpu", 1.0, deps=[("Sout", 0)], label="B1")
+        ops = b.build()
+        # the dep resolved against the *final* emission of the key
+        assert ops[2].deps == (1,)
+        assert b.id_of(("Sout", 0)) == 1
+        assert ("Sout", 0) in b and ("Sin", 0) not in b
+
+    def test_missing_symbolic_dep_dropped_or_raises(self):
+        b = ScheduleBuilder()
+        b.emit("gpu", 1.0, deps=[("never", 1)], label="ok")
+        assert b.build()[0].deps == ()
+        b2 = ScheduleBuilder()
+        b2.emit("gpu", 1.0, deps=[("never", 1)], label="R1",
+                require_deps=True)
+        with pytest.raises(SimulationDeadlock):
+            b2.build()
+
+
+class TestLoweringCache:
+    def _ctx(self, small_cnn, platform, batch=64):
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, batch)
+        return cost, device.usable_memory
+
+    def test_cached_results_value_transparent(self, small_cnn, platform):
+        cost, cap = self._ctx(small_cnn, platform)
+        cache = LoweringCache(cost, cap)
+        n = len(small_cnn)
+        blocks = [(0, n // 2), (n // 2, n)]
+        plan = make_plan(small_cnn.name, 64, blocks, [S, R])
+        plain = simulate_plan(plan, cost, cap)
+        miss = simulate_plan(plan, cost, cap, cache=cache)
+        hit = simulate_plan(plan, cost, cap, cache=cache)
+        for res in (miss, hit):
+            assert res.makespan == plain.makespan
+            assert res.total_stall == plain.total_stall
+            assert res.gpu_occupancy == plain.gpu_occupancy
+            assert res.bw_block_stalls == plain.bw_block_stalls
+        assert cache.hits == 1 and cache.misses == 1
+        assert hit.plan is plan   # the hit re-carries the caller's plan
+
+    def test_skeleton_reuse_across_boundaries(self, small_cnn, platform):
+        """Same policy structure, shifted boundary: skeleton reused,
+        durations re-bound, values still exact."""
+        cost, cap = self._ctx(small_cnn, platform)
+        cache = LoweringCache(cost, cap)
+        n = len(small_cnn)
+        for mid in (n // 2, n // 2 + 1):
+            plan = make_plan(small_cnn.name, 64, [(0, mid), (mid, n)],
+                             [S, R])
+            cached = simulate_plan(plan, cost, cap, cache=cache)
+            assert cached.makespan == simulate_plan(plan, cost,
+                                                    cap).makespan
+        assert cache.skeleton_hits >= 1
+
+    def test_infeasible_outcome_cached(self, small_cnn, platform):
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 8)
+        cache = LoweringCache(cost, 1000.0)
+        plan = make_plan(small_cnn.name, 8, [(0, len(small_cnn))], [R])
+        from repro.sim import OutOfCoreInfeasible
+        for _ in range(2):
+            with pytest.raises(OutOfCoreInfeasible):
+                simulate_plan(plan, cost, 1000.0, cache=cache)
+
+    def test_mismatched_context_rejected(self, small_cnn, platform):
+        cost, cap = self._ctx(small_cnn, platform)
+        cache = LoweringCache(cost, cap)
+        plan = make_plan(small_cnn.name, 64,
+                         [(0, len(small_cnn))], [R])
+        with pytest.raises(ValueError):
+            simulate_plan(plan, cost, cap / 2, cache=cache)
+
+
+class TestSimResultCaches:
+    def test_idle_gaps_cached_and_stable(self):
+        ops = [SimOp(0, "gpu", 1.0),
+               SimOp(1, "h2d", 3.0),
+               SimOp(2, "gpu", 1.0, deps=(1,))]
+        res = simulate(ops)
+        first = res.idle_gaps("gpu")
+        assert first == [(1.0, 3.0)]
+        assert res.idle_gaps("gpu") == first
+        assert res.resource_timings("gpu") is res.resource_timings("gpu")
+        assert res.occupancy("gpu") == pytest.approx(0.5)
+
+
+class TestExecutorLeakGuard:
+    def _setup(self, policies):
+        import numpy as np
+        from repro.hardware import GiB, MemorySpace
+        from repro.nn import ExecutableModel
+        from tests.helpers import build_small_cnn
+
+        graph = build_small_cnn()
+        m = ExecutableModel(graph, dtype=np.float64, seed=3)
+        n = len(graph)
+        plan = make_plan(graph.name, 8, [(0, n // 2), (n // 2, n)],
+                         policies)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 3, 16, 16))
+        y = rng.integers(0, 5, 8)
+        return m, plan, MemorySpace(2 * GiB, 16 * GiB), x, y
+
+    def test_clean_plan_does_not_raise(self):
+        from repro.runtime.executor import OutOfCoreExecutor
+        m, plan, space, x, y = self._setup([S, R])
+        loss = OutOfCoreExecutor(m, plan, space).run_iteration(x, y)
+        assert math.isfinite(loss)
+        assert space.near.bytes_in_use == 0
+
+    def test_leak_raises_and_names_layers(self, monkeypatch):
+        from repro.runtime.executor import OutOfCoreExecutor
+        m, plan, space, x, y = self._setup([S, R])
+        ex = OutOfCoreExecutor(m, plan, space)
+        orig = OutOfCoreExecutor._backward_block
+
+        def skip_free(self, block):  # simulate a buggy executor/plan
+            orig(self, block)
+            if block == 0:
+                name = self.graph[0].name
+                self.acts[name] = x
+                self._charge(name)
+        monkeypatch.setattr(OutOfCoreExecutor, "_backward_block", skip_free)
+        with pytest.raises(OutOfCorePlanError, match="leaked"):
+            ex.run_iteration(x, y)
+        # accounting was restored before raising
+        assert space.near.bytes_in_use == 0
+
+        tolerant = OutOfCoreExecutor(m, plan, space, allow_leaks=True)
+        loss = tolerant.run_iteration(x, y)
+        assert math.isfinite(loss)
+        assert space.near.bytes_in_use == 0
