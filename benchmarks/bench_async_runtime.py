@@ -1,0 +1,182 @@
+"""Asynchronous runtime benchmarks: overlap speedup and sim fidelity.
+
+The async executor's reason to exist is hiding transfers behind compute
+(§III-H / Fig. 6: swaps overlap compute, out-of-core approaches in-core
+speed).  This bench gates that end to end:
+
+1. **overlap speedup** — one swap-bound 3-tier plan (every interior
+   block swapped, one routed through NVMe), paced with modeled durations
+   where the two-way swap traffic exceeds each block's compute, executed
+   by the synchronous oracle and the asynchronous executor.  Wall-clock
+   is min-of-N; the hard floor is **async >= 1.3x sync**, and gradients
+   from the timed runs are asserted byte-identical.
+2. **sim fidelity** — the measured stall profile of the async run vs the
+   event simulation of the exact same op durations: per-resource stall
+   fractions must agree within a few points of makespan (the
+   ``python -m repro validate`` loop, gated).
+
+Emits ``BENCH_async_runtime.json``; the overlap speedup and measured
+occupancy are key metrics with committed baselines (headroomed — the
+in-bench asserts are the hard floor, the CI gate catches drift on top).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import BlockPolicy, make_plan
+from repro.hardware import GiB, TieredMemorySpace
+from repro.models.builder import GraphBuilder
+from repro.nn import ExecutableModel
+from repro.runtime import (
+    AsyncOutOfCoreExecutor,
+    OutOfCoreExecutor,
+    TransferPacer,
+)
+from repro.sim import compile_plan, simulate, stall_profile
+from repro.sim.trainer_sim import BlockCosts
+
+from tests.helpers import uniform_blocks
+
+S, R = BlockPolicy.SWAPPED, BlockPolicy.RESIDENT
+
+REPEATS = 3
+#: modeled per-block durations (seconds, time_scale=1): swap-bound —
+#: 20 ms of two-way swap traffic per block vs 8+16 ms of compute.
+#: examples/async_overlap.py inlines this fixture (examples cannot
+#: import bench modules); keep the two in sync when retuning.
+FW_S, BW_S, SWAP_S, STORAGE_S = 0.008, 0.016, 0.020, 0.012
+
+
+def _bench_cnn():
+    b = GraphBuilder("async_bench_cnn")
+    b.input((3, 16, 16))
+    for width in (8, 8, 16, 16):
+        b.conv(width, 3)
+        b.relu()
+    b.pool(2, 2)
+    b.conv(16, 3)
+    b.relu()
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(5)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def _swap_bound_case():
+    """A 3-tier plan where every interior block swaps (block 0 via NVMe)
+    plus the synthetic modeled costs that make it swap-bound."""
+    graph = _bench_cnn()
+    blocks = uniform_blocks(graph, 6)
+    n = len(blocks)
+    placements = {0: 2}
+    plan = make_plan(graph.name, 4, blocks, [S] * (n - 1) + [R],
+                     placements=placements)
+    costs = BlockCosts(
+        fw=(FW_S,) * n, bw=(BW_S,) * n,
+        stash_bytes=(0,) * n, boundary_bytes=(0,) * n,
+        weight_bytes=(0,) * n, swap_time=(SWAP_S,) * n,
+        grad_swap_time=(0.0,) * n,
+        storage_out_time=tuple(STORAGE_S if b in placements else 0.0
+                               for b in range(n)),
+        storage_in_time=tuple(STORAGE_S if b in placements else 0.0
+                              for b in range(n)))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((4, 3, 16, 16))
+    y = rng.integers(0, 5, 4)
+    return graph, plan, costs, x, y
+
+
+def _timed_run(cls, graph, plan, pacer, x, y):
+    """Best-of-REPEATS wall-clock plus the *fastest* run's grads and
+    executor — the fidelity assert must judge the same run the timing
+    convention keeps, or one descheduled final repeat flakes the gate."""
+    best = float("inf")
+    grads = None
+    executor = None
+    for _ in range(REPEATS):
+        model = ExecutableModel(graph, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        candidate = cls(model, plan, space, pacer=pacer)
+        model.zero_grad()
+        t0 = time.perf_counter()
+        candidate.run_iteration(x, y, step=0)
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+            executor = candidate
+            grads = {(l, p): a.copy() for l, p, a in model.gradients()}
+    return best, grads, executor
+
+
+def test_async_overlap_speedup(bench_writer):
+    """The gate: async >= 1.3x sync on the swap-bound 3-tier config,
+    with byte-identical gradients."""
+    graph, plan, costs, x, y = _swap_bound_case()
+    pacer = TransferPacer(time_scale=1.0, costs=costs)
+
+    sync_wall, sync_grads, _ = _timed_run(OutOfCoreExecutor, graph, plan,
+                                          pacer, x, y)
+    async_wall, async_grads, executor = _timed_run(
+        AsyncOutOfCoreExecutor, graph, plan, pacer, x, y)
+
+    assert async_grads.keys() == sync_grads.keys()
+    for key, a in async_grads.items():
+        assert np.array_equal(a, sync_grads[key]), key
+
+    speedup = sync_wall / async_wall
+    trace = executor.trace
+    measured = trace.stall_profile()
+    print(f"\nswap-bound 3-tier config ({plan.num_blocks} blocks, "
+          f"block 0 via NVMe):")
+    print(f"  sync  {sync_wall * 1e3:8.1f} ms")
+    print(f"  async {async_wall * 1e3:8.1f} ms   "
+          f"occupancy {measured.occupancy() * 100:5.1f}%")
+    print(f"  overlap speedup {speedup:.2f}x (floor 1.3x)")
+    assert speedup >= 1.3, (
+        f"async {async_wall * 1e3:.1f} ms vs sync {sync_wall * 1e3:.1f} ms "
+        f"= {speedup:.2f}x, below the 1.3x overlap floor")
+
+    bench_writer.emit("async_runtime", {
+        "sync_wall_ms": round(sync_wall * 1e3, 2),
+        "async_wall_ms": round(async_wall * 1e3, 2),
+        "overlap_speedup": round(speedup, 3),
+        "async_occupancy": round(measured.occupancy(), 4),
+        "async_stall_fractions": {k: round(v, 4)
+                                  for k, v in measured.fractions().items()},
+    })
+
+
+def test_async_matches_simulated_profile(bench_writer):
+    """Sim-vs-real fidelity on the bench config: per-resource stall
+    fractions within a few points of makespan."""
+    graph, plan, costs, x, y = _swap_bound_case()
+    ops = compile_plan(plan, costs)
+    sim = simulate(ops)
+    predicted = stall_profile(ops, sim)
+
+    pacer = TransferPacer(time_scale=1.0, costs=costs)
+    _, _, executor = _timed_run(AsyncOutOfCoreExecutor, graph, plan,
+                                pacer, x, y)
+    measured = executor.trace.stall_profile()
+
+    # 'other' is unbounded runtime overhead (scheduling noise on loaded
+    # runners) — excluded from the fidelity gate on both sides
+    resources = (set(predicted.stalls) | set(measured.stalls)) - {"other"}
+    worst = max((abs(predicted.fraction(r) - measured.fraction(r))
+                 for r in resources), default=0.0)
+    occ_err = abs(predicted.occupancy() - measured.occupancy())
+    print(f"\npredicted occupancy {predicted.occupancy() * 100:5.1f}% vs "
+          f"measured {measured.occupancy() * 100:5.1f}%")
+    print(f"worst per-resource stall-fraction error {worst:.4f}")
+    assert worst < 0.10, (predicted.fractions(), measured.fractions())
+    assert occ_err < 0.10
+
+    bench_writer.emit("async_runtime", {
+        "predicted_occupancy": round(predicted.occupancy(), 4),
+        "measured_occupancy": round(measured.occupancy(), 4),
+        "stall_fraction_worst_error": round(worst, 4),
+        "predicted_makespan_s": round(sim.makespan, 5),
+    })

@@ -1,0 +1,138 @@
+"""Async overlap demo: swaps hide behind compute, and the simulator's
+stall predictions survive contact with the running system.
+
+Builds a small CNN, constructs a deliberately swap-bound 3-tier plan
+(every interior block swapped, the coldest routed through NVMe), paces
+the modeled durations in real wall-clock, and then:
+
+1. executes the plan synchronously (every transfer inline) and
+   asynchronously (per-link streams + prefetch + fences) — printing both
+   wall-clocks and the overlap speedup;
+2. prints the predicted-vs-measured per-resource stall table, the
+   ``python -m repro validate`` loop in miniature.
+
+Gradients from the two executors are verified byte-identical.
+
+Run: python examples/async_overlap.py
+Set KARMA_EXAMPLES_TINY=1 for the reduced CI-smoke pacing.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import BlockPolicy, make_plan
+from repro.eval import render_table
+from repro.hardware import GiB, TieredMemorySpace
+from repro.models.builder import GraphBuilder
+from repro.nn import ExecutableModel
+from repro.runtime import (
+    AsyncOutOfCoreExecutor,
+    OutOfCoreExecutor,
+    TransferPacer,
+)
+from repro.sim import compare_profiles, compile_plan, simulate, stall_profile
+from repro.sim.trainer_sim import BlockCosts
+
+TINY = os.environ.get("KARMA_EXAMPLES_TINY", "0") == "1"
+S, R = BlockPolicy.SWAPPED, BlockPolicy.RESIDENT
+
+
+#  NOTE: this walkthrough inlines the swap-bound fixture that
+#  benchmarks/bench_async_runtime.py gates (examples run with only
+#  PYTHONPATH=src, so they cannot import the bench or tests.helpers);
+#  when retuning the bench's modeled durations, mirror the change here.
+
+
+def build_model():
+    b = GraphBuilder("async_overlap_cnn")
+    b.input((3, 16, 16))
+    for width in (8, 8, 16, 16):
+        b.conv(width, 3)
+        b.relu()
+    b.pool(2, 2)
+    b.conv(16, 3)
+    b.relu()
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(5)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def uniform_blocks(graph, k):
+    n = len(graph)
+    bounds = sorted({round((i + 1) * n / k) for i in range(k)} - {0})
+    bounds[-1] = n
+    return list(zip([0] + bounds[:-1], bounds))
+
+
+def main():
+    graph = build_model()
+    blocks = uniform_blocks(graph, 6)
+    n = len(blocks)
+    placements = {0: 2}  # the coldest stash spills to NVMe
+    plan = make_plan(graph.name, 4, blocks, [S] * (n - 1) + [R],
+                     placements=placements)
+
+    # modeled per-block durations (seconds): 20 ms of two-way swap per
+    # block vs 8+16 ms of compute — a swap-bound regime where overlap
+    # pays; TINY shrinks the emulated wall-clock for the CI smoke run
+    scale = 0.35 if TINY else 1.0
+    costs = BlockCosts(
+        fw=(0.008,) * n, bw=(0.016,) * n,
+        stash_bytes=(0,) * n, boundary_bytes=(0,) * n,
+        weight_bytes=(0,) * n, swap_time=(0.020,) * n,
+        grad_swap_time=(0.0,) * n,
+        storage_out_time=tuple(0.012 if b in placements else 0.0
+                               for b in range(n)),
+        storage_in_time=tuple(0.012 if b in placements else 0.0
+                              for b in range(n)))
+    pacer = TransferPacer(time_scale=scale, costs=costs)
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((4, 3, 16, 16))
+    y = rng.integers(0, 5, 4)
+
+    print(f"plan ({n} blocks, block 1 via NVMe):")
+    print(f"  {plan.plan_string()}\n")
+
+    # 1) sync vs async wall-clock, gradients verified identical
+    results = {}
+    for name, cls in (("sync", OutOfCoreExecutor),
+                      ("async", AsyncOutOfCoreExecutor)):
+        model = ExecutableModel(graph, dtype=np.float64, seed=7)
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        executor = cls(model, plan, space, pacer=pacer)
+        model.zero_grad()
+        t0 = time.perf_counter()
+        loss = executor.run_iteration(x, y, step=0)
+        wall = time.perf_counter() - t0
+        results[name] = (wall, loss, executor,
+                         {(l, p): a.copy()
+                          for l, p, a in model.gradients()})
+        print(f"  {name:<5} {wall * 1e3:8.1f} ms   loss {loss:.6f}")
+
+    sync_wall, _, _, sync_grads = results["sync"]
+    async_wall, _, async_ex, async_grads = results["async"]
+    for key, a in async_grads.items():
+        assert np.array_equal(a, sync_grads[key]), key
+    print(f"  -> overlap speedup {sync_wall / async_wall:.2f}x, "
+          "gradients byte-identical\n")
+
+    # 2) predicted vs measured stall profile
+    ops = compile_plan(plan, costs)
+    sim = simulate(ops)
+    predicted = stall_profile(ops, sim)
+    measured = async_ex.trace.stall_profile()
+    print(render_table(compare_profiles(predicted, measured),
+                       title="predicted vs measured stall fractions "
+                             "(share of makespan)"))
+    print(f"\npredicted makespan {sim.makespan * scale * 1e3:.1f} ms "
+          f"(emulated) vs measured {measured.makespan * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

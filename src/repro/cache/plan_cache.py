@@ -67,9 +67,21 @@ class CacheStats:
 class PlanCache:
     """Content-addressed plan store with an LRU front and a JSON disk back.
 
-    ``capacity`` bounds the in-memory entry count only; the disk layer
-    keeps everything until :meth:`clear`.  ``persist=False`` makes the
-    cache purely in-process (tests, throwaway sweeps).
+    Keys are SHA-256 digests of the planning inputs
+    (:func:`repro.cache.digest.plan_digest`), so any change to the model
+    graph, hardware, capacity or search knobs is automatically a miss;
+    entries record the solver and cache-format versions and are
+    invalidated on load when either moved on.
+
+    Args:
+        cache_dir: on-disk location (one ``<sha256>.json`` per entry);
+            defaults to ``$KARMA_PLAN_CACHE_DIR`` or
+            ``~/.cache/karma-repro/plans``.
+        capacity: bound on the in-memory entry count only; the disk
+            layer keeps everything until :meth:`clear`.
+        persist: ``False`` makes the cache purely in-process (tests,
+            throwaway sweeps).
+        stats: hit/miss/store counters, exposed for reporting.
     """
 
     cache_dir: Optional[Path] = None

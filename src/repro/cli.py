@@ -13,6 +13,8 @@ Usage::
     python -m repro plan --manifest configs.json --workers 4
     python -m repro cache info
     python -m repro cache clear
+    python -m repro validate
+    python -m repro validate --config cnn gpt --target-wall 0.5 --json
 
 A manifest is a JSON list of configuration objects (or ``{"configs":
 [...]}``); each object takes the same keys as the single-config flags::
@@ -248,6 +250,54 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_validate(args: argparse.Namespace) -> int:
+    from .eval.validation import (
+        DEFAULT_CONFIGS,
+        VALIDATION_CONFIGS,
+        validate_many,
+    )
+
+    if args.list:
+        print("validation configs:")
+        for name, cfg in sorted(VALIDATION_CONFIGS.items()):
+            print(f"  {name:<8} batch {cfg.batch_size:<4} "
+                  f"link {cfg.link_bandwidth / 1e9:.0f} GB/s")
+        return 0
+    names = args.config or list(DEFAULT_CONFIGS)
+    unknown = [n for n in names if n not in VALIDATION_CONFIGS]
+    if unknown:
+        print(f"error: unknown config(s) {unknown}; known: "
+              f"{sorted(VALIDATION_CONFIGS)}", file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    reports = validate_many(names, target_wall_s=args.target_wall,
+                            seed=args.seed)
+    total = time.perf_counter() - t0
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        print("sim-vs-real stall validation (async runtime paced with the "
+              "simulator's own durations):\n")
+        for r in reports:
+            print(r.table())
+            print(f"  blocks={r.num_blocks}  "
+                  f"makespan ratio (measured/predicted)="
+                  f"{r.makespan_ratio:.3f}  "
+                  f"max |error|={r.max_abs_error:.4f}\n")
+        worst = max(r.max_abs_error for r in reports)
+        print(f"validated {len(reports)} config(s) in {total:.2f} s; "
+              f"worst per-resource stall-fraction error {worst:.4f}")
+    if args.max_error is not None and any(
+            r.max_abs_error > args.max_error for r in reports):
+        print(f"error: stall-fraction error exceeds --max-error "
+              f"{args.max_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -291,6 +341,25 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("cache_command", choices=("info", "clear"))
     c.add_argument("--cache-dir", default=None)
     c.set_defaults(func=_run_cache)
+
+    v = sub.add_parser(
+        "validate",
+        help="compare simulator-predicted vs runtime-measured stall "
+             "fractions per resource")
+    v.add_argument("--config", nargs="*", default=None,
+                   help="validation config names (default: cnn gpt)")
+    v.add_argument("--target-wall", type=float, default=0.4,
+                   help="emulated wall-clock seconds per measured "
+                        "iteration (sets the pacer's time scale)")
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--max-error", type=float, default=None,
+                   help="exit non-zero if any per-resource stall-fraction "
+                        "error exceeds this")
+    v.add_argument("--list", action="store_true",
+                   help="list the available validation configs")
+    v.add_argument("--json", action="store_true",
+                   help="emit reports as JSON instead of tables")
+    v.set_defaults(func=_run_validate)
     return parser
 
 

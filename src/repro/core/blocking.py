@@ -139,15 +139,20 @@ class BlockingInputs:
         self._st_list: List[int] = self._st.tolist()
 
     def fw(self, a: int, b: int) -> float:
+        """Forward time of segments ``[a, b)`` (prefix-sum lookup)."""
         return self._fw_list[b] - self._fw_list[a]
 
     def bw(self, a: int, b: int) -> float:
+        """Backward time of segments ``[a, b)`` (prefix-sum lookup)."""
         return self._bw_list[b] - self._bw_list[a]
 
     def stash(self, a: int, b: int) -> int:
+        """Stash bytes of segments ``[a, b)`` (prefix-sum lookup)."""
         return self._st_list[b] - self._st_list[a]
 
     def swap_time(self, a: int, b: int) -> float:
+        """One-way swap time of segments ``[a, b)`` at the calibrated
+        throughput."""
         return (self._st_list[b] - self._st_list[a]) / self.swap_throughput
 
 
@@ -332,6 +337,8 @@ class CandidateEvaluator:
 
     def realize(self, bounds: Sequence[int], margin: float
                 ) -> Tuple[List[Tuple[int, int]], List[BlockPolicy]]:
+        """Turn segment boundaries + a residency margin into concrete
+        layer blocks and per-block policies (memoized)."""
         key = (tuple(bounds), margin)
         hit = self._recall(self._realize_cache, key)
         if hit is None:
@@ -346,6 +353,8 @@ class CandidateEvaluator:
     def place(self, blocks: List[Tuple[int, int]],
               policies: List[BlockPolicy],
               ppolicy: Optional[str]) -> Dict[int, int]:
+        """Assign stash tiers for one candidate under ``ppolicy``
+        (memoized; empty without a hierarchy)."""
         from ..tiering.placement import assign_tiers
 
         if self.hierarchy is None or ppolicy is None:
@@ -409,30 +418,42 @@ def solve_blocking(graph: LayerGraph, cost: CostModel, capacity: float,
                    ) -> BlockingResult:
     """Run Opt-1 end to end and return the best blocking found.
 
-    ``method``:
+    Args:
+        graph/cost/capacity: the planning context — model graph, its
+            profiled cost model, and the device capacity in bytes.
+        model_name/batch_size: stamped onto the trial plans.
+        method: search strategy —
 
-    * ``'auto'``    — candidate portfolio (DP surrogate, per-segment fine
-      blocking, uniform-K) x residency margins, scored by the event
-      simulator, refined by local search;
-    * ``'dp'``      — DP surrogate boundaries only (ablation);
-    * ``'aco'``     — 'auto' seed + ant-colony refinement (MIDACO role);
-    * ``'uniform'`` — naive equal-segment blocks (ablation baseline).
+            * ``'auto'``    — candidate portfolio (DP surrogate,
+              per-segment fine blocking, uniform-K) x residency margins,
+              scored by the event simulator, refined by local search;
+            * ``'dp'``      — DP surrogate boundaries only (ablation);
+            * ``'aco'``     — 'auto' seed + ant-colony refinement
+              (MIDACO role);
+            * ``'uniform'`` — naive equal-segment blocks (ablation
+              baseline).
+        max_span: cap on block span in coarsened segments.
+        aco_config: ant-colony knobs for ``method='aco'``.
+        hierarchy: adds a third search dimension — the stash placement
+            policy — and scores every candidate with tier-aware
+            simulation: a candidate whose stash overflows the DRAM budget
+            is only feasible if a storage tier can absorb the spill.
+            Combinations a placement-legality check rejects are skipped
+            and surfaced in ``result.rejected``.
+        placement_policy: ``'bandwidth'`` / ``'pressure'``, or ``'auto'``
+            to try both.
+        n_workers: shard the portfolio sweep across a process pool; the
+            result is bit-identical to the serial sweep (deterministic
+            ``(value, index)`` tie-breaking in :func:`portfolio_search`).
+        lowering: share one :class:`~repro.sim.trainer_sim.LoweringCache`
+            between this search and the caller's other pricing passes
+            (the planner hands the same cache to Opt-2, whose trial plans
+            share blocks with the winning blocking); omitted, the
+            evaluator builds its own.
 
-    With a ``hierarchy`` the search gains a third dimension: the stash
-    placement policy (``'bandwidth'`` / ``'pressure'``, or ``'auto'`` to
-    try both), and every candidate is scored with tier-aware simulation —
-    a candidate whose stash overflows the DRAM budget is only feasible if
-    a storage tier can absorb the spill.  Combinations a placement-legality
-    check rejects are skipped and surfaced in ``result.rejected``.
-
-    ``n_workers > 1`` shards the portfolio sweep across a process pool;
-    the result is bit-identical to the serial sweep (deterministic
-    ``(value, index)`` tie-breaking in :func:`portfolio_search`).
-
-    ``lowering`` shares one :class:`~repro.sim.trainer_sim.LoweringCache`
-    between this search and the caller's other pricing passes (the planner
-    hands the same cache to Opt-2, whose trial plans share blocks with the
-    winning blocking); omitted, the evaluator builds its own.
+    Returns:
+        A :class:`BlockingResult` — blocks, policies, placements, the
+        simulated objective, and search diagnostics.
     """
     from ..sim.trainer_sim import OutOfCoreInfeasible, simulate_plan
     from ..tiering.placement import PlacementError

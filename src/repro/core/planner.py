@@ -66,6 +66,7 @@ class KarmaPlan:
         return self.plan.uses_storage
 
     def describe(self) -> str:
+        """Human-readable multi-line summary of the planned schedule."""
         lines = [
             f"KARMA plan for {self.plan.model_name!r} @ batch "
             f"{self.plan.batch_size}",
@@ -217,29 +218,49 @@ def plan(graph: LayerGraph, batch_size: int, *,
          n_workers: int = 1) -> KarmaPlan:
     """Derive a KARMA execution plan for ``graph`` at ``batch_size``.
 
-    Defaults to the paper's device (V100 SXM2 16 GiB) with the calibrated
-    swap path (:func:`repro.hardware.spec.karma_swap_link`).  **Substitution note**: ABCI's host link is PCIe
-    Gen3 (16 GB/s), but with our roofline compute model that bandwidth
-    makes every out-of-core method link-bound and collapses the relative
-    differences Fig. 5 reports; modelling the UM-prefetch swap path at
-    NVLink-class bandwidth restores the paper's compute-to-transfer ratio.
-    Pass ``transfer=TransferModel(link=pcie_gen3_x16(), ...)`` to study the
-    PCIe regime (see ``benchmarks/bench_ablation_link.py``).
-    ``recompute=False`` yields the capacity-based strategy without the
-    Opt-2 interleave ("KARMA" vs "KARMA w/ recompute" in Fig. 5).
+    Runs the paper's Fig. 1 workflow end to end: profile the graph into a
+    cost model, solve Opt-1 (blocking), solve Opt-2 (recompute
+    interleave), place stashes across the memory hierarchy, and emit the
+    stage schedule.
 
-    ``hierarchy`` enables tiered offload: swapped stashes are placed across
-    the hierarchy's tiers (DRAM first, NVMe overflow) by the chosen
-    ``placement_policy`` (``'bandwidth'``, ``'pressure'``, or ``'auto'``
-    to let the blocking search pick), and the resulting plan carries
-    tier-qualified swap ops.  Without a hierarchy the planner keeps the
-    classic unbounded-DRAM two-tier assumption.
+    Args:
+        graph: the validated model graph to plan over.
+        batch_size: per-iteration batch size (drives the cost model).
+        device/host: hardware specs; default to the paper's platform
+            (V100 SXM2 16 GiB on an ABCI node).
+        transfer: host<->device swap-path model; defaults to the
+            calibrated :func:`repro.hardware.spec.karma_swap_link`.
+            **Substitution note**: ABCI's host link is PCIe Gen3
+            (16 GB/s), but with our roofline compute model that bandwidth
+            makes every out-of-core method link-bound and collapses the
+            relative differences Fig. 5 reports; modelling the
+            UM-prefetch swap path at NVLink-class bandwidth restores the
+            paper's compute-to-transfer ratio.  Pass
+            ``transfer=TransferModel(link=pcie_gen3_x16(), ...)`` to
+            study the PCIe regime.
+        recompute: run the Opt-2 interleave; ``False`` yields the pure
+            capacity-based strategy ("KARMA" vs "KARMA w/ recompute").
+        method: Opt-1 search method (``'auto'``/``'dp'``/``'aco'``/
+            ``'uniform'``, see :func:`repro.core.blocking.solve_blocking`).
+        max_span: cap on block span in coarsened segments.
+        capacity: device-capacity override in bytes (defaults to the
+            device's usable memory).
+        hierarchy: enables tiered offload — swapped stashes are placed
+            across the hierarchy's tiers (DRAM first, NVMe overflow) and
+            the plan carries tier-qualified swap ops; omitted, the
+            planner keeps the classic unbounded-DRAM two-tier assumption.
+        placement_policy: ``'bandwidth'``, ``'pressure'``, or ``'auto'``
+            to let the blocking search pick.
+        cache: a :class:`~repro.cache.plan_cache.PlanCache`; on a
+            content-address hit the cached Opt-1/Opt-2 decisions are
+            replayed and the returned plan is identical to a cold
+            search's.
+        n_workers: shard the portfolio sweep across this many processes
+            (bit-identical to the serial sweep).
 
-    ``cache`` short-circuits the search: on a content-address hit the
-    cached Opt-1/Opt-2 decisions are replayed against a fresh (cheap)
-    cost model and the returned plan is identical to a cold search's.
-    ``n_workers > 1`` shards the portfolio sweep across processes —
-    results stay bit-identical to the serial sweep.
+    Returns:
+        A :class:`KarmaPlan`: the executable :class:`ExecutionPlan` plus
+        the cost model and search diagnostics.
     """
     from ..tiering.placement import PlacementResult, assign_tiers
 

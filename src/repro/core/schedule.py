@@ -136,6 +136,7 @@ class Stage:
     ops: Tuple[Op, ...]
 
     def label(self) -> str:
+        """Paper notation for the stage: ops joined with ``||``."""
         return "||".join(op.label() for op in self.ops)
 
     def __iter__(self):
@@ -206,12 +207,14 @@ class ExecutionPlan:
         return self.max_tier >= 2
 
     def block_of_layer(self, layer_index: int) -> int:
+        """The block whose layer range contains ``layer_index``."""
         for b, (s, e) in enumerate(self.blocks):
             if s <= layer_index < e:
                 return b
         raise IndexError(f"layer {layer_index} outside all blocks")
 
     def boundaries(self) -> List[int]:
+        """The end layer index of every block, in order."""
         return [e for _, e in self.blocks]
 
     # -- the paper's plan-string notation ---------------------------------------
@@ -223,6 +226,12 @@ class ExecutionPlan:
     # -- validation -------------------------------------------------------------
 
     def validate(self, graph: Optional[LayerGraph] = None) -> None:
+        """Check structural legality; raises :class:`PlanValidationError`.
+
+        Verifies the block partition (contiguous, covering ``graph`` when
+        given), checkpoint sources, tier placements, and the stage launch
+        order's dependency sanity.
+        """
         n = self.num_blocks
         if n == 0:
             raise PlanValidationError("plan has no blocks")

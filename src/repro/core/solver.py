@@ -56,6 +56,7 @@ class PartitionProblem:
     max_span: int = 64
 
     def spans(self, start: int) -> range:
+        """Candidate next-boundary positions from ``start`` (span-capped)."""
         upper = min(self.num_segments, start + self.max_span)
         return range(start + 1, upper + 1)
 

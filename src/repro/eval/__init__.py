@@ -8,8 +8,18 @@ from .experiments import (
     run_method,
 )
 from .reporting import render_series, render_table
+from .validation import (
+    DEFAULT_CONFIGS,
+    VALIDATION_CONFIGS,
+    ValidationConfig,
+    ValidationReport,
+    validate_config,
+    validate_many,
+)
 
 __all__ = [
     "MethodPoint", "run_method", "fig5_sweep", "karma_speedup_summary",
     "default_platform", "render_table", "render_series",
+    "ValidationConfig", "ValidationReport", "validate_config",
+    "validate_many", "VALIDATION_CONFIGS", "DEFAULT_CONFIGS",
 ]

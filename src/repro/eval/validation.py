@@ -1,0 +1,317 @@
+"""Sim-vs-real validation: does the runtime exhibit the predicted stalls?
+
+The planner's objective function is the event simulator; nothing else in
+the system checks that its predictions survive contact with an actual
+interleaved runtime (threads, queues, fences, admission).  This harness
+closes that loop per configuration:
+
+1. derive a KARMA plan the usual way (the full Opt-1/Opt-2 search
+   against a deliberately tight capacity, so swapping engages);
+2. **predict**: compile the plan and run the event simulation, folding
+   its GPU idle gaps into a per-resource
+   :class:`~repro.sim.stall.StallProfile`;
+3. **measure**: run the plan numerically under the
+   :class:`~repro.runtime.async_executor.AsyncOutOfCoreExecutor`, pacing
+   every modeled duration through a
+   :class:`~repro.runtime.streams.TransferPacer` (the same block costs
+   the simulator priced, scaled to a target wall-clock), and fold the
+   measured fence/admission waits into the same profile format;
+4. diff the two profiles' makespan-normalized stall fractions.
+
+Because the paced durations are the simulator's own inputs, any residual
+disagreement isolates *scheduling infidelity* — places where the real
+stream/fence machinery behaves differently from the event model — which
+is exactly the feedback that keeps the planner's cost model honest.
+
+``python -m repro validate`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.planner import KarmaPlan, plan
+from ..graph.layer_graph import LayerGraph
+from ..hardware.interconnect import TransferModel
+from ..hardware.spec import (
+    GiB,
+    LinkSpec,
+    abci_host,
+    karma_swap_link,
+    tiny_test_device,
+)
+from ..hardware.tiering import MemoryHierarchy, TieredMemorySpace
+from ..models.builder import GraphBuilder
+from ..models.transformer import tiny_gpt
+from ..nn.build import ExecutableModel
+from ..runtime.async_executor import AsyncOutOfCoreExecutor
+from ..runtime.executor import OutOfCoreExecutor
+from ..runtime.streams import TransferPacer
+from ..sim.stall import StallProfile, compare_profiles, stall_profile
+from ..sim.trainer_sim import (
+    _stash_ledger_capacity,
+    block_costs,
+    compile_plan,
+)
+from .reporting import render_table
+
+from ..sim.engine import simulate
+
+
+# ---------------------------------------------------------------------------
+# Validation model zoo: small enough for float64 numeric execution
+# ---------------------------------------------------------------------------
+
+def _val_cnn() -> LayerGraph:
+    """A residual CNN with enough blocks for a real swap schedule."""
+    b = GraphBuilder("val_cnn")
+    b.input((3, 32, 32))
+    b.conv(16, 3)
+    b.bn()
+    b.relu()
+    for _ in range(4):
+        skip = b.cursor
+        b.conv(16, 3)
+        b.bn()
+        b.relu()
+        b.conv(16, 3)
+        b.bn()
+        b.add_residual(skip)
+        b.relu()
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(10)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+def _val_gpt() -> LayerGraph:
+    """A tiny GPT — attention/LN/dropout layers exercise recompute."""
+    return tiny_gpt(hidden=32, heads=2, layers=3, seq_len=16, vocab=64)
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """One named sim-vs-real configuration."""
+
+    name: str
+    builder: Callable[[], LayerGraph]
+    batch_size: int
+    #: device capacity as persistent + this fraction of activations —
+    #: tight enough that the planner must swap
+    activation_fraction: float = 0.6
+    #: host<->device link bandwidth (bytes/s); a slow link makes the
+    #: config swap-bound, so real stalls appear in both profiles
+    link_bandwidth: float = 100e9
+    image_like: bool = True
+    seq_len: int = 16
+    vocab: int = 64
+
+
+VALIDATION_CONFIGS: Dict[str, ValidationConfig] = {
+    # swap-bound: the slow link leaves link stalls the runtime must
+    # reproduce, not just predict
+    "cnn": ValidationConfig("cnn", _val_cnn, batch_size=8,
+                            activation_fraction=0.55,
+                            link_bandwidth=2e9),
+    # overlap-rich: the calibrated link hides (nearly) all swap traffic
+    "gpt": ValidationConfig("gpt", _val_gpt, batch_size=4,
+                            activation_fraction=0.6, image_like=False),
+}
+
+#: The default pair ``python -m repro validate`` runs.
+DEFAULT_CONFIGS = ("cnn", "gpt")
+
+
+@dataclass
+class ValidationReport:
+    """Predicted vs measured stall profiles for one configuration."""
+
+    config: str
+    batch_size: int
+    num_blocks: int
+    plan_string: str
+    time_scale: float
+    predicted: StallProfile
+    measured: StallProfile
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest per-resource |predicted - measured| stall fraction."""
+        return max((float(r["abs_error"]) for r in self.rows), default=0.0)
+
+    @property
+    def makespan_ratio(self) -> float:
+        """Measured / predicted makespan (both in emulated seconds)."""
+        pred = self.predicted.makespan * self.time_scale
+        if pred <= 0:
+            return math.inf
+        return self.measured.makespan / pred
+
+    def table(self) -> str:
+        return render_table(
+            self.rows, title=f"[{self.config}] predicted vs measured "
+                             "stall fractions")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config,
+            "batch": self.batch_size,
+            "blocks": self.num_blocks,
+            "time_scale": self.time_scale,
+            "predicted_makespan_s": self.predicted.makespan,
+            "measured_makespan_s": self.measured.makespan,
+            "makespan_ratio": round(self.makespan_ratio, 4),
+            "max_abs_error": round(self.max_abs_error, 4),
+            "rows": self.rows,
+        }
+
+
+def _make_batch(config: ValidationConfig, rng: np.random.Generator,
+                graph: LayerGraph):
+    if config.image_like:
+        shape = (config.batch_size,) + tuple(graph[0].output_shape)
+        x = rng.standard_normal(shape)
+        y = rng.integers(0, 10, config.batch_size)
+        return x, y
+    x = rng.integers(0, config.vocab,
+                     (config.batch_size, config.seq_len))
+    y = np.roll(x, -1, axis=1)
+    return x, y
+
+
+def validate_config(name: str, *,
+                    target_wall_s: float = 0.4,
+                    hierarchy: Optional[MemoryHierarchy] = None,
+                    prefetch_stages: int = 0,
+                    seed: int = 0) -> ValidationReport:
+    """Run the sim-vs-real loop for one named configuration.
+
+    Args:
+        name: a key of :data:`VALIDATION_CONFIGS`.
+        target_wall_s: emulated wall-clock budget for the measured
+            iteration; the pacer's ``time_scale`` is derived from the
+            predicted makespan so every config costs about this long.
+        hierarchy: optional memory hierarchy for tiered plans (storage
+            links then appear in both profiles).
+        prefetch_stages: the async executor's walk-ahead window; 0
+            mirrors the simulator's issue discipline exactly, which is
+            what a validation run wants.
+        seed: RNG seed for model weights and the batch.
+
+    Returns:
+        A :class:`ValidationReport` with both profiles and the diff rows.
+    """
+    config = VALIDATION_CONFIGS[name]
+    graph = config.builder()
+    rng = np.random.default_rng(seed)
+    x, y = _make_batch(config, rng, graph)
+
+    # -- plan against a deliberately tight capacity ------------------------
+    device = tiny_test_device(memory=64 * 1024 * 1024)
+    if config.link_bandwidth >= 100e9:
+        link = karma_swap_link()
+    else:
+        link = LinkSpec(f"val-link-{config.link_bandwidth / 1e9:.0f}gbs",
+                        config.link_bandwidth)
+    transfer = TransferModel(link=link, device=device, host=abci_host())
+    kp: KarmaPlan = plan(graph, batch_size=config.batch_size, device=device,
+                         transfer=transfer, hierarchy=hierarchy,
+                         capacity=_tight_capacity(graph, device, transfer,
+                                                  config))
+    exec_plan = kp.plan
+
+    # -- predict -----------------------------------------------------------
+    costs = block_costs(exec_plan.blocks, kp.cost, hierarchy=hierarchy,
+                        placements=exec_plan.placements)
+    ledger = _stash_ledger_capacity(exec_plan, costs, kp.cost, kp.capacity)
+    ops = compile_plan(exec_plan, costs)
+    sim = simulate(ops, memory_capacity=ledger)
+    predicted = stall_profile(ops, sim)
+
+    # -- measure -----------------------------------------------------------
+    time_scale = target_wall_s / sim.makespan if sim.makespan > 0 else 0.0
+    pacer = TransferPacer(time_scale=time_scale, costs=costs,
+                          hierarchy=hierarchy, transfer=transfer)
+    num_tiers = max(2, exec_plan.max_tier + 1)
+
+    # size the measured device pool with the same headroom ratio the
+    # simulator's stash ledger had: a dry synchronous run (plan order,
+    # unbounded pools) measures the runtime's true peak in real bytes,
+    # and scaling it by ledger/peak_sim makes the async executor's
+    # admission backpressure engage exactly when the sim's ledger
+    # throttling would — so the 'memory' stall bucket is comparable, not
+    # structurally zero
+    dry_space = TieredMemorySpace([64 * GiB] * num_tiers)
+    dry_model = ExecutableModel(graph, dtype=np.float64, seed=seed)
+    OutOfCoreExecutor(dry_model, exec_plan, dry_space).run_iteration(
+        x, y, step=0)
+    sync_peak = dry_space.near.peak_in_use
+    sim_peak = _sim_peak_ledger_usage(sim)
+    if sim_peak > 0:
+        device_cap = min(4 * GiB, int(sync_peak * (ledger / sim_peak)) + 1)
+    else:
+        device_cap = 4 * GiB  # no ledger traffic: capacity cannot bind
+
+    model = ExecutableModel(graph, dtype=np.float64, seed=seed)
+    space = TieredMemorySpace([device_cap] + [4 * GiB] * (num_tiers - 1))
+    executor = AsyncOutOfCoreExecutor(model, exec_plan, space, pacer=pacer,
+                                      prefetch_stages=prefetch_stages)
+    model.zero_grad()
+    executor.run_iteration(x, y, step=0)
+    assert executor.trace is not None
+    measured = executor.trace.stall_profile()
+
+    return ValidationReport(
+        config=name, batch_size=config.batch_size,
+        num_blocks=exec_plan.num_blocks,
+        plan_string=exec_plan.plan_string(),
+        time_scale=time_scale, predicted=predicted, measured=measured,
+        rows=compare_profiles(predicted, measured))
+
+
+def _sim_peak_ledger_usage(sim) -> int:
+    """Peak bytes the simulated schedule held against the stash ledger.
+
+    Mirrors the ledger's merge semantics: same-instant acquire/release
+    deltas net out before the peak is read.
+    """
+    deltas: Dict[float, int] = {}
+    for t in sim.timings.values():
+        if t.op.mem_acquire:
+            deltas[t.start] = deltas.get(t.start, 0) + t.op.mem_acquire
+        if t.op.mem_release:
+            deltas[t.finish] = deltas.get(t.finish, 0) - t.op.mem_release
+    running = peak = 0
+    for when in sorted(deltas):
+        running += deltas[when]
+        if running > peak:
+            peak = running
+    return peak
+
+
+def _tight_capacity(graph: LayerGraph, device, transfer,
+                    config: ValidationConfig) -> float:
+    """Device capacity forcing an out-of-core plan: persistent state plus
+    a fraction of the activation footprint."""
+    from ..costs.profiler import profile_graph
+
+    cost = profile_graph(graph, device, transfer, config.batch_size)
+    return cost.persistent_bytes() \
+        + config.activation_fraction * cost.total_activation_bytes
+
+
+def validate_many(names=DEFAULT_CONFIGS, *,
+                  target_wall_s: float = 0.4,
+                  hierarchy: Optional[MemoryHierarchy] = None,
+                  seed: int = 0) -> List[ValidationReport]:
+    """Run :func:`validate_config` over several named configurations."""
+    return [validate_config(n, target_wall_s=target_wall_s,
+                            hierarchy=hierarchy, seed=seed)
+            for n in names]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 
 class OutOfMemoryError(RuntimeError):
@@ -145,8 +145,14 @@ class MemoryPool:
         self.peak_reserved = max(self.peak_reserved, self.bytes_reserved)
         return alloc
 
-    def free(self, alloc: Allocation) -> None:
-        """Release an allocation back to the cache (or to free capacity)."""
+    def free(self, alloc: Allocation, *, cache: Optional[bool] = None) -> None:
+        """Release an allocation back to the cache (or to free capacity).
+
+        ``cache`` overrides the pool's caching policy for this one free:
+        ``False`` returns the bytes straight to free capacity (used for
+        transient staging buffers that must leave no reserved residue),
+        ``True`` forces retention, ``None`` keeps the pool default.
+        """
         if alloc.freed:
             raise ValueError(f"double free of allocation {alloc.alloc_id}")
         stored = self._live.pop(alloc.alloc_id, None)
@@ -154,7 +160,7 @@ class MemoryPool:
             raise ValueError(f"allocation {alloc.alloc_id} not from pool {self.name}")
         alloc.freed = True
         self.bytes_in_use -= alloc.nbytes
-        if self.caching:
+        if self.caching if cache is None else cache:
             bin_ = self._cache.setdefault(alloc.nbytes, _CacheBin(alloc.nbytes))
             bin_.count += 1
             self.bytes_cached += alloc.nbytes

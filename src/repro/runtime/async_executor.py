@@ -1,0 +1,510 @@
+"""Asynchronous out-of-core executor: overlap transfers with compute.
+
+KARMA's headline mechanism (§III-H, Fig. 6) is that swaps *overlap*
+compute: prefetched swap-ins hide the host/storage links behind the
+backward pass, so out-of-core training approaches in-core speed.  The
+synchronous :class:`~repro.runtime.executor.OutOfCoreExecutor` cannot
+exhibit that — every transfer completes inline — so the repo could
+*predict* stall profiles it could not *produce*.  This executor closes
+the loop:
+
+* GPU ops (F/R/B) run on the calling thread, in exact plan order — the
+  numerics are untouched, so gradients stay **bit-identical** to the
+  synchronous oracle (the differential test holds both to exact
+  equality);
+* swap ops become :class:`~repro.runtime.streams.TransferRequest`\\ s on
+  per-link :class:`~repro.runtime.streams.TransferStream` workers, with
+  pool capacity reserved at admission and the accounting applied back on
+  the main thread in deterministic issue order;
+* a prefetch scheduler walks the compiled plan up to ``prefetch_stages``
+  stages ahead of compute, issuing future swap-ins early (double
+  buffering block boundaries) — gated by the same
+  ``prefetch_lookahead``-blocks-of-backward throttle the simulator's
+  event compiler encodes, and deferred (not failed) when admission finds
+  no room;
+* the backward of a swapped block **fences** on its swap-in's final hop
+  before first use; recompute fences on its checkpoint source's swap-in.
+
+Every fence and admission wait is measured, and the iteration's
+:class:`RuntimeTrace` folds them into the same per-resource
+:class:`~repro.sim.stall.StallProfile` the simulator emits — the
+sim-vs-real comparison ``python -m repro validate`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.schedule import BlockPolicy, ExecutionPlan, OpKind
+from ..hardware.memory_pool import Allocation, OutOfMemoryError
+from ..hardware.tiering import DEVICE_TIER, DRAM_TIER
+from ..nn.build import ExecutableModel
+from ..sim.stall import GPU, MEMORY, OTHER, StallProfile
+from .executor import Array, OutOfCoreExecutor
+from .streams import (
+    LINK_RESOURCES,
+    OpRecord,
+    StreamSet,
+    TransferPacer,
+    TransferRequest,
+)
+
+_EPS = 1e-9
+
+
+@dataclass
+class RuntimeTrace:
+    """Measured wall-clock timings of one asynchronous iteration.
+
+    ``records`` holds one :class:`~repro.runtime.streams.OpRecord` per
+    executed op (GPU ops and reaped transfers); ``waits`` accumulates the
+    GPU-side idle time per resource — fence waits under the link they
+    waited on, admission backpressure under ``memory``, unexplained
+    scheduling overhead under ``other``.
+    """
+
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    gpu_busy: float = 0.0
+    records: List[OpRecord] = field(default_factory=list)
+    waits: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max(0.0, self.wall_end - self.wall_start)
+
+    def add_wait(self, resource: str, seconds: float) -> None:
+        """Accumulate measured GPU idle time against ``resource``."""
+        if seconds > _EPS:
+            self.waits[resource] = self.waits.get(resource, 0.0) + seconds
+
+    def stall_profile(self) -> StallProfile:
+        """The measured profile in the simulator's attribution format."""
+        return StallProfile(makespan=self.makespan, gpu_busy=self.gpu_busy,
+                            stalls=dict(self.waits), source="measured")
+
+    def resource_busy(self, resource: str) -> float:
+        """Total measured busy seconds of one resource's op records."""
+        return sum(r.duration for r in self.records
+                   if r.resource == resource)
+
+
+class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
+    """Execute a plan with transfers overlapped onto link streams.
+
+    A drop-in replacement for the synchronous executor: same constructor
+    shape, same ``run_iteration`` contract, bit-identical gradients.  The
+    differences are in *when* transfers happen (issued at their stage
+    launch point or prefetched early, completed off-thread) and in the
+    measured :attr:`trace` each iteration leaves behind.
+
+    Args:
+        model/plan/space/allow_leaks/pacer: as for
+            :class:`~repro.runtime.executor.OutOfCoreExecutor`.
+        prefetch_stages: how many stages past the current one the
+            prefetcher may walk to issue future swap-ins early; 0 mirrors
+            the simulator's issue discipline exactly (swap-ins launch at
+            their stage position only).
+        prefetch_lookahead: a swap-in for block ``b`` is not issued until
+            the backward of block ``b + prefetch_lookahead`` has run —
+            the bounded prefetch depth of the event compiler's
+            ``prefetch_lookahead`` dependency.
+        stream_depth: bound on in-flight requests per link stream.
+    """
+
+    def __init__(self, model: ExecutableModel, plan: ExecutionPlan,
+                 space: "MemorySpace | TieredMemorySpace",
+                 allow_leaks: bool = False,
+                 pacer: Optional[TransferPacer] = None, *,
+                 prefetch_stages: int = 2,
+                 prefetch_lookahead: int = 3,
+                 stream_depth: int = 4):
+        super().__init__(model, plan, space, allow_leaks=allow_leaks,
+                         pacer=pacer)
+        if prefetch_stages < 0 or prefetch_lookahead < 0:
+            raise ValueError("prefetch windows must be >= 0")
+        self.prefetch_stages = prefetch_stages
+        self.prefetch_lookahead = prefetch_lookahead
+        self.stream_depth = stream_depth
+        self.trace: Optional[RuntimeTrace] = None
+
+    # -- iteration state ---------------------------------------------------
+
+    def _reset_async(self) -> None:
+        self._sout_reqs: Dict[int, Optional[TransferRequest]] = {}
+        self._sin_reqs: Dict[int, Optional[TransferRequest]] = {}
+        # stash entries each swap-out moved: swap-in must use this list,
+        # not live tier fields — the accounting may still be in flight
+        self._sout_names: Dict[int, List[str]] = {}
+        self._pending_sins: List[int] = []
+        self._bw_done: set = set()
+        self._gap_waits: Dict[str, float] = {}
+        self._inop_waits = 0.0
+        self._trace = RuntimeTrace()
+
+    def _note_wait(self, resource: str, seconds: float) -> None:
+        if seconds > _EPS:
+            self._gap_waits[resource] = \
+                self._gap_waits.get(resource, 0.0) + seconds
+
+    # -- admission ---------------------------------------------------------
+
+    def _rollback(self, tier: int, allocs: Dict[str, Allocation]) -> None:
+        """Undo an admission (uncached — reservations leave no residue)."""
+        pool = self.space.tier_pool(tier)
+        for a in allocs.values():
+            pool.free(a, cache=False)
+
+    def _charge(self, name: str) -> None:
+        """Charge a fresh stash with capacity backpressure.
+
+        A forward that cannot fit while a swap-out is still in flight
+        waits for the transfer to land (the runtime twin of the
+        simulator's ledger delaying an acquire until a release), instead
+        of OOMing on memory the synchronous schedule would have freed
+        inline.  The wait is charged to ``memory`` and excluded from the
+        op's busy time.
+        """
+        while True:
+            self._streams.reap()
+            try:
+                return super()._charge(name)
+            except OutOfMemoryError:
+                t0 = self._clock()
+                if not self._streams.wait_for_progress():
+                    raise  # nothing in flight can ever free room
+                waited = self._clock() - t0
+                self._trace.add_wait(MEMORY, waited)
+                self._inop_waits += waited
+
+    def _admit(self, tier: int, names: List[str], *, blocking: bool,
+               bounce: bool = False) -> Optional[Dict[str, Allocation]]:
+        """Reserve ``tier`` pool bytes for every stash entry in ``names``.
+
+        Admission is all-or-nothing: a partial reservation is rolled back
+        (uncached — reservations must leave no residue) before retrying
+        or deferring.  ``blocking=True`` waits for in-flight transfers to
+        free room, charging the wait to ``memory``; ``blocking=False``
+        returns None on the first OOM so the prefetcher can defer.
+        """
+        pool = self.space.tier_pool(tier)
+        suffix = ":bounce" if bounce else ""
+        while True:
+            self._streams.reap()
+            allocs: Dict[str, Allocation] = {}
+            try:
+                for n in names:
+                    allocs[n] = pool.allocate(self._stash[n].nbytes,
+                                              tag=n + suffix)
+                return allocs
+            except OutOfMemoryError:
+                self._rollback(tier, allocs)
+                if not blocking:
+                    return None
+                t0 = self._clock()
+                if not self._streams.wait_for_progress():
+                    raise  # nothing in flight can ever free room
+                self._note_wait(MEMORY, self._clock() - t0)
+
+    # -- swap issue --------------------------------------------------------
+
+    def _issue_swap_out(self, block: int) -> None:
+        """Issue block's demotion to its placement tier (never blocks on
+        the transfer itself, only on destination admission)."""
+        if block in self._sout_reqs:
+            return
+        dest = self.plan.stash_tier(block)
+        names = [n for n in self._layer_names(block)
+                 if n in self._stash
+                 and self._stash[n].tier == DEVICE_TIER]
+        self._sout_names[block] = names
+        if not names:
+            self._sout_reqs[block] = None
+            return
+        total = sum(self._stash[n].nbytes for n in names)
+        pacer = self.pacer or self._streams.pacer
+
+        if dest == DRAM_TIER:
+            dst = self._admit(DRAM_TIER, names, blocking=True)
+            assert dst is not None
+
+            def apply_host() -> None:
+                for n in names:
+                    entry = self._stash[n]
+                    self.space.tier_pool(DEVICE_TIER).free(entry.allocation)
+                    entry.allocation = dst[n]
+                    entry.tier = DRAM_TIER
+                    self.space.record_tier_swap(entry.nbytes, DEVICE_TIER,
+                                                DRAM_TIER)
+
+            req = TransferRequest(
+                f"Sout{block + 1}", "d2h", block,
+                pacer.host_hop_seconds(total, block), apply=apply_host)
+            self._streams.submit(req)
+            self._sout_reqs[block] = req
+            return
+
+        # chained demotion: D2H into the DRAM bounce buffer, then the
+        # storage write on the exclusive d2s link
+        bounce = self._admit(DRAM_TIER, names, blocking=True, bounce=True)
+        assert bounce is not None
+        try:
+            dst = self._admit(dest, names, blocking=True)
+        except BaseException:
+            self._rollback(DRAM_TIER, bounce)
+            raise
+        assert dst is not None
+
+        def apply_d2h() -> None:
+            # the stash has left the device; HBM bytes free here
+            for n in names:
+                self.space.tier_pool(DEVICE_TIER).free(
+                    self._stash[n].allocation)
+
+        def apply_d2s() -> None:
+            for n in names:
+                entry = self._stash[n]
+                self.space.tier_pool(DRAM_TIER).free(bounce[n], cache=False)
+                entry.allocation = dst[n]
+                entry.tier = dest
+                self.space.record_tier_swap(entry.nbytes, DEVICE_TIER, dest)
+
+        hop1 = TransferRequest(
+            f"Sout{block + 1}", "d2h", block,
+            pacer.host_hop_seconds(total, block), apply=apply_d2h)
+        hop2 = TransferRequest(
+            f"Sout{block + 1}@t{dest}", "d2s", block,
+            pacer.storage_hop_seconds(total, block, down=True),
+            after=hop1, apply=apply_d2s)
+        self._streams.submit(hop1)
+        self._streams.submit(hop2)
+        self._sout_reqs[block] = hop2
+
+    def _gate_ok(self, block: int) -> bool:
+        """The bounded-prefetch-depth throttle the event compiler encodes:
+        a swap-in for ``block`` waits for backward of ``block + la``."""
+        la = self.prefetch_lookahead
+        return (not la or block + la >= self.plan.num_blocks
+                or (block + la) in self._bw_done)
+
+    def _issue_swap_in(self, block: int, *, blocking: bool,
+                       force: bool = False) -> bool:
+        """Issue block's promotion back to the device tier.
+
+        Returns True when issued (or nothing to do); False when deferred —
+        either the lookahead throttle is not yet satisfied (``force``
+        overrides it: a fence must run now) or (``blocking=False``)
+        device admission found no room.
+        """
+        if block in self._sin_reqs:
+            return True
+        if not force and not self._gate_ok(block):
+            return False  # bounded prefetch depth (the sim's Bw dep)
+        if block not in self._sout_reqs:
+            return False  # its swap-out has not launched yet
+        after = self._sout_reqs[block]
+        names = self._sout_names.get(block, [])
+        names = [n for n in names if n in self._stash]
+        if not names:
+            self._sin_reqs[block] = None
+            return True
+        src = self.plan.stash_tier(block)
+        pacer = self.pacer or self._streams.pacer
+        total = sum(self._stash[n].nbytes for n in names) if names else 0
+
+        dst = self._admit(DEVICE_TIER, names, blocking=blocking)
+        if dst is None:
+            return False
+
+        if src == DRAM_TIER:
+            def apply_h2d() -> None:
+                for n in names:
+                    entry = self._stash[n]
+                    self.space.tier_pool(DRAM_TIER).free(entry.allocation)
+                    entry.allocation = dst[n]
+                    entry.tier = DEVICE_TIER
+                    self.space.record_tier_swap(entry.nbytes, DRAM_TIER,
+                                                DEVICE_TIER)
+
+            req = TransferRequest(
+                f"Sin{block + 1}", "h2d", block,
+                pacer.host_hop_seconds(total, block), after=after,
+                apply=apply_h2d)
+            self._streams.submit(req)
+            self._sin_reqs[block] = req
+            return True
+
+        # chained promotion: storage read lands in the DRAM bounce first,
+        # then the H2D hop claims the (already admitted) device bytes
+        try:
+            bounce = self._admit(DRAM_TIER, names, blocking=blocking,
+                                 bounce=True)
+        except BaseException:
+            self._rollback(DEVICE_TIER, dst)
+            raise
+        if bounce is None:
+            self._rollback(DEVICE_TIER, dst)
+            return False
+
+        def apply_s2d() -> None:
+            for n in names:
+                self.space.tier_pool(src).free(self._stash[n].allocation)
+
+        def apply_h2d_chained() -> None:
+            for n in names:
+                entry = self._stash[n]
+                self.space.tier_pool(DRAM_TIER).free(bounce[n], cache=False)
+                entry.allocation = dst[n]
+                entry.tier = DEVICE_TIER
+                self.space.record_tier_swap(entry.nbytes, src, DEVICE_TIER)
+
+        hop1 = TransferRequest(
+            f"Sin{block + 1}@t{src}", "s2d", block,
+            pacer.storage_hop_seconds(total, block, down=False),
+            after=after, apply=apply_s2d)
+        hop2 = TransferRequest(
+            f"Sin{block + 1}", "h2d", block,
+            pacer.host_hop_seconds(total, block), after=hop1,
+            apply=apply_h2d_chained)
+        self._streams.submit(hop1)
+        self._streams.submit(hop2)
+        self._sin_reqs[block] = hop2
+        return True
+
+    # -- prefetch + fences -------------------------------------------------
+
+    def _prefetch(self, stage_index: int) -> None:
+        """Walk up to ``prefetch_stages`` stages ahead, issuing future
+        swap-ins early.  Stops at the first swap-in it cannot issue, so
+        link FIFO order always matches plan order."""
+        if not self.prefetch_stages:
+            return
+        if self._pending_sins:
+            # an earlier-plan-order swap-in is capacity-deferred; issuing
+            # later ones first would let them steal the device bytes it
+            # needs (its backward fences *earlier* — backwards descend),
+            # turning a schedulable plan into a spurious OOM
+            return
+        stages = self.plan.stages
+        hi = min(len(stages), stage_index + 1 + self.prefetch_stages)
+        for si in range(stage_index + 1, hi):
+            for op in stages[si].ops:
+                if op.kind is not OpKind.SWAP_IN:
+                    continue
+                if not self._issue_swap_in(op.block, blocking=False):
+                    return
+
+    def _retry_pending(self) -> None:
+        """Re-attempt swap-ins deferred at their own stage, in plan order."""
+        while self._pending_sins:
+            if not self._issue_swap_in(self._pending_sins[0],
+                                       blocking=False):
+                return
+            self._pending_sins.pop(0)
+
+    def _fence(self, req: Optional[TransferRequest]) -> None:
+        """Wait for a transfer's final hop and apply its accounting."""
+        if req is None or req.applied:
+            return
+        t0 = self._clock()
+        req.wait()
+        waited = self._clock() - t0
+        self._streams.reap()
+        self._note_wait(req.resource, waited)
+
+    def _fence_for_gpu_op(self, op) -> None:
+        """Block until every stash this GPU op reads is device-resident."""
+        b = op.block
+        if op.kind is OpKind.BACKWARD \
+                and self.plan.policies[b] is BlockPolicy.SWAPPED:
+            self._force_swap_in(b)
+        elif op.kind is OpKind.RECOMPUTE:
+            cp = self.plan.checkpoints.get(b)
+            if cp is not None and cp >= 0 \
+                    and self.plan.policies[cp] is BlockPolicy.SWAPPED \
+                    and cp in self._sout_reqs:
+                # the recompute reads its checkpoint source's boundary
+                self._force_swap_in(cp)
+
+    def _force_swap_in(self, block: int) -> None:
+        """Issue (if still deferred) and fence one block's swap-in."""
+        self._issue_swap_in(block, blocking=True, force=True)
+        if block in self._pending_sins:
+            self._pending_sins.remove(block)
+        self._fence(self._sin_reqs.get(block))
+
+    # -- public API --------------------------------------------------------
+
+    def run_iteration(self, batch: Array, targets: Array,
+                      step: int = 0) -> float:
+        """Run one overlapped forward+backward pass following the plan.
+
+        Same contract as the synchronous executor — returns the scalar
+        loss, gradients accumulate into the model — plus a measured
+        :class:`RuntimeTrace` left on :attr:`trace`.
+        """
+        self._clock = time.perf_counter
+        self.model.set_step(step)
+        self._reset(batch, targets)
+        self._reset_async()
+        trace = self._trace
+        with StreamSet(LINK_RESOURCES, depth=self.stream_depth,
+                       pacer=self.pacer or TransferPacer(),
+                       clock=self._clock) as streams:
+            self._streams = streams
+            trace.wall_start = self._clock()
+            gpu_free = trace.wall_start
+            for si, stage in enumerate(self.plan.stages):
+                streams.reap()
+                self._retry_pending()
+                gpu_op = None
+                for op in stage.ops:
+                    if op.kind is OpKind.SWAP_OUT:
+                        self._issue_swap_out(op.block)
+                    elif op.kind is OpKind.SWAP_IN:
+                        # defer while the lookahead gate holds or device
+                        # admission finds no room — the runtime twin of
+                        # the simulator's ledger-delayed swap-in (the
+                        # paper's capacity-based prefetch throttling);
+                        # the backward fence force-issues it at first use
+                        if not self._issue_swap_in(op.block,
+                                                   blocking=False):
+                            self._pending_sins.append(op.block)
+                    else:
+                        gpu_op = op  # plan validation: at most one
+                self._prefetch(si)
+                if gpu_op is None:
+                    continue
+                self._fence_for_gpu_op(gpu_op)
+                self._inop_waits = 0.0
+                t0 = self._clock()
+                self._exec_gpu_op(gpu_op)
+                t1 = self._clock()
+                # in-op charge backpressure is memory stall, not busy
+                # time: the record's start shifts past the waited span so
+                # summing record durations agrees with gpu_busy
+                trace.records.append(OpRecord(
+                    label=f"{gpu_op.kind.value}{gpu_op.block + 1}",
+                    resource=GPU, block=gpu_op.block,
+                    start=t0 + self._inop_waits, finish=t1,
+                    ready=gpu_free))
+                trace.gpu_busy += t1 - t0 - self._inop_waits
+                # fold this gap's measured waits; the unexplained rest is
+                # runtime overhead
+                gap = t0 - gpu_free
+                explained = 0.0
+                for resource, w in self._gap_waits.items():
+                    trace.add_wait(resource, w)
+                    explained += w
+                trace.add_wait(OTHER, gap - explained)
+                self._gap_waits = {}
+                if gpu_op.kind is OpKind.BACKWARD:
+                    self._bw_done.add(gpu_op.block)
+                gpu_free = t1
+            streams.drain()
+            trace.wall_end = self._clock()
+            trace.records.extend(streams.records)
+        self.trace = trace
+        return self._finish_iteration()

@@ -19,10 +19,19 @@ with every stash byte accounted in a capacity-enforced near pool:
 Gradients produced under *any* legal plan are bit-identical to vanilla
 in-core backprop — the invariant the test suite asserts (§IV-D's "no
 impact on accuracy" claim, strengthened to exact equality).
+
+This executor is strictly synchronous — every transfer completes before
+the next op starts — which makes it the *oracle* the asynchronous
+executor (:mod:`repro.runtime.async_executor`) is differentially tested
+against.  Pass a :class:`~repro.runtime.streams.TransferPacer` to make
+the modeled compute/transfer durations take real wall-clock time (the
+sim-vs-real validation harness and the overlap benchmarks do this); by
+default no time is paced and execution is pure accounting.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -34,6 +43,7 @@ from ..graph.traversal import liveness_horizon
 from ..hardware.memory_pool import Allocation
 from ..hardware.tiering import DEVICE_TIER
 from ..nn.build import ExecutableModel
+from .streams import TransferPacer
 
 Array = np.ndarray
 
@@ -65,19 +75,39 @@ class OutOfCorePlanError(RuntimeError):
 
 
 class OutOfCoreExecutor:
-    """Executes one training iteration of ``plan`` over ``model``.
+    """Execute one training iteration of ``plan`` over ``model``.
 
-    ``space`` supplies the capacity-enforced memory pools — either the
-    classic two-pool :class:`MemorySpace` or an N-pool
-    :class:`~repro.hardware.tiering.TieredMemorySpace`; both expose the
-    same tier-indexed protocol.  The executor owns the activation
-    (``acts``) and saved-context (``ctxs``) stores; the model provides the
-    layer-granular compute.
+    The synchronous reference runtime: ops run strictly in stage order,
+    transfers are instantaneous accounting moves (plus an optional paced
+    delay), and gradients are bit-identical to in-core backprop under any
+    legal plan.
+
+    Args:
+        model: the numeric model; provides layer-granular compute while
+            the executor owns the activation (``acts``) and saved-context
+            (``ctxs``) stores.
+        plan: a validated :class:`~repro.core.schedule.ExecutionPlan`;
+            its deepest stash tier must exist in ``space``.
+        space: the capacity-enforced memory pools — either the classic
+            two-pool :class:`MemorySpace` or an N-pool
+            :class:`~repro.hardware.tiering.TieredMemorySpace`; both
+            expose the same tier-indexed protocol.
+        allow_leaks: tolerate stash entries surviving the iteration
+            instead of raising (test escape hatch).
+        pacer: optional :class:`~repro.runtime.streams.TransferPacer`;
+            when set, GPU block ops and tier transfers take their modeled
+            durations in real wall-clock time (``time_scale``-scaled), so
+            sync-vs-async overlap is measurable.
+
+    Raises:
+        OutOfCorePlanError: the plan is inconsistent with the space or
+            the execution state (e.g. backward before swap-in).
     """
 
     def __init__(self, model: ExecutableModel, plan: ExecutionPlan,
                  space: "MemorySpace | TieredMemorySpace",
-                 allow_leaks: bool = False):
+                 allow_leaks: bool = False,
+                 pacer: Optional[TransferPacer] = None):
         plan.validate(model.graph)
         if plan.max_tier >= space.num_tiers:
             raise OutOfCorePlanError(
@@ -88,6 +118,7 @@ class OutOfCoreExecutor:
         self.plan = plan
         self.space = space
         self.allow_leaks = allow_leaks
+        self.pacer = pacer
         self.graph: LayerGraph = model.graph
         self._horizon = liveness_horizon(self.graph)
         self._block_end: Dict[int, int] = {
@@ -100,6 +131,7 @@ class OutOfCoreExecutor:
         self.ctxs: Dict[str, tuple] = {}
         self.douts: Dict[str, Array] = {}
         self._stash: Dict[str, _StashEntry] = {}
+        self._loss: Optional[float] = None
         self._batch = batch
         if targets is not None:
             self.model.set_targets(targets)
@@ -126,29 +158,57 @@ class OutOfCoreExecutor:
         if entry.tier == dest_tier:
             return
         src = entry.tier
-        # store-and-forward: a multi-hop move stages through every
-        # intermediate tier (the DRAM bounce buffer of a device<->NVMe
-        # transfer), so each intermediate pool must transiently hold the
-        # stash — matching the timing model's per-hop semantics
+        # store-and-forward: each hop lands fully in the next tier before
+        # the following hop starts, so an intermediate tier (the DRAM
+        # bounce buffer of a device<->NVMe transfer) holds the stash only
+        # across its two adjacent hops.  The bounce is released with
+        # cache=False: a cached bounce segment would keep the intermediate
+        # pool's reserved bytes inflated after the transfer completes —
+        # double-charging DRAM against real stash traffic, which the
+        # hierarchy's per-hop transfer semantics (and TransferModel's
+        # transient staging buffers) do not do.
         step = 1 if dest_tier > src else -1
-        for tier in range(src + step, dest_tier, step):
-            bounce = self.space.tier_pool(tier).allocate(
-                entry.nbytes, tag=f"{name}:bounce")
-            self.space.tier_pool(tier).free(bounce)
-        new_alloc = self.space.tier_pool(dest_tier).allocate(
-            entry.nbytes, tag=name)
-        self.space.tier_pool(entry.tier).free(entry.allocation)
-        entry.allocation = new_alloc
-        entry.tier = dest_tier
+        for nxt in range(src + step, dest_tier + step, step):
+            tag = name if nxt == dest_tier else f"{name}:bounce"
+            # allocate the hop destination BEFORE touching the entry: a
+            # mid-chain OOM propagates with the entry still consistently
+            # pointing at the live allocation of the tier it reached
+            new_alloc = self.space.tier_pool(nxt).allocate(
+                entry.nbytes, tag=tag)
+            self.space.tier_pool(entry.tier).free(
+                entry.allocation, cache=None if entry.tier == src else False)
+            entry.allocation = new_alloc
+            entry.tier = nxt
         self.space.record_tier_swap(entry.nbytes, src, dest_tier)
 
     def _layer_names(self, block: int) -> List[str]:
         s, e = self.plan.blocks[block]
         return [self.graph[i].name for i in range(s, e)]
 
+    def _pace_gpu(self, kind: OpKind, block: int, elapsed: float) -> None:
+        """Sleep out the residual of the block op's modeled duration."""
+        if self.pacer is not None:
+            self.pacer.pace(self.pacer.gpu_seconds(kind, block) - elapsed)
+
+    def _transfer_seconds(self, block: int, nbytes: int, src: int,
+                          dst: int) -> float:
+        """Modeled wall-clock of one block stash move (store-and-forward)."""
+        if self.pacer is None or src == dst:
+            return 0.0
+        total = 0.0
+        down = dst > src
+        for upper in range(min(src, dst), max(src, dst)):
+            if upper == 0:
+                total += self.pacer.host_hop_seconds(nbytes, block)
+            else:
+                total += self.pacer.storage_hop_seconds(nbytes, block,
+                                                        down=down)
+        return total
+
     # -- plan ops ----------------------------------------------------------------
 
     def _forward_block(self, block: int, *, recompute: bool) -> None:
+        t0 = time.perf_counter()
         s, e = self.plan.blocks[block]
         policy = self.plan.policies[block]
         for i in range(s, e):
@@ -159,6 +219,7 @@ class OutOfCoreExecutor:
                                          batch=self._batch, training=True)
             self._charge(name)
         if recompute:
+            self._pace_gpu(OpKind.RECOMPUTE, block, time.perf_counter() - t0)
             return
         # post-forward residency per policy
         if policy in (BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED):
@@ -171,9 +232,11 @@ class OutOfCoreExecutor:
                 if self._horizon[name] >= e:
                     continue  # pinned: a later block still consumes it
                 self._free(name)
+        self._pace_gpu(OpKind.FORWARD, block, time.perf_counter() - t0)
 
     def _recompute_block(self, block: int) -> None:
         """Re-forward a dropped block from its surviving inputs."""
+        t0 = time.perf_counter()
         s, e = self.plan.blocks[block]
         for i in range(s, e):
             name = self.graph[i].name
@@ -182,13 +245,24 @@ class OutOfCoreExecutor:
             self.model.run_forward_layer(i, self.acts, self.ctxs,
                                          batch=self._batch, training=True)
             self._charge(name)
+        self._pace_gpu(OpKind.RECOMPUTE, block, time.perf_counter() - t0)
 
     def _swap(self, block: int, dest_tier: int) -> None:
+        moved = 0
+        src: Optional[int] = None
         for name in self._layer_names(block):
-            if name in self._stash:
+            entry = self._stash.get(name)
+            if entry is not None:
+                if entry.tier != dest_tier and src is None:
+                    src = entry.tier
+                moved += entry.nbytes if entry.tier != dest_tier else 0
                 self._move(name, dest_tier)
+        if self.pacer is not None and moved and src is not None:
+            self.pacer.pace(self._transfer_seconds(block, moved, src,
+                                                   dest_tier))
 
     def _backward_block(self, block: int) -> None:
+        t0 = time.perf_counter()
         s, e = self.plan.blocks[block]
         policy = self.plan.policies[block]
         if policy is BlockPolicy.SWAPPED:
@@ -218,42 +292,34 @@ class OutOfCoreExecutor:
             # forward input ran earlier in the descending block order — so
             # the stash is dead here
             self._free(name)
+        self._pace_gpu(OpKind.BACKWARD, block, time.perf_counter() - t0)
 
-    # -- public API -----------------------------------------------------------------
+    # -- op dispatch (shared with the async executor) -------------------------
 
-    def run_iteration(self, batch: Array, targets: Array,
-                      step: int = 0) -> float:
-        """One forward+backward pass following the plan; returns the loss.
+    def _capture_loss(self, block: int) -> None:
+        """After the final block's forward, read the loss and seed douts."""
+        if self._block_end[block] == len(self.graph):
+            last = self.graph[len(self.graph) - 1].name
+            self._loss = float(self.acts[last][0])
+            self.douts[last] = np.ones_like(self.acts[last])
 
-        Gradients accumulate into the model's modules; the caller applies
-        the optimizer (single-GPU semantics fold the update into backward,
-        the distributed trainer updates on the host instead).
-        """
-        self.model.set_step(step)
-        self._reset(batch, targets)
-        loss: Optional[float] = None
-        last = self.graph[len(self.graph) - 1].name
+    def _exec_gpu_op(self, op) -> None:
+        """Run one GPU op (F/R/B) of the plan on the calling thread."""
+        b = op.block
+        if op.kind is OpKind.FORWARD:
+            self._forward_block(b, recompute=False)
+            self._capture_loss(b)
+        elif op.kind is OpKind.RECOMPUTE:
+            self._recompute_block(b)
+        elif op.kind is OpKind.BACKWARD:
+            self._backward_block(b)
+        else:
+            raise OutOfCorePlanError(
+                f"numeric executor cannot run op {op.kind}")
 
-        for stage in self.plan.stages:
-            for op in stage.ops:
-                b = op.block
-                if op.kind is OpKind.FORWARD:
-                    self._forward_block(b, recompute=False)
-                    if self._block_end[b] == len(self.graph):
-                        loss = float(self.acts[last][0])
-                        self.douts[last] = np.ones_like(self.acts[last])
-                elif op.kind is OpKind.SWAP_OUT:
-                    self._swap(b, self.plan.stash_tier(b))
-                elif op.kind is OpKind.SWAP_IN:
-                    self._swap(b, DEVICE_TIER)
-                elif op.kind is OpKind.RECOMPUTE:
-                    self._recompute_block(b)
-                elif op.kind is OpKind.BACKWARD:
-                    self._backward_block(b)
-                else:
-                    raise OutOfCorePlanError(
-                        f"numeric executor cannot run op {op.kind}")
-        if loss is None:
+    def _finish_iteration(self) -> float:
+        """Leak-check the stash and return the captured loss."""
+        if self._loss is None:
             raise OutOfCorePlanError("plan never produced the loss")
         # all stash must be gone: a leak means some op never ran (the plan
         # is wrong) or the executor lost track of a stash (the executor is
@@ -268,4 +334,34 @@ class OutOfCoreExecutor:
                     f"{'y' if len(leaked) == 1 else 'ies'}: "
                     f"{', '.join(leaked)} (pass allow_leaks=True to "
                     "tolerate this in tests)")
-        return loss
+        return self._loss
+
+    # -- public API -----------------------------------------------------------------
+
+    def run_iteration(self, batch: Array, targets: Array,
+                      step: int = 0) -> float:
+        """Run one forward+backward pass following the plan.
+
+        Args:
+            batch: the input batch (fed to the graph's input layer).
+            targets: the labels (fed to the loss layer).
+            step: iteration counter; seeds the counter-based dropout
+                streams so recompute is bit-identical.
+
+        Returns:
+            The scalar loss.  Gradients accumulate into the model's
+            modules; the caller applies the optimizer (single-GPU
+            semantics fold the update into backward, the distributed
+            trainer updates on the host instead).
+        """
+        self.model.set_step(step)
+        self._reset(batch, targets)
+        for stage in self.plan.stages:
+            for op in stage.ops:
+                if op.kind is OpKind.SWAP_OUT:
+                    self._swap(op.block, self.plan.stash_tier(op.block))
+                elif op.kind is OpKind.SWAP_IN:
+                    self._swap(op.block, DEVICE_TIER)
+                else:
+                    self._exec_gpu_op(op)
+        return self._finish_iteration()

@@ -1,0 +1,403 @@
+"""Asynchronous transfer streams: one worker thread per interconnect link.
+
+The synchronous executor *charges* transfers instantly — accounting moves
+between tier pools but no wall-clock passes, so plans that the simulator
+prices as overlap-rich still execute serially.  This module supplies the
+missing runtime substrate:
+
+* :class:`TransferPacer` — turns the planner's modeled durations (the same
+  :class:`~repro.sim.trainer_sim.BlockCosts` and
+  :class:`~repro.hardware.tiering.MemoryHierarchy` hop times the simulator
+  prices with) into real wall-clock delays via a ``time_scale`` factor, so
+  an emulated iteration *exhibits* the stall structure the simulator
+  predicts;
+* :class:`TransferRequest` — one link transfer: paced off-thread, with its
+  pool accounting applied back on the issuing thread in deterministic
+  issue order (the completion thunk never runs concurrently with compute);
+* :class:`TransferStream` — one direction of one link (``h2d``/``d2h``/
+  ``d2s``/``s2d``): a worker thread draining a **bounded** in-flight
+  queue, FIFO like a CUDA stream;
+* :class:`StreamSet` — the per-link streams of one executor plus the
+  completion condition used for capacity backpressure (an admission that
+  cannot reserve pool bytes waits for an in-flight transfer to finish).
+
+Numerics are never touched by worker threads: arrays stay owned by the
+main thread, workers only sleep out the modeled transfer time and
+timestamp the request.  That is what keeps the asynchronous executor's
+gradients bit-identical to the synchronous oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from queue import Queue
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.schedule import OpKind
+from ..hardware.interconnect import TransferModel
+from ..hardware.tiering import MemoryHierarchy
+
+#: The four link directions of a three-tier hierarchy, in issue priority
+#: order.  Deeper hierarchies would extend this list.
+LINK_RESOURCES: Tuple[str, ...] = ("h2d", "d2h", "d2s", "s2d")
+
+#: Stall-attribution bucket for time spent waiting on pool capacity
+#: (admission backpressure / the simulator's memory ledger).
+MEMORY_RESOURCE = "memory"
+
+#: Stall-attribution bucket for unexplained runtime overhead.
+OTHER_RESOURCE = "other"
+
+
+class TransferPacer:
+    """Wall-clock emulation of the cost model's op durations.
+
+    Maps modeled seconds to emulated seconds through ``time_scale``; a
+    scale of 0 disables pacing entirely (pure-accounting runs, the test
+    default).  Durations come from the same sources the simulator uses:
+
+    * GPU ops — per-block forward/backward times from ``costs``;
+    * host-link hops — the calibrated ``costs.swap_time`` when block
+      costs are bound, else ``transfer.swap_time`` over raw bytes;
+    * storage-link hops — ``hierarchy.hop_time`` (or the bound
+      ``costs.storage_*`` block times).
+    """
+
+    def __init__(self, *, time_scale: float = 0.0,
+                 costs: Optional[object] = None,
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 transfer: Optional[TransferModel] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.time_scale = time_scale
+        self.costs = costs          # sim.trainer_sim.BlockCosts, if bound
+        self.hierarchy = hierarchy
+        self.transfer = transfer
+        self._sleep = sleep
+
+    # -- modeled durations (in emulated wall-clock seconds) ----------------
+
+    def gpu_seconds(self, kind: OpKind, block: int) -> float:
+        """Emulated duration of one GPU block op (F/R/B)."""
+        if not self.time_scale or self.costs is None:
+            return 0.0
+        if kind is OpKind.BACKWARD:
+            modeled = self.costs.bw[block]
+        else:  # FORWARD and RECOMPUTE both re-run the block's forwards
+            modeled = self.costs.fw[block]
+        return modeled * self.time_scale
+
+    def host_hop_seconds(self, nbytes: int, block: Optional[int]) -> float:
+        """Emulated duration of one device<->DRAM hop."""
+        if not self.time_scale:
+            return 0.0
+        if self.costs is not None and block is not None:
+            return self.costs.swap_time[block] * self.time_scale
+        if self.transfer is not None:
+            return self.transfer.swap_time(nbytes) * self.time_scale
+        if self.hierarchy is not None:
+            return self.hierarchy.hop_time(nbytes, 0, down=True) \
+                * self.time_scale
+        return 0.0
+
+    def storage_hop_seconds(self, nbytes: int, block: Optional[int],
+                            *, down: bool) -> float:
+        """Emulated duration of one DRAM<->storage hop."""
+        if not self.time_scale:
+            return 0.0
+        if self.costs is not None and block is not None:
+            modeled = self.costs.storage_out(block) if down \
+                else self.costs.storage_in(block)
+            if modeled > 0:
+                return modeled * self.time_scale
+        if self.hierarchy is not None and self.hierarchy.has_storage:
+            return self.hierarchy.hop_time(nbytes, 1, down=down) \
+                * self.time_scale
+        return 0.0
+
+    def transfer_seconds(self, nbytes: int, src_tier: int,
+                         dst_tier: int) -> float:
+        """Emulated store-and-forward time between two tiers (raw bytes)."""
+        if not self.time_scale or src_tier == dst_tier:
+            return 0.0
+        if self.hierarchy is not None:
+            return self.hierarchy.transfer_time(nbytes, src_tier, dst_tier) \
+                * self.time_scale
+        if self.transfer is not None:
+            return self.transfer.swap_time(nbytes) * self.time_scale
+        return 0.0
+
+    def pace(self, seconds: float) -> None:
+        """Sleep out an emulated duration (no-op for zero)."""
+        if seconds > 0:
+            self._sleep(seconds)
+
+
+@dataclass
+class OpRecord:
+    """One measured operation — the runtime twin of the simulator's
+    :class:`~repro.sim.engine.OpTiming`."""
+
+    label: str
+    resource: str
+    block: int
+    start: float
+    finish: float
+    ready: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def stall(self) -> float:
+        return max(0.0, self.start - self.ready)
+
+
+class TransferError(RuntimeError):
+    """A stream worker failed; re-raised on the issuing thread at reap."""
+
+
+_STOP = object()
+
+
+class TransferRequest:
+    """One in-flight link transfer.
+
+    The worker thread only *paces* the request (sleeps out ``duration``)
+    and timestamps it; ``apply`` — the pool-accounting thunk — runs later
+    on the issuing thread, in per-stream issue order, when the executor
+    reaps completions.  ``after`` chains this request behind another
+    (possibly on a different stream): the worker waits for the
+    predecessor to finish before starting, which is how a device->NVMe
+    demotion serializes its D2H and D2S hops.
+    """
+
+    __slots__ = ("label", "resource", "block", "duration", "after", "apply",
+                 "enqueued", "ready", "started", "finished", "applied",
+                 "seq", "_done")
+
+    def __init__(self, label: str, resource: str, block: int,
+                 duration: float, *,
+                 after: "Optional[TransferRequest]" = None,
+                 apply: Optional[Callable[[], None]] = None):
+        self.label = label
+        self.resource = resource
+        self.block = block
+        self.duration = duration
+        self.after = after
+        self.apply = apply
+        self.enqueued = 0.0
+        self.ready = 0.0
+        self.started = 0.0
+        self.finished = 0.0
+        self.applied = False
+        self.seq = -1          # global submission index, set by StreamSet
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the worker finished pacing this request."""
+        return self._done.wait(timeout)
+
+    def record(self) -> OpRecord:
+        """Freeze the request's timestamps into an :class:`OpRecord`."""
+        return OpRecord(label=self.label, resource=self.resource,
+                        block=self.block, start=self.started,
+                        finish=self.finished, ready=self.ready)
+
+
+class TransferStream:
+    """One interconnect link direction: a FIFO worker with a bounded
+    in-flight queue.
+
+    ``depth`` bounds how many submitted-but-unfinished requests the link
+    accepts; :meth:`submit` blocks when the queue is full, which is the
+    runtime's first admission throttle (the second is pool-capacity
+    reservation, done by the executor before submitting).
+    """
+
+    def __init__(self, resource: str, *, depth: int = 4,
+                 pacer: Optional[TransferPacer] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 completed: Optional[threading.Condition] = None):
+        if depth < 1:
+            raise ValueError("stream depth must be >= 1")
+        self.resource = resource
+        self.depth = depth
+        self.pacer = pacer or TransferPacer()
+        self.clock = clock
+        self.inflight: List[TransferRequest] = []  # issue order, unreaped
+        self.submitted = 0
+        self._completed = completed or threading.Condition()
+        self._queue: "Queue[object]" = Queue(maxsize=depth)
+        self._failure: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"stream-{resource}", daemon=True)
+        self._thread.start()
+
+    # -- issuing thread API ------------------------------------------------
+
+    def submit(self, request: TransferRequest) -> TransferRequest:
+        """Enqueue a request; blocks while the in-flight queue is full."""
+        if self._failure is not None:
+            raise TransferError(
+                f"stream {self.resource} already failed") from self._failure
+        request.enqueued = self.clock()
+        self.inflight.append(request)
+        self.submitted += 1
+        self._queue.put(request)
+        return request
+
+    def reap_ready(self) -> List[TransferRequest]:
+        """Pop the completed prefix of the in-flight list (issue order)."""
+        if self._failure is not None:
+            raise TransferError(
+                f"stream {self.resource} worker failed") from self._failure
+        out: List[TransferRequest] = []
+        while self.inflight and self.inflight[0].done:
+            out.append(self.inflight.pop(0))
+        return out
+
+    def drain(self) -> None:
+        """Block until every submitted request has finished pacing."""
+        for req in list(self.inflight):
+            req.wait()
+        if self._failure is not None:
+            raise TransferError(
+                f"stream {self.resource} worker failed") from self._failure
+
+    def close(self) -> None:
+        """Stop the worker thread (idempotent)."""
+        if self._thread.is_alive():
+            self._queue.put(_STOP)
+            self._thread.join(timeout=5.0)
+
+    # -- worker ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            req: TransferRequest = item  # type: ignore[assignment]
+            try:
+                if req.after is not None:
+                    req.after._done.wait()
+                req.ready = self.clock()
+                req.started = req.ready
+                self.pacer.pace(req.duration)
+                req.finished = self.clock()
+            except BaseException as exc:  # pragma: no cover - defensive
+                self._failure = exc
+                req.finished = self.clock()
+            req._done.set()
+            with self._completed:
+                self._completed.notify_all()
+
+
+class StreamSet:
+    """The per-link streams of one executor plus completion plumbing.
+
+    Owns one :class:`TransferStream` per link direction, a shared
+    completion condition (so capacity backpressure can wait for *any*
+    transfer to finish), and the reap loop that applies completed
+    requests' accounting thunks on the issuing thread in issue order.
+    """
+
+    def __init__(self, resources: Sequence[str] = LINK_RESOURCES, *,
+                 depth: int = 4, pacer: Optional[TransferPacer] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.pacer = pacer or TransferPacer()
+        self.clock = clock
+        self.completed = threading.Condition()
+        self.streams: Dict[str, TransferStream] = {
+            r: TransferStream(r, depth=depth, pacer=self.pacer, clock=clock,
+                              completed=self.completed)
+            for r in resources}
+        self.records: List[OpRecord] = []
+        self._seq = 0
+
+    def stream(self, resource: str) -> TransferStream:
+        """The stream serving one link direction (``h2d`` etc.)."""
+        if resource not in self.streams:
+            raise KeyError(f"no stream for link {resource!r}; have "
+                           f"{sorted(self.streams)}")
+        return self.streams[resource]
+
+    def submit(self, request: TransferRequest) -> TransferRequest:
+        """Route a request to its link's stream (bounded, may block)."""
+        request.seq = self._seq
+        self._seq += 1
+        return self.stream(request.resource).submit(request)
+
+    def reap(self) -> int:
+        """Apply accounting for every completed request, in finish order.
+
+        Per-stream FIFO means completion order equals issue order within
+        a stream; across streams, chained requests (``after``) finish
+        strictly after their predecessor, so applying in global
+        ``(finished, seq)`` order guarantees a chained hop's accounting
+        never runs before the hop it depends on.  Returns the number of
+        requests applied.  Must only be called from the issuing thread —
+        thunks mutate the (unsynchronized) memory pools.
+        """
+        ready: List[TransferRequest] = []
+        for stream in self.streams.values():
+            ready.extend(stream.reap_ready())
+        ready.sort(key=lambda r: (r.finished, r.seq))
+        for req in ready:
+            if req.apply is not None:
+                req.apply()
+            req.applied = True
+            self.records.append(req.record())
+        return len(ready)
+
+    def in_flight(self) -> int:
+        """Number of submitted-but-unreaped requests across all streams."""
+        return sum(len(s.inflight) for s in self.streams.values())
+
+    def wait_for_progress(self, timeout: float = 60.0) -> bool:
+        """Block until some in-flight request completes.
+
+        Returns False when nothing is in flight (the caller's OOM is
+        final — no pending transfer can free room).  Raises
+        :class:`TransferError` after ``timeout`` seconds without progress
+        (a stuck worker would otherwise hang the executor silently).
+        """
+        heads = [s.inflight[0] for s in self.streams.values() if s.inflight]
+        if not heads:
+            return False
+        deadline = self.clock() + timeout
+        with self.completed:
+            while not any(h.done for h in heads):
+                remaining = deadline - self.clock()
+                if remaining <= 0 or not self.completed.wait(remaining):
+                    raise TransferError(
+                        "no transfer progress within "
+                        f"{timeout:.0f}s; in-flight: "
+                        f"{[h.label for h in heads]}")
+        return True
+
+    def drain(self) -> None:
+        """Wait for every stream to empty, then apply all accounting."""
+        for stream in self.streams.values():
+            stream.drain()
+        self.reap()
+
+    def close(self) -> None:
+        """Stop every stream worker (idempotent)."""
+        for stream in self.streams.values():
+            stream.close()
+
+    def __enter__(self) -> "StreamSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -28,6 +28,7 @@ class OutOfCoreTrainer:
         self.step_count = 0
 
     def train_step(self, batch: np.ndarray, targets: np.ndarray) -> float:
+        """One zero-grad + plan iteration + optimizer step; returns loss."""
         self.model.zero_grad()
         loss = self.executor.run_iteration(batch, targets,
                                            step=self.step_count)

@@ -19,6 +19,7 @@ from .engine import (
     simulate,
 )
 from .reference_engine import simulate_reference
+from .stall import StallProfile, compare_profiles, stall_profile
 from .zero_model import ZeroConfig, karma_plus_zero_lm, zero_hybrid_lm, zero_min_gpus
 from .trainer_sim import (
     BlockCosts,
@@ -37,6 +38,7 @@ __all__ = [
     "SimulationDeadlock", "ScheduleBuilder",
     "simulate_plan", "compile_plan", "compile_skeleton", "bind_costs",
     "block_costs", "BlockCosts", "LoweringCache",
+    "StallProfile", "stall_profile", "compare_profiles",
     "IterationResult", "OutOfCoreInfeasible",
     "AllreduceModel", "phased_groups", "flat_exchange_time",
     "simulate_dp_karma_lm", "hybrid_mp_dp_lm", "DpKarmaResult",

@@ -657,11 +657,26 @@ def simulate(ops: Sequence[SimOp],
              memory_capacity: Optional[int] = None) -> SimResult:
     """Schedule ``ops`` (given in issue order) and return timings.
 
-    Issue order defines per-resource FIFO order.  Raises
-    :class:`SimulationDeadlock` on circular waits.  Results are
-    bit-identical to :func:`repro.sim.reference_engine.simulate_reference`
-    (the seed engine) on every input — the differential test suite holds
-    the two to exact equality.
+    Args:
+        ops: the operations to schedule; their order defines each
+            resource's FIFO issue order (CUDA-stream semantics).
+        memory_capacity: optional near-memory ledger in bytes; ops that
+            ``mem_acquire`` are delayed until their bytes fit against
+            every already-scheduled usage peak (capacity-based prefetch
+            throttling).  ``None`` disables the ledger.
+
+    Returns:
+        A :class:`SimResult` — per-op timings, makespan, and
+        per-resource busy/span aggregates.
+
+    Raises:
+        SimulationDeadlock: no resource head can make progress (circular
+            waits, or an acquire larger than the ledger).
+
+    Results are bit-identical to
+    :func:`repro.sim.reference_engine.simulate_reference` (the seed
+    engine) on every input — the differential test suite holds the two
+    to exact equality.
     """
     if not ops:
         return SimResult(timings={}, makespan=0.0, resource_busy={},

@@ -1,0 +1,149 @@
+"""Per-resource stall attribution — the sim-vs-real validation format.
+
+The paper's Fig. 6 argues KARMA by its *stall profile*: how long the GPU
+sits idle before each backward, and which resource it was waiting on.
+The simulator predicts that profile; the asynchronous runtime measures
+it.  This module defines the one format both sides emit —
+:class:`StallProfile` — so ``python -m repro validate`` can diff a
+prediction against a measurement per resource:
+
+* ``h2d`` / ``d2h`` / ``s2d`` / ``d2s`` — GPU idle time whose binding
+  dependency was a transfer on that link;
+* ``gpu`` — idle time bound by another GPU op (serialization bubbles);
+* ``memory`` — idle time spent waiting on pool capacity (the simulator's
+  ledger delay; the runtime's admission backpressure);
+* ``other`` — idle the attribution cannot explain (runtime overhead).
+
+:func:`stall_profile` derives the profile from a simulated schedule by
+splitting each GPU idle gap into its dependency-bound prefix (attributed
+to the latest-finishing dependency's resource) and its ledger-bound
+remainder (attributed to ``memory``).  The runtime builds the same
+structure from measured fence and admission waits
+(:meth:`repro.runtime.async_executor.RuntimeTrace.stall_profile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .engine import SimOp, SimResult
+
+GPU = "gpu"
+MEMORY = "memory"
+OTHER = "other"
+
+#: Gap shorter than this is float noise, not a stall.
+_EPS = 1e-15
+
+
+@dataclass
+class StallProfile:
+    """Makespan, GPU busy time, and GPU idle time attributed per resource.
+
+    ``source`` names where the numbers came from (``"simulated"`` or
+    ``"measured"``); fractions are makespan-normalized so profiles with
+    different time scales (modeled seconds vs emulated wall-clock)
+    compare directly.
+    """
+
+    makespan: float
+    gpu_busy: float
+    stalls: Dict[str, float] = field(default_factory=dict)
+    source: str = "simulated"
+
+    @property
+    def total_stall(self) -> float:
+        return sum(self.stalls.values())
+
+    def fraction(self, resource: str) -> float:
+        """Stalled fraction of the makespan attributed to ``resource``."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.stalls.get(resource, 0.0) / self.makespan
+
+    def fractions(self) -> Dict[str, float]:
+        """All per-resource stall fractions (resource -> fraction)."""
+        return {r: self.fraction(r) for r in sorted(self.stalls)}
+
+    def occupancy(self) -> float:
+        """GPU busy fraction of the makespan."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.gpu_busy / self.makespan
+
+    def add(self, resource: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of GPU idle attributed to ``resource``."""
+        if seconds > _EPS:
+            self.stalls[resource] = self.stalls.get(resource, 0.0) + seconds
+
+
+def stall_profile(ops: Sequence[SimOp], sim: SimResult,
+                  source: str = "simulated") -> StallProfile:
+    """Attribute every GPU idle gap of a simulated schedule to a resource.
+
+    Walks the GPU ops in start order.  For each gap between consecutive
+    GPU ops, the portion up to the next op's ready time is charged to the
+    resource of its latest-finishing dependency (the op the GPU was
+    actually waiting for); any start delay past both the ready time and
+    the previous finish is the memory ledger refusing the op's acquire —
+    charged to ``memory``.
+    """
+    by_id = {op.op_id: op for op in ops}
+    profile = StallProfile(makespan=sim.makespan,
+                           gpu_busy=sim.resource_busy.get(GPU, 0.0),
+                           source=source)
+    gpu_ops = sim.resource_timings(GPU)
+    prev_finish: Optional[float] = None
+    for t in gpu_ops:
+        if prev_finish is not None and t.start > prev_finish + _EPS:
+            dep_bound = min(t.start, max(t.ready, prev_finish))
+            profile.add(_binding_resource(t, by_id, sim),
+                        dep_bound - prev_finish)
+            profile.add(MEMORY, t.start - dep_bound)
+        prev_finish = t.finish
+    return profile
+
+
+def _binding_resource(timing, by_id: Dict[int, SimOp],
+                      sim: SimResult) -> str:
+    """The resource of the dependency that finished last before ``timing``.
+
+    Falls back to ``other`` when the op has no dependency that explains
+    the wait (a pure resource-order artifact).
+    """
+    best_finish = -1.0
+    best_resource = OTHER
+    for dep in timing.op.deps:
+        dep_t = sim.timings.get(dep)
+        if dep_t is None:
+            continue
+        if dep_t.finish > best_finish:
+            best_finish = dep_t.finish
+            best_resource = by_id[dep].resource
+    if best_finish < timing.ready - _EPS:
+        return OTHER
+    return best_resource
+
+
+def compare_profiles(predicted: StallProfile,
+                     measured: StallProfile) -> List[Dict[str, object]]:
+    """Per-resource rows diffing two profiles' stall fractions.
+
+    Returns one row per resource seen in either profile, ordered by the
+    larger predicted-or-measured fraction, plus an ``occupancy`` row —
+    ready for :func:`repro.eval.reporting.render_table`.
+    """
+    resources = sorted(set(predicted.stalls) | set(measured.stalls),
+                       key=lambda r: -max(predicted.fraction(r),
+                                          measured.fraction(r)))
+    rows: List[Dict[str, object]] = []
+    for r in resources:
+        p, m = predicted.fraction(r), measured.fraction(r)
+        rows.append({"resource": r, "predicted": round(p, 4),
+                     "measured": round(m, 4),
+                     "abs_error": round(abs(p - m), 4)})
+    p, m = predicted.occupancy(), measured.occupancy()
+    rows.append({"resource": "gpu-occupancy", "predicted": round(p, 4),
+                 "measured": round(m, 4), "abs_error": round(abs(p - m), 4)})
+    return rows

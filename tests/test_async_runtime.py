@@ -1,0 +1,478 @@
+"""Asynchronous runtime: stream determinism, overlap machinery, and the
+sim-vs-real validation harness.
+
+The load-bearing guarantee is differential: the asynchronous executor's
+gradients and trained parameters must be **byte-identical** to the
+synchronous oracle's under any legal plan — randomized blockings,
+policies, tier counts, placements, prefetch windows, and pacing.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BlockPolicy, make_plan
+from repro.hardware import (
+    GiB,
+    MiB,
+    MemorySpace,
+    OutOfMemoryError,
+    TieredMemorySpace,
+)
+from repro.hardware.tiering import tiny_test_hierarchy
+from repro.nn import SGD, ExecutableModel
+from repro.runtime import (
+    AsyncOutOfCoreExecutor,
+    OutOfCoreExecutor,
+    StreamSet,
+    TransferPacer,
+    TransferRequest,
+    TransferStream,
+)
+from repro.sim import SimOp, compare_profiles, simulate, stall_profile
+from repro.sim.stall import MEMORY, OTHER
+
+from tests.helpers import build_small_cnn, uniform_blocks
+
+R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
+              BlockPolicy.RECOMPUTED, BlockPolicy.CHECKPOINTED)
+
+
+def _case(seed=0, batch=4):
+    g = build_small_cnn()
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((batch, 3, 16, 16))
+    y = rng.integers(0, 5, batch)
+    return g, x, y
+
+
+def _grads(model):
+    return {(l, p): a.copy() for l, p, a in model.gradients()}
+
+
+def _run(cls, g, plan, x, y, space, seed=7, **kw):
+    model = ExecutableModel(g, dtype=np.float64, seed=seed)
+    ex = cls(model, plan, space, **kw)
+    model.zero_grad()
+    loss = ex.run_iteration(x, y, step=0)
+    return loss, _grads(model), ex
+
+
+# ---------------------------------------------------------------------------
+# Differential: async == sync, bit for bit
+# ---------------------------------------------------------------------------
+
+@st.composite
+def plan_cases(draw):
+    """Randomized (blocks, policies, placements, tiers, knobs) plans."""
+    k = draw(st.integers(min_value=2, max_value=6))
+    policies = [draw(st.sampled_from([R, S, C, K])) for _ in range(k)]
+    # the final block backward immediately follows its forward; keep it
+    # resident or swapped to stay a legal schedule under every k
+    policies[-1] = draw(st.sampled_from([R, S]))
+    tiers = draw(st.integers(min_value=2, max_value=3))
+    placements = {}
+    if tiers == 3:
+        for b, p in enumerate(policies):
+            if p is S and draw(st.booleans()):
+                placements[b] = 2
+    prefetch_stages = draw(st.integers(min_value=0, max_value=4))
+    lookahead = draw(st.integers(min_value=0, max_value=3))
+    depth = draw(st.integers(min_value=1, max_value=4))
+    return k, policies, placements, tiers, prefetch_stages, lookahead, depth
+
+
+class TestDifferentialBitIdentity:
+    @given(plan_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_async_matches_sync_oracle(self, case):
+        """Byte-identical gradients across randomized plans, tier counts,
+        placements, and prefetch/recompute settings."""
+        k, policies, placements, tiers, pf, la, depth = case
+        g, x, y = _case()
+        blocks = uniform_blocks(g, k)
+        policies = policies[:len(blocks)]
+        policies[-1] = policies[-1] if policies[-1] in (R, S) else R
+        placements = {b: t for b, t in placements.items()
+                      if b < len(blocks) and policies[b] is S}
+        plan = make_plan(g.name, x.shape[0], blocks, policies,
+                         placements=placements)
+
+        def space():
+            return TieredMemorySpace([2 * GiB] * tiers)
+
+        loss_s, grads_s, _ = _run(OutOfCoreExecutor, g, plan, x, y, space())
+        loss_a, grads_a, ex = _run(AsyncOutOfCoreExecutor, g, plan, x, y,
+                                   space(), prefetch_stages=pf,
+                                   prefetch_lookahead=la,
+                                   stream_depth=depth)
+        assert loss_a == loss_s
+        assert grads_a.keys() == grads_s.keys()
+        for key, a in grads_a.items():
+            assert np.array_equal(a, grads_s[key]), key
+        assert ex.trace is not None and ex.trace.makespan > 0
+
+    def test_trained_parameters_identical(self):
+        """Multi-step training under the async executor lands on the same
+        bytes as the synchronous trainer."""
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 4)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, C, S, R])
+
+        models = []
+        for cls in (OutOfCoreExecutor, AsyncOutOfCoreExecutor):
+            m = ExecutableModel(g, dtype=np.float64, seed=7)
+            ex = cls(m, plan, MemorySpace(2 * GiB, 64 * GiB))
+            opt = SGD(lr=0.05, momentum=0.9)
+            for s in range(4):
+                m.zero_grad()
+                ex.run_iteration(x, y, step=s)
+                opt.step(m)
+            models.append(m)
+        ref = {(l, p): a for l, p, a in models[0].parameters()}
+        for (l, p, a) in models[1].parameters():
+            assert np.array_equal(a, ref[(l, p)]), (l, p)
+
+    def test_paced_run_still_bit_identical(self):
+        """Wall-clock pacing must not leak into the numerics."""
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 4)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, S, S, R],
+                         placements={0: 2})
+        pacer = TransferPacer(time_scale=2.0,
+                              hierarchy=tiny_test_hierarchy(
+                                  link_bw=200e9, nvme_read_bw=100e9,
+                                  nvme_write_bw=50e9))
+        _, grads_s, _ = _run(OutOfCoreExecutor, g, plan, x, y,
+                             TieredMemorySpace([2 * GiB] * 3), pacer=pacer)
+        _, grads_a, _ = _run(AsyncOutOfCoreExecutor, g, plan, x, y,
+                             TieredMemorySpace([2 * GiB] * 3), pacer=pacer)
+        for key, a in grads_a.items():
+            assert np.array_equal(a, grads_s[key]), key
+
+    def test_pool_oom_propagates(self):
+        """A near pool too small for the plan must still OOM, not hang."""
+        g, x, y = _case(batch=8)
+        blocks = uniform_blocks(g, 4)
+        plan = make_plan(g.name, 8, blocks, [R, R, R, R])
+        with pytest.raises(OutOfMemoryError):
+            _run(AsyncOutOfCoreExecutor, g, plan, x, y,
+                 MemorySpace(100_000, 64 * GiB))
+
+    def test_charge_backpressure_at_sync_peak_capacity(self):
+        """A device pool sized to the synchronous peak must still run:
+        forwards that collide with in-flight swap-outs wait for the
+        transfer (attributed to 'memory'), they do not OOM spuriously."""
+        g, x, y = _case(batch=8)
+        blocks = uniform_blocks(g, 8)
+        n = len(blocks)
+        plan = make_plan(g.name, 8, blocks, [S] * (n - 1) + [R],
+                         placements={0: 2, 1: 2})
+        dry = TieredMemorySpace([64 * GiB] * 3)
+        _, ref, _ = _run(OutOfCoreExecutor, g, plan, x, y, dry)
+        peak = dry.near.peak_in_use
+
+        space = TieredMemorySpace([peak + 512, 2 * GiB, 8 * GiB])
+        _, grads, ex = _run(AsyncOutOfCoreExecutor, g, plan, x, y, space,
+                            prefetch_stages=0)
+        for key, a in grads.items():
+            assert np.array_equal(a, ref[key]), key
+        assert space.near.peak_in_use <= peak + 512
+
+    def test_no_stash_leak_and_clean_pools(self):
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 4)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, C, S, R],
+                         placements={0: 2})
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        _run(AsyncOutOfCoreExecutor, g, plan, x, y, space)
+        for pool in space.pools:
+            assert pool.bytes_in_use == 0
+
+
+# ---------------------------------------------------------------------------
+# The _move bounce-staging fix
+# ---------------------------------------------------------------------------
+
+class TestBounceStagingFix:
+    def _executor(self, space, pacer=None):
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 4)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, S, S, R],
+                         placements={0: 2, 1: 2})
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(m, plan, space, pacer=pacer)
+        m.zero_grad()
+        ex.run_iteration(x, y, step=0)
+        return ex
+
+    def test_no_bounce_residue_in_intermediate_tier(self):
+        """Regression: a device<->NVMe move must leave the DRAM bounce
+        bytes fully released — not parked in the allocator cache, where
+        they kept the intermediate tier's reserved bytes inflated (a
+        transient double-charge against real DRAM stash traffic)."""
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        self._executor(space)
+        dram = space.pools[1]
+        # bounce traffic definitely flowed through DRAM...
+        assert space.demote_bytes.get(1, 0) > 0
+        assert dram.peak_in_use > 0
+        # ...but none of it may linger: only real (tier-1-placed) stash
+        # frees are allowed to populate the cache, and block 2 is the
+        # only DRAM-placed block here, freed at swap-in
+        assert dram.bytes_in_use == 0
+        stash2 = space.promote_bytes.get(1, 0)
+        assert dram.bytes_cached <= stash2
+
+    def test_bounce_never_cached(self):
+        """Direct probe: after a 0->2->0 round trip through a fresh
+        space, the DRAM pool retains zero cached bytes."""
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 2)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, R],
+                         placements={0: 2})
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(m, plan, space)
+        m.zero_grad()
+        ex.run_iteration(x, y, step=0)
+        dram = space.pools[1]
+        assert dram.bytes_in_use == 0
+        assert dram.bytes_cached == 0     # old code: bounce segments
+        assert dram.bytes_reserved == 0
+        assert dram.peak_in_use > 0       # the transient bounce was real
+
+    def test_mid_chain_oom_leaves_consistent_state(self):
+        """A device->NVMe move whose storage hop OOMs must surface the
+        OOM with the stash consistently parked in the tier it reached —
+        not a dangling freed allocation that later double-frees."""
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 2)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, R],
+                         placements={0: 2})
+        # NVMe pool far too small for the stash: hop 2 must OOM
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 100_000])
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(m, plan, space, allow_leaks=True)
+        m.zero_grad()
+        with pytest.raises(OutOfMemoryError):
+            ex.run_iteration(x, y, step=0)
+        # the interrupted entry rests in the DRAM bounce; freeing the
+        # whole stash must not double-free and must zero the pools
+        for name in list(ex._stash):
+            ex._free(name)
+        for pool in space.pools:
+            assert pool.bytes_in_use == 0
+
+    def test_paced_move_matches_transfer_model(self):
+        """Verify the paced move against the hierarchy's TransferModel
+        semantics: wall-clock of a multi-hop swap approximates the
+        store-and-forward transfer_time at the pacer's scale."""
+        hier = tiny_test_hierarchy(link_bw=0.5e9, nvme_read_bw=0.25e9,
+                                   nvme_write_bw=0.25e9)
+        pacer = TransferPacer(time_scale=1.0, hierarchy=hier)
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 2)
+        plan = make_plan(g.name, x.shape[0], blocks, [S, R],
+                         placements={0: 2})
+        space = TieredMemorySpace([2 * GiB, 2 * GiB, 8 * GiB])
+        m = ExecutableModel(g, dtype=np.float64, seed=7)
+        ex = OutOfCoreExecutor(m, plan, space, pacer=pacer)
+        m.zero_grad()
+
+        swapped_bytes = []
+        orig = ex._swap
+
+        def spy(block, dest):
+            before = space.swap_out_bytes
+            orig(block, dest)
+            moved = space.swap_out_bytes - before
+            if moved:
+                swapped_bytes.append(moved)
+        ex._swap = spy
+
+        t0 = time.perf_counter()
+        ex.run_iteration(x, y, step=0)
+        wall = time.perf_counter() - t0
+        nbytes = swapped_bytes[0]
+        expected = hier.transfer_time(nbytes, 0, 2) \
+            + hier.transfer_time(nbytes, 2, 0)
+        assert wall >= 0.9 * expected
+        assert wall <= 2.0 * expected + 0.25  # compute + sleep overhead
+
+
+# ---------------------------------------------------------------------------
+# Streams
+# ---------------------------------------------------------------------------
+
+class TestStreams:
+    def test_fifo_order_and_chaining(self):
+        pacer = TransferPacer(time_scale=1.0)
+        with StreamSet(("d2h", "d2s"), pacer=pacer) as ss:
+            order = []
+            a = TransferRequest("a", "d2h", 0, 0.02,
+                                apply=lambda: order.append("a"))
+            b = TransferRequest("b", "d2s", 0, 0.0, after=a,
+                                apply=lambda: order.append("b"))
+            ss.submit(a)
+            ss.submit(b)
+            ss.drain()
+            assert order == ["a", "b"]          # chained apply order holds
+            assert b.started >= a.finished       # worker waited for `after`
+            assert all(r.applied for r in (a, b))
+            assert [r.label for r in ss.records] == ["a", "b"]
+
+    def test_bounded_depth_blocks_submit(self):
+        slow = TransferPacer(time_scale=1.0)
+        stream = TransferStream("d2h", depth=1, pacer=slow)
+        try:
+            stream.submit(TransferRequest("r1", "d2h", 0, 0.15))
+            t0 = time.perf_counter()
+            stream.submit(TransferRequest("r2", "d2h", 0, 0.0))
+            stream.submit(TransferRequest("r3", "d2h", 0, 0.0))
+            waited = time.perf_counter() - t0
+            assert waited >= 0.05  # bounded queue applied backpressure
+            stream.drain()
+            finishes = [r.finished for r in stream.inflight]
+            assert finishes == sorted(finishes)
+        finally:
+            stream.close()
+
+    def test_wait_for_progress_reports_idle(self):
+        with StreamSet(("h2d",)) as ss:
+            assert ss.wait_for_progress() is False  # nothing in flight
+            req = TransferRequest("r", "h2d", 0, 0.01)
+            ss.submit(req)
+            assert ss.wait_for_progress(timeout=5.0) is True
+            ss.drain()
+
+    def test_transfers_overlap_calling_thread(self):
+        """The whole point: a paced transfer must not block the issuer."""
+        pacer = TransferPacer(time_scale=1.0)
+        with StreamSet(("d2h",), pacer=pacer) as ss:
+            t0 = time.perf_counter()
+            ss.submit(TransferRequest("r", "d2h", 0, 0.2))
+            issue_cost = time.perf_counter() - t0
+            assert issue_cost < 0.05
+            done = threading.Event()
+            ss.submit(TransferRequest("r2", "d2h", 0, 0.0,
+                                      apply=done.set))
+            ss.drain()
+            assert done.is_set()
+
+
+# ---------------------------------------------------------------------------
+# Stall attribution + validation harness
+# ---------------------------------------------------------------------------
+
+class TestStallAttribution:
+    def test_gap_attributed_to_binding_dep(self):
+        ops = [
+            SimOp(0, "gpu", 1.0),
+            SimOp(1, "h2d", 3.0, deps=(0,)),
+            SimOp(2, "gpu", 1.0, deps=(1,)),   # waits 3s on the link
+        ]
+        sim = simulate(ops)
+        prof = stall_profile(ops, sim)
+        assert prof.stalls == {"h2d": pytest.approx(3.0)}
+        assert prof.fraction("h2d") == pytest.approx(3.0 / sim.makespan)
+        assert prof.gpu_busy == pytest.approx(2.0)
+
+    def test_ledger_delay_attributed_to_memory(self):
+        ops = [
+            SimOp(0, "gpu", 1.0, mem_acquire=80, mem_release=0),
+            SimOp(1, "d2h", 2.0, deps=(0,), mem_release=80),
+            SimOp(2, "gpu", 1.0, deps=(0,), mem_acquire=80),
+        ]
+        sim = simulate(ops, memory_capacity=100)
+        prof = stall_profile(ops, sim)
+        # op 2 was dep-ready at t=1 but the ledger held it until the
+        # release at t=3
+        assert prof.stalls.get(MEMORY, 0.0) == pytest.approx(2.0)
+
+    def test_compare_profiles_rows(self):
+        ops = [SimOp(0, "gpu", 1.0), SimOp(1, "h2d", 1.0, deps=(0,)),
+               SimOp(2, "gpu", 1.0, deps=(1,))]
+        sim = simulate(ops)
+        prof = stall_profile(ops, sim)
+        rows = compare_profiles(prof, prof)
+        assert rows[-1]["resource"] == "gpu-occupancy"
+        assert all(r["abs_error"] == 0 for r in rows)
+
+
+class TestValidationHarness:
+    def test_validate_two_configs(self):
+        from repro.eval.validation import DEFAULT_CONFIGS, validate_many
+
+        # the target wall must dwarf the real numpy compute, or residual
+        # pacing (sleep modeled-minus-elapsed) floors at zero and the
+        # emulation loses its modeled proportions
+        reports = validate_many(DEFAULT_CONFIGS, target_wall_s=0.5)
+        assert len(reports) >= 2
+        for rep in reports:
+            resources = [r["resource"] for r in rep.rows]
+            assert "gpu-occupancy" in resources
+            # the emulated runtime must reproduce the predicted stall
+            # structure to within a few points of makespan
+            assert rep.max_abs_error < 0.08, rep.table()
+            assert 0.8 < rep.makespan_ratio < 1.3
+        # the swap-bound config must actually exhibit link stalls
+        cnn = next(r for r in reports if r.config == "cnn")
+        assert cnn.measured.fraction("h2d") > 0.03
+
+    def test_overlap_beats_sync_on_swap_bound_config(self):
+        """Same plan + pacing: the async executor must be faster than the
+        synchronous oracle once transfers take real time."""
+        from repro.sim.trainer_sim import BlockCosts
+
+        g, x, y = _case()
+        blocks = uniform_blocks(g, 6)
+        n = len(blocks)
+        plan = make_plan(g.name, x.shape[0], blocks, [S] * (n - 1) + [R],
+                         placements={0: 2})
+        costs = BlockCosts(
+            fw=(0.004,) * n, bw=(0.008,) * n,
+            stash_bytes=(0,) * n, boundary_bytes=(0,) * n,
+            weight_bytes=(0,) * n, swap_time=(0.010,) * n,
+            grad_swap_time=(0.0,) * n,
+            storage_out_time=tuple(0.006 if b == 0 else 0.0
+                                   for b in range(n)),
+            storage_in_time=tuple(0.006 if b == 0 else 0.0
+                                  for b in range(n)))
+        pacer = TransferPacer(time_scale=1.0, costs=costs)
+
+        def timed(cls):
+            best = float("inf")
+            for _ in range(2):
+                m = ExecutableModel(g, dtype=np.float64, seed=7)
+                ex = cls(m, plan, TieredMemorySpace([2 * GiB] * 3),
+                         pacer=pacer)
+                m.zero_grad()
+                t0 = time.perf_counter()
+                ex.run_iteration(x, y, step=0)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        sync_wall = timed(OutOfCoreExecutor)
+        async_wall = timed(AsyncOutOfCoreExecutor)
+        assert async_wall < sync_wall  # overlap must help, CI-safely
+
+    def test_validate_cli(self, capsys):
+        from repro.cli import main
+
+        rc = main(["validate", "--config", "cnn", "--target-wall", "0.1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predicted vs measured" in out
+        assert "h2d" in out
+
+    def test_validate_cli_list_and_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--list"]) == 0
+        assert "cnn" in capsys.readouterr().out
+        assert main(["validate", "--config", "nope"]) == 2

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Docs quality gate: links, docstring coverage, paper-mapping coverage.
+
+Three checks, all offline:
+
+1. **link check** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must point at an existing file (and, for ``#fragment``
+   links, at an existing heading in the target); external ``http(s)``
+   URLs are only format-checked, never fetched.
+2. **docstring coverage** — every public function, class and method
+   defined in ``repro.core`` and ``repro.runtime`` must carry a
+   docstring (the public API surface the docs promise is documented).
+3. **paper-mapping coverage** — every committed
+   ``benchmarks/baselines/BENCH_*.json`` artifact must be referenced in
+   ``docs/paper_mapping.md`` (the acceptance rule of the docs suite).
+
+Exit status: 0 when clean, 1 with findings (one line each).
+
+Usage::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+sys.path.insert(0, str(REPO / "src"))
+
+#: Packages whose public surface must be documented.
+COVERED_PACKAGES = ("repro.core", "repro.runtime")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s+", "-", slug)
+
+
+def check_links() -> List[str]:
+    findings: List[str] = []
+    sources = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    for source in sources:
+        text = source.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            rel = source.relative_to(REPO)
+            if path_part:
+                resolved = (source.parent / path_part).resolve()
+                if not resolved.exists():
+                    findings.append(
+                        f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = source
+            if fragment and resolved.suffix == ".md":
+                headings = [_slug(h) for h in
+                            _HEADING_RE.findall(resolved.read_text())]
+                if fragment not in headings:
+                    findings.append(
+                        f"{rel}: broken anchor -> {target}")
+    return findings
+
+
+def _public_members(module) -> List[tuple]:
+    """(qualname, obj) for everything the module itself defines publicly."""
+    out = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented where it is defined
+        out.append((f"{module.__name__}.{name}", obj))
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if isinstance(member, property):
+                    continue  # property getters read as attributes
+                if isinstance(member, (staticmethod, classmethod)):
+                    member = member.__func__  # unwrap the descriptor
+                if inspect.isfunction(member):
+                    out.append(
+                        (f"{module.__name__}.{name}.{mname}", member))
+    return out
+
+
+def check_docstrings() -> List[str]:
+    import importlib
+    import pkgutil
+
+    findings: List[str] = []
+    for pkg_name in COVERED_PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        module_names = [pkg_name] + [
+            f"{pkg_name}.{info.name}"
+            for info in pkgutil.iter_modules(pkg.__path__)]
+        for module_name in module_names:
+            module = importlib.import_module(module_name)
+            for qualname, obj in _public_members(module):
+                doc = inspect.getdoc(obj)
+                if not doc or not doc.strip():
+                    findings.append(f"{qualname}: missing docstring")
+    return findings
+
+
+def check_paper_mapping() -> List[str]:
+    mapping = (DOCS / "paper_mapping.md").read_text()
+    findings: List[str] = []
+    for artifact in sorted((REPO / "benchmarks" / "baselines")
+                           .glob("BENCH_*.json")):
+        if artifact.name not in mapping:
+            findings.append(
+                f"docs/paper_mapping.md: committed baseline "
+                f"{artifact.name} is not mapped to a paper artifact")
+    return findings
+
+
+def main() -> int:
+    findings = check_links() + check_docstrings() + check_paper_mapping()
+    if findings:
+        print(f"docs gate: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print("docs gate: links, docstring coverage and paper mapping all clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
