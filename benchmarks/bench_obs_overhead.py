@@ -1,0 +1,159 @@
+"""Observability overhead: instrumentation must not tax the planner.
+
+The event simulator is the objective function of the blocking search —
+tens of thousands of ``simulate()`` calls per plan — so the span/metrics
+instrumentation threaded through it (PR 6) is only acceptable if the
+*disabled* path costs nothing measurable.  This bench prices both sides
+on the 64-block, 3-tier ResNet-200 sweep from ``bench_engine``:
+
+* **disabled overhead** — the public ``simulate()`` entry (tracer off:
+  one ``TRACER.enabled`` branch + the engines' dormant stats hooks)
+  against direct calls into the internal engine loops.  Hard bar: < 3%.
+* **enabled overhead** — the same sweep with the tracer on (span around
+  each call, stats dict per event loop, metrics publication).  Bounded
+  at < 100% — tracing may cost, but never an order of magnitude.
+
+Cross-commit drift of the underlying engine throughput is separately
+gated by ``BENCH_engine``'s ``sim_ops_per_sec`` baseline, so this bench
+pins the *delta* from instrumentation, not absolute speed.
+
+Also writes ``sample_trace.json`` (planner-span + predicted-timeline
+tracks for one sweep case, schema-validated) next to the bench
+artifacts; the CI bench job uploads it so every run leaves a trace a
+reviewer can drop into ui.perfetto.dev.
+
+Emits ``BENCH_obs_overhead.json``.  The committed baseline pins both
+fractions at their assert bounds (the in-bench asserts are the hard
+gate; the 15% regression tolerance on top would false-positive on
+jitter around small fractions otherwise).
+"""
+
+import json
+import time
+
+from bench_engine import STEADY_STATE_ITERATIONS, _sixty_four_block_plans, \
+    _unroll
+from repro.obs.export import (
+    chrome_trace,
+    sim_track_events,
+    span_track_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import TRACER
+from repro.sim.engine import (
+    _Prepared,
+    _simulate_heap,
+    _simulate_ledgered,
+    simulate,
+)
+
+DISABLED_OVERHEAD_BAR = 0.03
+ENABLED_OVERHEAD_BAR = 1.0
+
+
+def _sweep_cases():
+    return [(_unroll(ops, STEADY_STATE_ITERATIONS), ledger)
+            for ops, ledger in _sixty_four_block_plans()]
+
+
+def _time_best(fn, cases, reps):
+    """Min-of-N wall-clock of one full sweep (robust to transient load)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(cases)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _run_public(cases):
+    for ops, ledger in cases:
+        simulate(ops, memory_capacity=ledger)
+
+
+def _run_direct(cases):
+    """The engine loops without the instrumented public dispatch."""
+    for ops, ledger in cases:
+        prep = _Prepared(ops)
+        if ledger is None or not any(prep.acquires):
+            _simulate_heap(prep)
+        else:
+            _simulate_ledgered(prep, ledger)
+
+
+def test_disabled_overhead_under_3_percent(bench_writer):
+    """Acceptance: tracer-off ``simulate()`` within 3% of the raw loops."""
+    assert not TRACER.enabled
+    cases = _sweep_cases()
+    reps = 7
+    _time_best(_run_public, cases, 1)  # warm up
+    direct_s = _time_best(_run_direct, cases, reps)
+    public_s = _time_best(_run_public, cases, reps)
+    disabled_frac = max(0.0, public_s / direct_s - 1.0)
+    print(f"\ndisabled instrumentation: raw loops {direct_s * 1e3:.1f} ms, "
+          f"public simulate {public_s * 1e3:.1f} ms "
+          f"({disabled_frac * 100:+.2f}%)")
+    bench_writer.emit("obs_overhead", {
+        "sweep.plans": len(cases),
+        "sweep.direct_s": direct_s,
+        "sweep.disabled_s": public_s,
+        "disabled_overhead_frac": disabled_frac,
+    })
+    assert disabled_frac < DISABLED_OVERHEAD_BAR, \
+        f"disabled tracing costs {disabled_frac * 100:.1f}% (bar 3%)"
+
+
+def test_enabled_overhead_bounded(bench_writer):
+    """Tracing on: spans + stats + metrics stay under 2x the off path."""
+    cases = _sweep_cases()
+    reps = 5
+    disabled_s = _time_best(_run_public, cases, reps)
+
+    def run_traced(cs):
+        TRACER.enable()
+        try:
+            _run_public(cs)
+        finally:
+            TRACER.disable()
+            TRACER.clear()
+
+    run_traced(cases)  # warm up (span buffers, metric instruments)
+    enabled_s = _time_best(run_traced, cases, reps)
+    enabled_frac = max(0.0, enabled_s / disabled_s - 1.0)
+    print(f"\nenabled instrumentation: off {disabled_s * 1e3:.1f} ms, "
+          f"on {enabled_s * 1e3:.1f} ms ({enabled_frac * 100:+.1f}%)")
+    bench_writer.emit("obs_overhead", {
+        "sweep.enabled_s": enabled_s,
+        "enabled_overhead_frac": enabled_frac,
+    })
+    assert enabled_frac < ENABLED_OVERHEAD_BAR, \
+        f"enabled tracing costs {enabled_frac * 100:.0f}% (bar 100%)"
+
+
+def test_sample_trace_artifact(bench_writer):
+    """Export one sweep case as a schema-valid Perfetto trace artifact."""
+    ops, ledger = _sweep_cases()[0]
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        sim = simulate(ops, memory_capacity=ledger)
+        spans = TRACER.drain()
+    finally:
+        TRACER.disable()
+    events = span_track_events(spans, pid=1)
+    events += sim_track_events(sim, pid=2)
+    doc = chrome_trace(events)
+    problems = validate_chrome_trace(doc)
+    assert problems == [], problems
+    path = write_chrome_trace(bench_writer.out_dir / "sample_trace.json",
+                              doc)
+    loaded = json.loads(path.read_text())
+    n_complete = sum(1 for e in loaded["traceEvents"] if e["ph"] == "X")
+    print(f"\nsample trace: {len(loaded['traceEvents'])} events "
+          f"({n_complete} spans) -> {path}")
+    assert n_complete >= len(ops)  # the whole sim timeline is in there
+    bench_writer.emit("obs_overhead", {
+        "sample_trace.events": len(loaded["traceEvents"]),
+        "sample_trace.spans": n_complete,
+    })

@@ -31,10 +31,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
+from ..obs.metrics import METRICS
 from .digest import CACHE_FORMAT_VERSION
 
 #: Environment override for the on-disk cache location.
 CACHE_DIR_ENV = "KARMA_PLAN_CACHE_DIR"
+
+#: Sidecar holding cumulative session counters (never a cache entry — the
+#: name cannot collide with the 64-hex digest keys).
+STATS_FILENAME = "_stats.json"
+
+#: The counter fields persisted into the stats sidecar.
+_STAT_FIELDS = ("hits", "misses", "memory_hits", "disk_hits", "stores",
+                "evictions", "invalidated")
 
 
 def default_cache_dir() -> Path:
@@ -95,12 +104,18 @@ class PlanCache:
         self.cache_dir = Path(self.cache_dir) if self.cache_dir is not None \
             else default_cache_dir()
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._flushed = CacheStats()   # counters already merged to disk
 
     # -- keys and paths ----------------------------------------------------
 
     def path_for(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.json"
+
+    def stats_path(self) -> Path:
+        """The cumulative session-counter sidecar next to the entries."""
+        assert self.cache_dir is not None
+        return self.cache_dir / STATS_FILENAME
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -116,7 +131,7 @@ class PlanCache:
         if self.persist and self.cache_dir is not None \
                 and self.cache_dir.is_dir():
             for p in sorted(self.cache_dir.glob("*.json")):
-                if p.stem not in seen:
+                if p.name != STATS_FILENAME and p.stem not in seen:
                     yield p.stem
 
     # -- core protocol -----------------------------------------------------
@@ -132,6 +147,7 @@ class PlanCache:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
+            METRICS.counter("plan_cache.hits").inc()
             return self._memory[key]
         if self.persist:
             payload = self._load(key)
@@ -139,27 +155,88 @@ class PlanCache:
                 self._insert(key, payload)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                METRICS.counter("plan_cache.hits").inc()
                 return payload
         self.stats.misses += 1
+        METRICS.counter("plan_cache.misses").inc()
         return None
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store ``payload`` under ``key`` (memory now, disk if enabled)."""
         self._insert(key, payload)
         self.stats.stores += 1
+        METRICS.counter("plan_cache.stores").inc()
         if self.persist:
             self._store(key, payload)
 
     def clear(self, *, disk: bool = True) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry (and the cumulative session counters);
+        returns how many entries were removed."""
         removed = len(self._memory)
         self._memory.clear()
         if disk and self.persist and self.cache_dir is not None \
                 and self.cache_dir.is_dir():
             for p in self.cache_dir.glob("*.json"):
+                if p.name == STATS_FILENAME:
+                    p.unlink(missing_ok=True)   # counters restart at clear
+                    continue
                 p.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+    # -- cumulative session counters ---------------------------------------
+
+    def flush_session_stats(self) -> None:
+        """Merge this instance's counters into the on-disk sidecar.
+
+        Each :class:`PlanCache` lives for one process (often one CLI
+        invocation), so its :attr:`stats` alone cannot answer "how
+        effective has the cache been *over a session*".  This folds the
+        deltas since the last flush into ``<cache_dir>/_stats.json``
+        (atomic replace; best-effort under concurrent writers — the
+        parallel manifest path may drop a few counts in a race, never
+        corrupt the file).  ``python -m repro cache info`` reports the
+        cumulative totals; :meth:`clear` resets them.
+        """
+        if not self.persist or self.cache_dir is None:
+            return
+        delta = {f: getattr(self.stats, f) - getattr(self._flushed, f)
+                 for f in _STAT_FIELDS}
+        if not any(delta.values()):
+            return
+        cumulative = self.cumulative_stats()
+        for f in _STAT_FIELDS:
+            cumulative[f] = cumulative.get(f, 0) + delta[f]
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                       prefix=".stats.", suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(cumulative, indent=2, sort_keys=True)
+                         + "\n")
+            os.replace(tmp, self.stats_path())
+        except OSError:
+            return   # observability must never sink a planning run
+        for f in _STAT_FIELDS:
+            setattr(self._flushed, f, getattr(self.stats, f))
+
+    def cumulative_stats(self) -> Dict[str, int]:
+        """The sidecar's cumulative counters (zeros when absent)."""
+        empty = {f: 0 for f in _STAT_FIELDS}
+        if not self.persist or self.cache_dir is None:
+            return empty
+        try:
+            record = json.loads(self.stats_path().read_text())
+        except (OSError, json.JSONDecodeError):
+            return empty
+        if not isinstance(record, dict):
+            return empty
+        out = dict(empty)
+        for f in _STAT_FIELDS:
+            v = record.get(f)
+            if isinstance(v, int) and v >= 0:
+                out[f] = v
+        return out
 
     # -- internals ---------------------------------------------------------
 

@@ -35,7 +35,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 HIERARCHIES = ("none", "two-tier", "abci", "tiny")
 LINKS = ("calibrated", "pcie", "nvlink")
@@ -78,15 +78,17 @@ def _resolve_transfer(link: str):
                                  host=abci_host())
 
 
-def plan_config(config: Dict[str, Any], *,
-                cache_dir: Optional[str] = None,
-                use_cache: bool = True,
-                n_workers: int = 1) -> Dict[str, Any]:
-    """Plan one configuration dict; returns a JSON-ready result record.
+def plan_config_full(config: Dict[str, Any], *,
+                     cache_dir: Optional[str] = None,
+                     use_cache: bool = True,
+                     n_workers: int = 1) -> "Tuple[Dict[str, Any], Any]":
+    """Plan one configuration dict; returns ``(record, KarmaPlan)``.
 
-    This is the service call the CLI, examples, and benchmarks go
-    through.  Module-level and argument-picklable so batch manifests can
-    fan out across processes.
+    The record is the JSON-ready summary; the
+    :class:`~repro.core.planner.KarmaPlan` carries the full plan and
+    cost model for callers that keep going (trace export compiles and
+    simulates it).  Session-cumulative cache counters are flushed to the
+    cache's sidecar before returning.
     """
     from .cache.plan_cache import PlanCache
     from .core.planner import plan
@@ -113,8 +115,10 @@ def plan_config(config: Dict[str, Any], *,
               placement_policy=config.get("placement", "auto"),
               cache=cache, n_workers=n_workers)
     wall = time.perf_counter() - t0
+    if cache is not None:
+        cache.flush_session_stats()
 
-    return {
+    record = {
         "model": model,
         "batch": batch,
         "hierarchy": config.get("hierarchy", "none"),
@@ -134,6 +138,22 @@ def plan_config(config: Dict[str, Any], *,
         "rejected_grid_points": len(kp.blocking.rejected),
         "plan_string": kp.plan.plan_string(),
     }
+    return record, kp
+
+
+def plan_config(config: Dict[str, Any], *,
+                cache_dir: Optional[str] = None,
+                use_cache: bool = True,
+                n_workers: int = 1) -> Dict[str, Any]:
+    """Plan one configuration dict; returns a JSON-ready result record.
+
+    This is the service call the CLI, examples, and benchmarks go
+    through.  Module-level and argument-picklable so batch manifests can
+    fan out across processes.
+    """
+    record, _ = plan_config_full(config, cache_dir=cache_dir,
+                                 use_cache=use_cache, n_workers=n_workers)
+    return record
 
 
 def _plan_config_task(task: Dict[str, Any]) -> Dict[str, Any]:
@@ -174,6 +194,88 @@ def _format_result(r: Dict[str, Any]) -> str:
             f"S/R/C={r['swapped']}/{r['resident']}/{r['recomputed']}")
 
 
+# ---------------------------------------------------------------------------
+# Observability plumbing shared by plan/validate/trace
+# ---------------------------------------------------------------------------
+
+def _compiled_sim(kp: Any, hierarchy: Any) -> Tuple[Any, Any]:
+    """Compile a planned configuration and simulate it (ops, SimResult)."""
+    from .sim.engine import simulate
+    from .sim.trainer_sim import (
+        _stash_ledger_capacity,
+        block_costs,
+        compile_plan,
+    )
+
+    costs = block_costs(kp.plan.blocks, kp.cost, hierarchy=hierarchy,
+                        placements=kp.plan.placements)
+    ledger = _stash_ledger_capacity(kp.plan, costs, kp.cost, kp.capacity)
+    ops = compile_plan(kp.plan, costs)
+    return ops, simulate(ops, memory_capacity=ledger)
+
+
+def _export_trace(output: str, spans: Optional[List[Any]] = None,
+                  sims: Sequence[Tuple[str, Any]] = (),
+                  runtimes: Sequence[Tuple[str, Any]] = ()) -> Path:
+    """Assemble planner/sim/runtime tracks into one Perfetto JSON file.
+
+    Each timeline becomes its own trace process: planner spans first,
+    then one predicted (sim) process per config, then one measured
+    (runtime) process per config — side by side in the viewer.
+    """
+    from .obs.export import (
+        chrome_trace,
+        runtime_track_events,
+        sim_track_events,
+        span_track_events,
+        write_chrome_trace,
+    )
+
+    events: List[Dict[str, Any]] = []
+    pid = 1
+    if spans:
+        events.extend(span_track_events(spans, pid=pid))
+        pid += 1
+    for name, sim in sims:
+        if sim is None:
+            continue
+        events.extend(sim_track_events(sim, pid=pid, process_name=name))
+        pid += 1
+    for name, trace in runtimes:
+        if trace is None:
+            continue
+        events.extend(runtime_track_events(trace, pid=pid,
+                                           process_name=name))
+        pid += 1
+    return write_chrome_trace(output, chrome_trace(events))
+
+
+def _dump_metrics(path: Optional[str], *, json_mode: bool = False) -> None:
+    """Write the process-wide metrics snapshot (``-`` for stdout).
+
+    With ``json_mode`` the file notice goes to stderr so ``--json``
+    stdout stays a single machine-readable document.
+    """
+    if not path:
+        return
+    from .obs.metrics import METRICS
+
+    text = json.dumps(METRICS.snapshot(), indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        Path(path).write_text(text + "\n")
+        print(f"metrics snapshot written to {path}",
+              file=sys.stderr if json_mode else sys.stdout)
+
+
+def _trace_notice(path: Path, *, json_mode: bool = False) -> None:
+    """Tell the user where the trace landed (stderr under ``--json``)."""
+    print(f"trace written to {path} "
+          "(load in ui.perfetto.dev or chrome://tracing)",
+          file=sys.stderr if json_mode else sys.stdout)
+
+
 def _run_plan(args: argparse.Namespace) -> int:
     if (args.manifest is None) == (args.model is None):
         print("error: provide exactly one of --model or --manifest",
@@ -192,6 +294,35 @@ def _run_plan(args: argparse.Namespace) -> int:
                        if args.capacity is not None else {})}]
     use_cache = not args.no_cache
     workers = max(1, args.workers)
+
+    if args.trace is not None:
+        if args.manifest is not None:
+            print("error: --trace requires a single --model configuration",
+                  file=sys.stderr)
+            return 2
+        from .obs.trace import TRACER
+
+        TRACER.clear()
+        TRACER.enable()
+        try:
+            record, kp = plan_config_full(
+                configs[0], cache_dir=args.cache_dir, use_cache=use_cache,
+                n_workers=workers)
+            _, sim = _compiled_sim(kp,
+                                   _resolve_hierarchy(args.hierarchy))
+            spans = TRACER.drain()
+        finally:
+            TRACER.disable()
+        path = _export_trace(args.trace, spans=spans,
+                             sims=[(f"predicted (sim) [{args.model}]",
+                                    sim)])
+        if args.json:
+            print(json.dumps([record], indent=2, sort_keys=True))
+        else:
+            print(_format_result(record))
+        _trace_notice(path, json_mode=args.json)
+        _dump_metrics(args.metrics, json_mode=args.json)
+        return 0
 
     t0 = time.perf_counter()
     if args.manifest is not None and workers > 1 and len(configs) > 1:
@@ -229,6 +360,7 @@ def _run_plan(args: argparse.Namespace) -> int:
         errors = sum(1 for r in results if "error" in r)
         print(f"  -> {hits} cache hit(s), {misses} miss(es), "
               f"{errors} failure(s)")
+    _dump_metrics(args.metrics)
     return 1 if any("error" in r for r in results) else 0
 
 
@@ -247,6 +379,13 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"  {key}")
     if len(entries) > 20:
         print(f"  ... and {len(entries) - 20} more")
+    cum = cache.cumulative_stats()
+    print("session totals (cumulative across invocations; reset by "
+          "'cache clear'):")
+    print(f"  {cum['hits']} hit(s) ({cum['memory_hits']} mem / "
+          f"{cum['disk_hits']} disk), {cum['misses']} miss(es), "
+          f"{cum['stores']} store(s), {cum['evictions']} eviction(s), "
+          f"{cum['invalidated']} invalidated")
     return 0
 
 
@@ -270,10 +409,21 @@ def _run_validate(args: argparse.Namespace) -> int:
               f"{sorted(VALIDATION_CONFIGS)}", file=sys.stderr)
         return 2
 
+    traced = args.trace is not None
+    if traced:
+        from .obs.trace import TRACER
+
+        TRACER.clear()
+        TRACER.enable()
     t0 = time.perf_counter()
-    reports = validate_many(names, target_wall_s=args.target_wall,
-                            seed=args.seed)
-    total = time.perf_counter() - t0
+    try:
+        reports = validate_many(names, target_wall_s=args.target_wall,
+                                seed=args.seed)
+        total = time.perf_counter() - t0
+        spans = TRACER.drain() if traced else []
+    finally:
+        if traced:
+            TRACER.disable()
 
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2,
@@ -283,6 +433,7 @@ def _run_validate(args: argparse.Namespace) -> int:
               "simulator's own durations):\n")
         for r in reports:
             print(r.table())
+            print(r.stall_detail())
             print(f"  blocks={r.num_blocks}  "
                   f"makespan ratio (measured/predicted)="
                   f"{r.makespan_ratio:.3f}  "
@@ -290,11 +441,76 @@ def _run_validate(args: argparse.Namespace) -> int:
         worst = max(r.max_abs_error for r in reports)
         print(f"validated {len(reports)} config(s) in {total:.2f} s; "
               f"worst per-resource stall-fraction error {worst:.4f}")
+    if traced:
+        path = _export_trace(
+            args.trace, spans=spans,
+            sims=[(f"predicted (sim) [{r.config}]", r.sim_result)
+                  for r in reports],
+            runtimes=[(f"measured (runtime) [{r.config}]", r.runtime_trace)
+                      for r in reports])
+        _trace_notice(path, json_mode=args.json)
+    _dump_metrics(args.metrics, json_mode=args.json)
     if args.max_error is not None and any(
             r.max_abs_error > args.max_error for r in reports):
         print(f"error: stall-fraction error exceeds --max-error "
               f"{args.max_error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .eval.validation import VALIDATION_CONFIGS, validate_config
+    from .models.registry import REGISTRY
+    from .obs.trace import TRACER
+
+    name = args.config
+    is_validation = name in VALIDATION_CONFIGS
+    if not is_validation and name not in REGISTRY:
+        print(f"error: unknown config {name!r}; validation configs: "
+              f"{sorted(VALIDATION_CONFIGS)}, models: {sorted(REGISTRY)}",
+              file=sys.stderr)
+        return 2
+    output = args.output or f"trace_{name}.json"
+
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        if is_validation:
+            # full sim-vs-real loop: planner spans + predicted timeline
+            # + the measured runtime iteration, side by side
+            report = validate_config(
+                name, target_wall_s=args.target_wall,
+                hierarchy=_resolve_hierarchy(args.hierarchy),
+                seed=args.seed)
+            spans = TRACER.drain()
+            sims: List[Tuple[str, Any]] = [
+                (f"predicted (sim) [{name}]", report.sim_result)]
+            runtimes: List[Tuple[str, Any]] = [
+                (f"measured (runtime) [{name}]", report.runtime_trace)]
+            summary = report.stall_detail()
+        else:
+            # registered model: planner spans + predicted timeline only
+            # (no numeric runtime at these sizes)
+            config: Dict[str, Any] = {
+                "model": name, "batch": args.batch,
+                "hierarchy": args.hierarchy, "link": args.link,
+                **({"capacity": args.capacity}
+                   if args.capacity is not None else {})}
+            record, kp = plan_config_full(
+                config, cache_dir=args.cache_dir,
+                use_cache=not args.no_cache)
+            _, sim = _compiled_sim(kp, _resolve_hierarchy(args.hierarchy))
+            spans = TRACER.drain()
+            sims = [(f"predicted (sim) [{name}]", sim)]
+            runtimes = []
+            summary = _format_result(record)
+    finally:
+        TRACER.disable()
+
+    path = _export_trace(output, spans=spans, sims=sims, runtimes=runtimes)
+    print(summary)
+    _trace_notice(path)
+    _dump_metrics(args.metrics)
     return 0
 
 
@@ -335,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bypass the plan cache entirely")
     p.add_argument("--json", action="store_true",
                    help="emit results as JSON instead of a table")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record planner spans + the predicted timeline "
+                        "and write a Perfetto/Chrome trace JSON "
+                        "(single --model only)")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the process metrics snapshot as JSON "
+                        "('-' for stdout)")
     p.set_defaults(func=_run_plan)
 
     c = sub.add_parser("cache", help="inspect or clear the plan cache")
@@ -359,7 +582,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the available validation configs")
     v.add_argument("--json", action="store_true",
                    help="emit reports as JSON instead of tables")
+    v.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Perfetto/Chrome trace JSON with planner "
+                        "spans plus each config's predicted and measured "
+                        "timelines")
+    v.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the process metrics snapshot as JSON "
+                        "('-' for stdout)")
     v.set_defaults(func=_run_validate)
+
+    t = sub.add_parser(
+        "trace",
+        help="emit a Perfetto/Chrome trace JSON for one configuration")
+    t.add_argument("config",
+                   help="a validation config (cnn, gpt: full sim-vs-real "
+                        "timelines) or a registered model name (planner "
+                        "spans + predicted timeline)")
+    t.add_argument("-o", "--output", default=None,
+                   help="output path (default: trace_<config>.json)")
+    t.add_argument("--batch", type=int, default=16,
+                   help="batch size (registered-model configs)")
+    t.add_argument("--hierarchy", choices=HIERARCHIES, default="none")
+    t.add_argument("--link", choices=LINKS, default="calibrated")
+    t.add_argument("--capacity", type=float, default=None,
+                   help="device capacity override in bytes "
+                        "(registered-model configs)")
+    t.add_argument("--target-wall", type=float, default=0.4,
+                   help="emulated wall-clock seconds for the measured "
+                        "iteration (validation configs)")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--cache-dir", default=None)
+    t.add_argument("--no-cache", action="store_true",
+                   help="bypass the plan cache")
+    t.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the process metrics snapshot as JSON "
+                        "('-' for stdout)")
+    t.set_defaults(func=_run_trace)
     return parser
 
 

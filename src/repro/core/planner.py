@@ -33,6 +33,8 @@ from ..hardware.spec import (
     v100_sxm2_16gb,
 )
 from ..hardware.tiering import MemoryHierarchy
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from .blocking import BlockingResult, solve_blocking
 from .recompute import RecomputeResult, apply_recompute
 from .schedule import BlockPolicy, ExecutionPlan
@@ -269,23 +271,36 @@ def plan(graph: LayerGraph, batch_size: int, *,
     transfer = transfer or TransferModel(link=karma_swap_link(),
                                          device=device, host=host)
     capacity = device.usable_memory if capacity is None else capacity
-    cost = profile_graph(graph, device, transfer, batch_size)
+    t_plan = TRACER.clock()
+    METRICS.counter("planner.plans").inc()
+    with TRACER.span("plan.profile", "planner", model=graph.name,
+                     batch=batch_size):
+        cost = profile_graph(graph, device, transfer, batch_size)
 
     key: Optional[str] = None
     if cache is not None:
-        key = _digest_inputs(graph, batch_size, device, transfer, capacity,
-                             hierarchy, cost, recompute, method, max_span,
-                             placement_policy)
-        payload = cache.get(key)
+        with TRACER.span("plan.cache_lookup", "planner") as sp:
+            key = _digest_inputs(graph, batch_size, device, transfer,
+                                 capacity, hierarchy, cost, recompute,
+                                 method, max_span, placement_policy)
+            payload = cache.get(key)
+            sp.set(hit=payload is not None)
         if payload is not None:
-            blocking, rec_result, placement, cold_time = \
-                _decode_decisions(payload)
-            policies = (rec_result.policies if rec_result is not None
-                        else list(blocking.policies))
-            placements = placement.placements if placement is not None \
-                else {}
-            final = make_plan(graph.name, batch_size, blocking.blocks,
-                              policies, placements=placements)
+            with TRACER.span("plan.cache_replay", "planner"):
+                blocking, rec_result, placement, cold_time = \
+                    _decode_decisions(payload)
+                policies = (rec_result.policies if rec_result is not None
+                            else list(blocking.policies))
+                placements = placement.placements \
+                    if placement is not None else {}
+                final = make_plan(graph.name, batch_size, blocking.blocks,
+                                  policies, placements=placements)
+            METRICS.counter("planner.cache_replays").inc()
+            if TRACER.enabled:
+                TRACER.record("plan", "planner", start=t_plan,
+                              end=TRACER.clock(), model=graph.name,
+                              batch=batch_size, cache="hit",
+                              blocks=final.num_blocks)
             return KarmaPlan(plan=final, cost=cost, blocking=blocking,
                              recompute=rec_result, capacity=capacity,
                              hierarchy=hierarchy, placement=placement,
@@ -299,20 +314,31 @@ def plan(graph: LayerGraph, batch_size: int, *,
     from ..sim.trainer_sim import LoweringCache
 
     lowering = LoweringCache(cost, capacity, hierarchy)
-    blocking = solve_blocking(graph, cost, capacity, graph.name, batch_size,
-                              method=method, max_span=max_span,
-                              hierarchy=hierarchy,
-                              placement_policy=placement_policy,
-                              n_workers=n_workers, lowering=lowering)
+    with TRACER.span("plan.opt1_blocking", "planner",
+                     method=method) as sp:
+        blocking = solve_blocking(graph, cost, capacity, graph.name,
+                                  batch_size, method=method,
+                                  max_span=max_span, hierarchy=hierarchy,
+                                  placement_policy=placement_policy,
+                                  n_workers=n_workers, lowering=lowering)
+        sp.set(method=blocking.method, blocks=len(blocking.blocks),
+               evaluated=blocking.evaluated,
+               rejected=len(blocking.rejected))
+    METRICS.counter("planner.candidates_evaluated").inc(blocking.evaluated)
+    METRICS.counter("planner.candidates_rejected").inc(
+        len(blocking.rejected))
     policies = list(blocking.policies)
     rec_result: Optional[RecomputeResult] = None
     if recompute and any(p is BlockPolicy.SWAPPED for p in policies):
-        rec_result = apply_recompute(graph, cost, capacity, graph.name,
-                                     batch_size, blocking.blocks, policies,
-                                     hierarchy=hierarchy,
-                                     placement_policy=blocking
-                                     .placement_policy,
-                                     lowering=lowering)
+        with TRACER.span("plan.opt2_recompute", "planner") as sp:
+            rec_result = apply_recompute(graph, cost, capacity, graph.name,
+                                         batch_size, blocking.blocks,
+                                         policies, hierarchy=hierarchy,
+                                         placement_policy=blocking
+                                         .placement_policy,
+                                         lowering=lowering)
+            sp.set(flipped=len(rec_result.flipped),
+                   improvement=round(rec_result.improvement, 6))
         policies = rec_result.policies
 
     # Opt-2 may have flipped swapped blocks to recompute, shrinking the
@@ -320,18 +346,28 @@ def plan(graph: LayerGraph, batch_size: int, *,
     placement: Optional[PlacementResult] = None
     placements = {}
     if hierarchy is not None:
-        placement = assign_tiers(blocking.blocks, policies, cost, hierarchy,
-                                 policy=blocking.placement_policy
-                                 or "bandwidth")
+        with TRACER.span("plan.assign_tiers", "planner"):
+            placement = assign_tiers(blocking.blocks, policies, cost,
+                                     hierarchy,
+                                     policy=blocking.placement_policy
+                                     or "bandwidth")
         placements = placement.placements
     search_time = time.perf_counter() - t_search
+    METRICS.histogram("planner.search_seconds").observe(search_time)
 
     if cache is not None and key is not None:
-        cache.put(key, _encode_decisions(blocking, rec_result, placement,
-                                         search_time))
+        with TRACER.span("plan.cache_store", "planner"):
+            cache.put(key, _encode_decisions(blocking, rec_result,
+                                             placement, search_time))
 
     final = make_plan(graph.name, batch_size, blocking.blocks, policies,
                       placements=placements)
+    if TRACER.enabled:
+        TRACER.record("plan", "planner", start=t_plan, end=TRACER.clock(),
+                      model=graph.name, batch=batch_size,
+                      cache="miss" if cache is not None else "off",
+                      blocks=final.num_blocks,
+                      search_s=round(search_time, 6))
     return KarmaPlan(plan=final, cost=cost, blocking=blocking,
                      recompute=rec_result, capacity=capacity,
                      hierarchy=hierarchy, placement=placement,

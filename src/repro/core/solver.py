@@ -32,6 +32,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 import numpy as np
 from scipy import optimize, sparse
 
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+
 #: Version of the search semantics.  Bump whenever a change to the solver
 #: suite (objective, candidate portfolio, tie-breaking, placement sweep)
 #: could alter the plan produced for identical inputs — the plan cache keys
@@ -419,8 +422,23 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
 
     scores: List[Tuple[int, float, Optional[Tuple[str, str]]]] = []
     if use_workers == 1:
-        for index, cand, combo in grid:
-            scores.append(_score(evaluate, reject_on, index, cand, combo))
+        if TRACER.enabled:
+            # per-candidate progress spans: which grid point the sweep is
+            # on, what it scored, whether it was rejected mid-sweep
+            with TRACER.span("opt1.sweep", "solver", grid=len(grid),
+                             workers=1):
+                for index, cand, combo in grid:
+                    with TRACER.span(f"opt1.eval[{index}]", "solver",
+                                     boundaries=len(cand)) as sp:
+                        s = _score(evaluate, reject_on, index, cand, combo)
+                        sp.set(value=(None if math.isinf(s[1])
+                                      else round(s[1], 9)),
+                               rejected=s[2] is not None)
+                    scores.append(s)
+        else:
+            for index, cand, combo in grid:
+                scores.append(_score(evaluate, reject_on, index, cand,
+                                     combo))
     else:
         from concurrent.futures import ProcessPoolExecutor
         import multiprocessing as mp
@@ -430,11 +448,17 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
         except ValueError:          # pragma: no cover - non-POSIX hosts
             ctx = mp.get_context("spawn")
         chunk = max(1, len(grid) // (4 * use_workers))
-        with ProcessPoolExecutor(max_workers=use_workers, mp_context=ctx,
-                                 initializer=_init_portfolio_worker,
-                                 initargs=(evaluate, reject_on)) as pool:
-            scores = list(pool.map(_score_combo, grid, chunksize=chunk))
+        # shard spans stay sweep-granular: grid points are priced in
+        # worker *processes*, whose tracer buffers do not travel back
+        with TRACER.span("opt1.sweep", "solver", grid=len(grid),
+                         workers=use_workers, shard_size=chunk):
+            with ProcessPoolExecutor(max_workers=use_workers,
+                                     mp_context=ctx,
+                                     initializer=_init_portfolio_worker,
+                                     initargs=(evaluate, reject_on)) as pool:
+                scores = list(pool.map(_score_combo, grid, chunksize=chunk))
 
+    METRICS.counter("solver.grid_points").inc(len(grid))
     best_index: Optional[int] = None
     best_value = math.inf
     rejected: List[RejectedCandidate] = []
@@ -451,6 +475,7 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
             continue
         if value < best_value:
             best_index, best_value = index, value
+    METRICS.counter("solver.rejections").inc(len(rejected))
     if best_index is None:
         return PortfolioResult(best_candidate=None, best_dims=(),
                                best_value=math.inf, evaluated=len(grid),

@@ -51,7 +51,12 @@ from ..nn.build import ExecutableModel
 from ..runtime.async_executor import AsyncOutOfCoreExecutor
 from ..runtime.executor import OutOfCoreExecutor
 from ..runtime.streams import TransferPacer
-from ..sim.stall import StallProfile, compare_profiles, stall_profile
+from ..sim.stall import (
+    StallProfile,
+    compare_profiles,
+    stall_profile,
+    top_stall_intervals,
+)
 from ..sim.trainer_sim import (
     _stash_ledger_capacity,
     block_costs,
@@ -140,6 +145,16 @@ class ValidationReport:
     predicted: StallProfile
     measured: StallProfile
     rows: List[Dict[str, object]] = field(default_factory=list)
+    #: widest predicted stall intervals per resource (start/end/width in
+    #: modeled seconds plus the waiting GPU op's label) — names *which*
+    #: backward ate the stall, not just how much stalled
+    top_stalls: Dict[str, List[Dict[str, object]]] = \
+        field(default_factory=dict)
+    #: raw artifacts for trace export (``python -m repro trace``); not
+    #: part of the JSON report
+    sim_ops: Optional[object] = field(default=None, repr=False)
+    sim_result: Optional[object] = field(default=None, repr=False)
+    runtime_trace: Optional[object] = field(default=None, repr=False)
 
     @property
     def max_abs_error(self) -> float:
@@ -159,7 +174,25 @@ class ValidationReport:
             self.rows, title=f"[{self.config}] predicted vs measured "
                              "stall fractions")
 
+    def stall_detail(self) -> str:
+        """Human-readable top stall intervals, one line per interval."""
+        if not self.top_stalls:
+            return f"[{self.config}] no predicted stall intervals"
+        lines = [f"[{self.config}] widest predicted stall intervals:"]
+        for resource in sorted(self.top_stalls):
+            for iv in self.top_stalls[resource]:
+                lines.append(
+                    f"  {resource:>7}  {float(iv['width']) * 1e3:8.3f} ms "
+                    f"before {iv['op']}  "
+                    f"[{float(iv['start']):.6f}s -> {float(iv['end']):.6f}s]")
+        return "\n".join(lines)
+
     def to_dict(self) -> Dict[str, object]:
+        top = {resource: [{"start": round(float(iv["start"]), 9),
+                           "end": round(float(iv["end"]), 9),
+                           "width": round(float(iv["width"]), 9),
+                           "op": iv["op"]} for iv in intervals]
+               for resource, intervals in sorted(self.top_stalls.items())}
         return {
             "config": self.config,
             "batch": self.batch_size,
@@ -170,6 +203,7 @@ class ValidationReport:
             "makespan_ratio": round(self.makespan_ratio, 4),
             "max_abs_error": round(self.max_abs_error, 4),
             "rows": self.rows,
+            "top_stalls": top,
         }
 
 
@@ -273,7 +307,9 @@ def validate_config(name: str, *,
         num_blocks=exec_plan.num_blocks,
         plan_string=exec_plan.plan_string(),
         time_scale=time_scale, predicted=predicted, measured=measured,
-        rows=compare_profiles(predicted, measured))
+        rows=compare_profiles(predicted, measured),
+        top_stalls=top_stall_intervals(ops, sim),
+        sim_ops=ops, sim_result=sim, runtime_trace=executor.trace)
 
 
 def _sim_peak_ledger_usage(sim) -> int:

@@ -1,0 +1,146 @@
+"""Process-wide counters, gauges and histograms with a JSON snapshot.
+
+Complements the span recorder (:mod:`repro.obs.trace`): spans answer
+*when* something happened, metrics answer *how much* accumulated over a
+run — plan-cache hits, candidates evaluated, bytes moved per link,
+admission backpressure seconds, prefetch force-issues.
+
+Metric instruments are created on first use and live for the process
+(:data:`METRICS` is the shared registry).  Cheap always-on counters (a
+dict hit + float add) instrument cold paths like the plan cache and the
+runtime's reap loop unconditionally; hot paths (the event engine) only
+publish when the tracer is enabled.  Updates are expected from the thread
+that owns the instrumented state — the repo's instrumented sites all
+update from the issuing/main thread — so individual ``inc``/``observe``
+calls take no lock; registry mutation (first use, snapshot, reset) does.
+
+``snapshot()`` returns a plain JSON-ready dict; the CLI ``--metrics``
+flag dumps it, and ``docs/observability.md`` tables the metric names.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """A monotonically increasing value (counts or accumulated seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, worker count, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count / sum / min / max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = 0.0
+        self.max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        v = float(value)
+        if self.count == 0:
+            self.min = self.max = v
+        else:
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        """Average of the observed values (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready summary of the distribution so far."""
+        return {"count": float(self.count), "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Name-addressed store of metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if absent)."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter())
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if absent)."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge())
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if absent)."""
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram())
+        return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready dump of every registered instrument."""
+        with self._lock:
+            return {
+                "counters": {n: c.value
+                             for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value
+                           for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.summary()
+                               for n, h in sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; a fresh measurement window)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every instrumented module updates.
+METRICS = MetricsRegistry()

@@ -1,0 +1,213 @@
+"""Thread-safe span recorder with a near-zero-overhead disabled path.
+
+Design constraints, in order:
+
+1. **Disabled cost ~ zero.**  The simulator is the objective function of
+   the blocking search (tens of thousands of calls per plan), so every
+   instrumented call site pays at most one attribute read + branch when
+   tracing is off: :meth:`Tracer.span` returns a shared no-op handle, and
+   hot loops guard on :attr:`Tracer.enabled` directly.  The
+   ``bench_obs_overhead`` benchmark holds this to < 3% on the 64-block
+   engine sweep.
+2. **Thread safety without hot-path locks.**  Stream workers and the main
+   thread record concurrently; each thread appends to its own buffer
+   (``threading.local``), registered once under a lock, and
+   :meth:`Tracer.drain` merges all buffers into one start-sorted list.
+3. **Monotonic clocks.**  Spans are stamped with ``time.perf_counter``
+   (monotonic, sub-microsecond), never wall time, so durations are exact
+   and exportable straight into Chrome-trace microseconds.
+
+Usage::
+
+    from repro.obs.trace import TRACER
+
+    TRACER.enable()
+    with TRACER.span("plan.opt1_blocking", "planner", method="dp") as sp:
+        result = solve(...)
+        sp.set(evaluated=result.evaluated)
+    spans = TRACER.drain()          # merged, start-sorted, buffers cleared
+
+Post-hoc recording (for already-timestamped work, e.g. reaped transfer
+requests) goes through :meth:`Tracer.record`.
+
+Spans recorded while another thread is mid-append are only guaranteed to
+be visible to :meth:`Tracer.drain` once that thread's instrumented work
+has quiesced — callers drain after joining/draining their workers, which
+every instrumented call site in this repo already does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "TRACER"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One recorded interval: ``[start, end]`` seconds on a named track."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    track: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (never negative for recorded spans)."""
+        return self.end - self.start
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **args: Any) -> "_NullSpan":
+        """No-op twin of :meth:`_SpanHandle.set`."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that records one :class:`Span` on exit.
+
+    Created only while the tracer is enabled; the span is recorded even
+    if tracing is disabled before exit (it was sampled, so it completes).
+    """
+
+    __slots__ = ("_tracer", "_name", "_category", "_track", "_args",
+                 "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 track: Optional[str], args: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._track = track
+        self._args = args
+        self._start = 0.0
+
+    def set(self, **args: Any) -> "_SpanHandle":
+        """Attach/override span arguments from inside the ``with`` body."""
+        self._args.update(args)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        tracer = self._tracer
+        end = tracer.clock()
+        track = self._track or threading.current_thread().name
+        tracer._buffer().append(Span(
+            name=self._name, category=self._category, start=self._start,
+            end=end, track=track, args=self._args))
+        return None
+
+
+class Tracer:
+    """Process-wide span recorder (see module docstring for the contract).
+
+    Args:
+        clock: monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._buffers: List[List[Span]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start sampling spans (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop sampling spans; already-recorded spans stay buffered."""
+        self.enabled = False
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, category: str = "", *,
+             track: Optional[str] = None, **args: Any):
+        """A context manager timing one interval.
+
+        When tracing is disabled this returns a shared no-op handle — the
+        only cost at a disabled call site is this attribute check.  The
+        default ``track`` is the current thread's name.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanHandle(self, name, category, track, dict(args))
+
+    def record(self, name: str, category: str = "", *, start: float,
+               end: float, track: Optional[str] = None,
+               **args: Any) -> None:
+        """Record an already-timestamped span (e.g. a reaped transfer)."""
+        if not self.enabled:
+            return
+        self._buffer().append(Span(
+            name=name, category=category, start=start,
+            end=max(start, end),
+            track=track or threading.current_thread().name,
+            args=dict(args)))
+
+    # -- harvesting --------------------------------------------------------
+
+    def drain(self) -> List[Span]:
+        """Merge every thread's buffer into one start-sorted list.
+
+        Buffers are cleared; call after instrumented workers have
+        quiesced (joined or drained) so no span is split across drains.
+        """
+        with self._lock:
+            spans: List[Span] = []
+            for buf in self._buffers:
+                spans.extend(buf)
+                del buf[:]
+        spans.sort(key=lambda s: (s.start, s.end, s.name))
+        return spans
+
+    def clear(self) -> None:
+        """Discard every buffered span without returning them."""
+        with self._lock:
+            for buf in self._buffers:
+                del buf[:]
+
+    def __len__(self) -> int:
+        """Number of currently buffered spans across all threads."""
+        with self._lock:
+            return sum(len(buf) for buf in self._buffers)
+
+    # -- internals ---------------------------------------------------------
+
+    def _buffer(self) -> List[Span]:
+        buf: Optional[List[Span]] = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = []
+            self._local.buf = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
+
+#: The process-wide tracer every instrumented module records against.
+TRACER = Tracer()

@@ -41,6 +41,8 @@ from ..core.schedule import BlockPolicy, ExecutionPlan, OpKind
 from ..hardware.memory_pool import Allocation, OutOfMemoryError
 from ..hardware.tiering import DEVICE_TIER, DRAM_TIER
 from ..nn.build import ExecutableModel
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from ..sim.stall import GPU, MEMORY, OTHER, StallProfile
 from .executor import Array, OutOfCoreExecutor
 from .streams import (
@@ -178,6 +180,7 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
                 waited = self._clock() - t0
                 self._trace.add_wait(MEMORY, waited)
                 self._inop_waits += waited
+                METRICS.counter("runtime.admission_wait_s").inc(waited)
 
     def _admit(self, tier: int, names: List[str], *, blocking: bool,
                bounce: bool = False) -> Optional[Dict[str, Allocation]]:
@@ -206,7 +209,9 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
                 t0 = self._clock()
                 if not self._streams.wait_for_progress():
                     raise  # nothing in flight can ever free room
-                self._note_wait(MEMORY, self._clock() - t0)
+                waited = self._clock() - t0
+                self._note_wait(MEMORY, waited)
+                METRICS.counter("runtime.admission_wait_s").inc(waited)
 
     # -- swap issue --------------------------------------------------------
 
@@ -241,7 +246,8 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
 
             req = TransferRequest(
                 f"Sout{block + 1}", "d2h", block,
-                pacer.host_hop_seconds(total, block), apply=apply_host)
+                pacer.host_hop_seconds(total, block), apply=apply_host,
+                nbytes=total)
             self._streams.submit(req)
             self._sout_reqs[block] = req
             return
@@ -273,11 +279,12 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
 
         hop1 = TransferRequest(
             f"Sout{block + 1}", "d2h", block,
-            pacer.host_hop_seconds(total, block), apply=apply_d2h)
+            pacer.host_hop_seconds(total, block), apply=apply_d2h,
+            nbytes=total)
         hop2 = TransferRequest(
             f"Sout{block + 1}@t{dest}", "d2s", block,
             pacer.storage_hop_seconds(total, block, down=True),
-            after=hop1, apply=apply_d2s)
+            after=hop1, apply=apply_d2s, nbytes=total)
         self._streams.submit(hop1)
         self._streams.submit(hop2)
         self._sout_reqs[block] = hop2
@@ -331,7 +338,7 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
             req = TransferRequest(
                 f"Sin{block + 1}", "h2d", block,
                 pacer.host_hop_seconds(total, block), after=after,
-                apply=apply_h2d)
+                apply=apply_h2d, nbytes=total)
             self._streams.submit(req)
             self._sin_reqs[block] = req
             return True
@@ -363,11 +370,11 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
         hop1 = TransferRequest(
             f"Sin{block + 1}@t{src}", "s2d", block,
             pacer.storage_hop_seconds(total, block, down=False),
-            after=after, apply=apply_s2d)
+            after=after, apply=apply_s2d, nbytes=total)
         hop2 = TransferRequest(
             f"Sin{block + 1}", "h2d", block,
             pacer.host_hop_seconds(total, block), after=hop1,
-            apply=apply_h2d_chained)
+            apply=apply_h2d_chained, nbytes=total)
         self._streams.submit(hop1)
         self._streams.submit(hop2)
         self._sin_reqs[block] = hop2
@@ -413,6 +420,11 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
         waited = self._clock() - t0
         self._streams.reap()
         self._note_wait(req.resource, waited)
+        METRICS.counter("runtime.fence_wait_s").inc(waited)
+        if TRACER.enabled:
+            TRACER.record(f"fence:{req.label}", "fence", start=t0,
+                          end=t0 + waited, track="gpu",
+                          resource=req.resource, block=req.block)
 
     def _fence_for_gpu_op(self, op) -> None:
         """Block until every stash this GPU op reads is device-resident."""
@@ -430,6 +442,10 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
 
     def _force_swap_in(self, block: int) -> None:
         """Issue (if still deferred) and fence one block's swap-in."""
+        if block not in self._sin_reqs:
+            # the prefetcher never got this one in — the fence pays full
+            # transfer latency (the paper's un-hidden swap-in stall)
+            METRICS.counter("runtime.prefetch_force_issued").inc()
         self._issue_swap_in(block, blocking=True, force=True)
         if block in self._pending_sins:
             self._pending_sins.remove(block)
@@ -472,6 +488,8 @@ class AsyncOutOfCoreExecutor(OutOfCoreExecutor):
                         if not self._issue_swap_in(op.block,
                                                    blocking=False):
                             self._pending_sins.append(op.block)
+                            METRICS.counter(
+                                "runtime.prefetch_deferred").inc()
                     else:
                         gpu_op = op  # plan validation: at most one
                 self._prefetch(si)

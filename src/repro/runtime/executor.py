@@ -43,6 +43,7 @@ from ..graph.traversal import liveness_horizon
 from ..hardware.memory_pool import Allocation
 from ..hardware.tiering import DEVICE_TIER
 from ..nn.build import ExecutableModel
+from ..obs.trace import TRACER
 from .streams import TransferPacer
 
 Array = np.ndarray
@@ -305,6 +306,14 @@ class OutOfCoreExecutor:
 
     def _exec_gpu_op(self, op) -> None:
         """Run one GPU op (F/R/B) of the plan on the calling thread."""
+        if not TRACER.enabled:
+            self._dispatch_gpu_op(op)
+            return
+        with TRACER.span(f"{op.kind.value}{op.block + 1}", "gpu",
+                         track="gpu", block=op.block):
+            self._dispatch_gpu_op(op)
+
+    def _dispatch_gpu_op(self, op) -> None:
         b = op.block
         if op.kind is OpKind.FORWARD:
             self._forward_block(b, recompute=False)

@@ -38,6 +38,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.schedule import OpKind
 from ..hardware.interconnect import TransferModel
 from ..hardware.tiering import MemoryHierarchy
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 
 #: The four link directions of a three-tier hierarchy, in issue priority
 #: order.  Deeper hierarchies would extend this list.
@@ -147,6 +149,7 @@ class OpRecord:
     start: float
     finish: float
     ready: float
+    nbytes: int = 0
 
     @property
     def duration(self) -> float:
@@ -177,19 +180,21 @@ class TransferRequest:
     """
 
     __slots__ = ("label", "resource", "block", "duration", "after", "apply",
-                 "enqueued", "ready", "started", "finished", "applied",
-                 "seq", "_done")
+                 "nbytes", "enqueued", "ready", "started", "finished",
+                 "applied", "seq", "_done")
 
     def __init__(self, label: str, resource: str, block: int,
                  duration: float, *,
                  after: "Optional[TransferRequest]" = None,
-                 apply: Optional[Callable[[], None]] = None):
+                 apply: Optional[Callable[[], None]] = None,
+                 nbytes: int = 0):
         self.label = label
         self.resource = resource
         self.block = block
         self.duration = duration
         self.after = after
         self.apply = apply
+        self.nbytes = nbytes
         self.enqueued = 0.0
         self.ready = 0.0
         self.started = 0.0
@@ -210,7 +215,8 @@ class TransferRequest:
         """Freeze the request's timestamps into an :class:`OpRecord`."""
         return OpRecord(label=self.label, resource=self.resource,
                         block=self.block, start=self.started,
-                        finish=self.finished, ready=self.ready)
+                        finish=self.finished, ready=self.ready,
+                        nbytes=self.nbytes)
 
 
 class TransferStream:
@@ -352,11 +358,20 @@ class StreamSet:
         for stream in self.streams.values():
             ready.extend(stream.reap_ready())
         ready.sort(key=lambda r: (r.finished, r.seq))
+        traced = TRACER.enabled
         for req in ready:
             if req.apply is not None:
                 req.apply()
             req.applied = True
             self.records.append(req.record())
+            if req.nbytes:
+                METRICS.counter(
+                    f"runtime.bytes_moved.{req.resource}").inc(req.nbytes)
+            if traced:
+                TRACER.record(req.label, "transfer", start=req.started,
+                              end=req.finished,
+                              track=f"stream-{req.resource}",
+                              block=req.block, nbytes=req.nbytes)
         return len(ready)
 
     def in_flight(self) -> int:

@@ -52,6 +52,9 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+
 
 @dataclass(slots=True)
 class SimOp:
@@ -283,11 +286,12 @@ class _MemoryLedger:
     frontier, so repairs touch an amortized O(1) suffix of the arrays.
     """
 
-    __slots__ = ("capacity", "_times", "_deltas", "_cums", "_sufmax",
-                 "_dirty")
+    __slots__ = ("capacity", "repairs", "_times", "_deltas", "_cums",
+                 "_sufmax", "_dirty")
 
     def __init__(self, capacity: Optional[int]):
         self.capacity = capacity
+        self.repairs = 0                # lazy-repair count (observability)
         self._times: List[float] = []
         self._deltas: List[int] = []
         self._cums: List[int] = []
@@ -310,6 +314,7 @@ class _MemoryLedger:
             self._dirty = i
 
     def _repair(self) -> None:
+        self.repairs += 1
         n = len(self._times)
         i = self._dirty
         cums, deltas, sufmax = self._cums, self._deltas, self._sufmax
@@ -496,11 +501,17 @@ class _Prepared:
                          resource_busy=resource_busy, resource_span=span)
 
 
-def _simulate_heap(prep: _Prepared) -> SimResult:
+def _simulate_heap(prep: _Prepared,
+                   stats: Optional[Dict[str, int]] = None) -> SimResult:
     """Unledgered path: without a memory ledger an op's timing is a pure
     function of its deps and its FIFO predecessor, so a priority queue of
     dep-ready resource heads keyed by earliest feasible start schedules
-    every op exactly once, in chronological order."""
+    every op exactly once, in chronological order.
+
+    ``stats`` (observability, only passed while tracing is enabled)
+    receives the event count and the heap's population peak; when it is
+    None the loop pays a single local-bool check per event.
+    """
     queues = prep.queues
     deps = prep.deps
     indeg = list(prep.indeg)
@@ -541,8 +552,12 @@ def _simulate_heap(prep: _Prepared) -> SimResult:
     for qi in range(nq):
         push_head(qi)
 
+    track = stats is not None
+    heap_peak = 0
     remaining = n
     while heap:
+        if track and len(heap) > heap_peak:
+            heap_peak = len(heap)
         start, qi = heappop(heap)
         pushed[qi] = False
         i = queues[qi][heads[qi]]
@@ -563,15 +578,23 @@ def _simulate_heap(prep: _Prepared) -> SimResult:
         raise SimulationDeadlock(
             f"no progress; blocked resource heads: "
             f"{prep.stuck_heads(heads)}")
+    if stats is not None:
+        stats["events"] = n
+        stats["heap_peak"] = heap_peak
     return prep.finalize(starts, finishes, readies)
 
 
-def _simulate_ledgered(prep: _Prepared, memory_capacity: int) -> SimResult:
+def _simulate_ledgered(prep: _Prepared, memory_capacity: int,
+                       stats: Optional[Dict[str, int]] = None) -> SimResult:
     """Ledgered path: greedy drain of each resource queue in issue order
     (the seed engine's semantics — ledger placement is order-dependent, so
     this order *is* the spec), revisiting a resource only when a wakeup
     (dep scheduled, or any ledger change while its head was deferred) can
-    actually unblock it."""
+    actually unblock it.
+
+    ``stats`` (observability) receives the event count and ledger
+    telemetry post hoc — the scheduling loop itself is untouched.
+    """
     queues = prep.queues
     deps = prep.deps
     indeg = list(prep.indeg)
@@ -650,6 +673,10 @@ def _simulate_ledgered(prep: _Prepared, memory_capacity: int) -> SimResult:
             raise SimulationDeadlock(
                 f"no progress; blocked resource heads: "
                 f"{prep.stuck_heads(heads)}")
+    if stats is not None:
+        stats["events"] = n
+        stats["ledger_events"] = len(ledger._times)
+        stats["ledger_repairs"] = ledger.repairs
     return prep.finalize(starts, finishes, readies)
 
 
@@ -683,5 +710,33 @@ def simulate(ops: Sequence[SimOp],
                          resource_span={})
     prep = _Prepared(ops)
     if memory_capacity is None or not any(prep.acquires):
-        return _simulate_heap(prep)
-    return _simulate_ledgered(prep, memory_capacity)
+        if not TRACER.enabled:
+            return _simulate_heap(prep)
+        return _simulate_instrumented(prep, None)
+    if not TRACER.enabled:
+        return _simulate_ledgered(prep, memory_capacity)
+    return _simulate_instrumented(prep, memory_capacity)
+
+
+def _simulate_instrumented(prep: _Prepared,
+                           memory_capacity: Optional[int]) -> SimResult:
+    """Tracing-enabled twin of the :func:`simulate` dispatch: identical
+    timings, plus a span and engine-stat metrics (events processed,
+    ledger repairs, heap population peak)."""
+    stats: Dict[str, int] = {}
+    path = "heap" if memory_capacity is None else "ledgered"
+    with TRACER.span("sim.simulate", "sim", ops=prep.n, path=path) as sp:
+        if memory_capacity is None:
+            result = _simulate_heap(prep, stats)
+        else:
+            result = _simulate_ledgered(prep, memory_capacity, stats)
+        sp.set(**stats)
+    METRICS.counter("sim.runs").inc()
+    METRICS.counter("sim.events").inc(prep.n)
+    if "heap_peak" in stats:
+        METRICS.histogram("sim.heap_peak").observe(stats["heap_peak"])
+    if "ledger_repairs" in stats:
+        METRICS.counter("sim.ledger_repairs").inc(stats["ledger_repairs"])
+        METRICS.histogram("sim.ledger_events").observe(
+            stats["ledger_events"])
+    return result

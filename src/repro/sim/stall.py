@@ -25,7 +25,7 @@ structure from measured fence and admission waits
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 from .engine import SimOp, SimResult
 
@@ -124,6 +124,51 @@ def _binding_resource(timing, by_id: Dict[int, SimOp],
     if best_finish < timing.ready - _EPS:
         return OTHER
     return best_resource
+
+
+def stall_intervals(ops: Sequence[SimOp],
+                    sim: SimResult) -> Dict[str, List[Dict[str, object]]]:
+    """Every GPU idle interval of a simulated schedule, per resource.
+
+    The same gap split as :func:`stall_profile` — the dependency-bound
+    prefix goes to the binding dependency's resource, the ledger-bound
+    remainder to ``memory`` — but kept as *intervals* instead of summed:
+    each carries its ``start``/``end``/``width`` (modeled seconds) and
+    the label of the GPU op that was waiting, so a validation diff can
+    say *which* backward ate the stall, not just how much stalled.
+    """
+    by_id = {op.op_id: op for op in ops}
+    out: Dict[str, List[Dict[str, object]]] = {}
+
+    def emit(resource: str, start: float, end: float, op_label: str) -> None:
+        if end - start > _EPS:
+            out.setdefault(resource, []).append(
+                {"start": start, "end": end, "width": end - start,
+                 "op": op_label})
+
+    prev_finish: Optional[float] = None
+    for t in sim.resource_timings(GPU):
+        if prev_finish is not None and t.start > prev_finish + _EPS:
+            label = t.op.label or f"op{t.op.op_id}"
+            dep_bound = min(t.start, max(t.ready, prev_finish))
+            emit(_binding_resource(t, by_id, sim), prev_finish, dep_bound,
+                 label)
+            emit(MEMORY, dep_bound, t.start, label)
+        prev_finish = t.finish
+    return out
+
+
+def top_stall_intervals(ops: Sequence[SimOp], sim: SimResult,
+                        k: int = 3) -> Dict[str, List[Dict[str, object]]]:
+    """The ``k`` widest stall intervals per resource, widest first.
+
+    Ties break on earlier start so the selection is deterministic.
+    """
+    def widest_first(iv: Dict[str, object]) -> "Tuple[float, float]":
+        return (-cast(float, iv["width"]), cast(float, iv["start"]))
+
+    return {resource: sorted(intervals, key=widest_first)[:k]
+            for resource, intervals in stall_intervals(ops, sim).items()}
 
 
 def compare_profiles(predicted: StallProfile,

@@ -34,7 +34,7 @@ DOCS = REPO / "docs"
 sys.path.insert(0, str(REPO / "src"))
 
 #: Packages whose public surface must be documented.
-COVERED_PACKAGES = ("repro.core", "repro.runtime")
+COVERED_PACKAGES = ("repro.core", "repro.runtime", "repro.obs")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
