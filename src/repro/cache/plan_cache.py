@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -105,6 +107,10 @@ class PlanCache:
             else default_cache_dir()
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._flushed = CacheStats()   # counters already merged to disk
+        # one instance may be shared across the planner daemon's worker
+        # threads; the LRU and the stats counters mutate under this lock
+        # (disk I/O stays outside it — os.replace keeps that atomic)
+        self._lock = threading.Lock()
 
     # -- keys and paths ----------------------------------------------------
 
@@ -126,8 +132,9 @@ class PlanCache:
 
     def keys(self) -> Iterator[str]:
         """All keys reachable from this cache (memory + disk), deduped."""
-        seen = set(self._memory)
-        yield from self._memory
+        with self._lock:
+            seen = set(self._memory)
+        yield from sorted(seen)
         if self.persist and self.cache_dir is not None \
                 and self.cache_dir.is_dir():
             for p in sorted(self.cache_dir.glob("*.json")):
@@ -143,28 +150,32 @@ class PlanCache:
         different solver/format version are dropped and reported as
         misses.
         """
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            METRICS.counter("plan_cache.hits").inc()
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                METRICS.counter("plan_cache.hits").inc()
+                return self._memory[key]
         if self.persist:
             payload = self._load(key)
             if payload is not None:
-                self._insert(key, payload)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self._insert(key, payload)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
                 METRICS.counter("plan_cache.hits").inc()
                 return payload
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         METRICS.counter("plan_cache.misses").inc()
         return None
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store ``payload`` under ``key`` (memory now, disk if enabled)."""
-        self._insert(key, payload)
-        self.stats.stores += 1
+        with self._lock:
+            self._insert(key, payload)
+            self.stats.stores += 1
         METRICS.counter("plan_cache.stores").inc()
         if self.persist:
             self._store(key, payload)
@@ -172,8 +183,9 @@ class PlanCache:
     def clear(self, *, disk: bool = True) -> int:
         """Drop every entry (and the cumulative session counters);
         returns how many entries were removed."""
-        removed = len(self._memory)
-        self._memory.clear()
+        with self._lock:
+            removed = len(self._memory)
+            self._memory.clear()
         if disk and self.persist and self.cache_dir is not None \
                 and self.cache_dir.is_dir():
             for p in self.cache_dir.glob("*.json"):
@@ -200,35 +212,55 @@ class PlanCache:
         """
         if not self.persist or self.cache_dir is None:
             return
-        delta = {f: getattr(self.stats, f) - getattr(self._flushed, f)
-                 for f in _STAT_FIELDS}
-        if not any(delta.values()):
-            return
-        cumulative = self.cumulative_stats()
-        for f in _STAT_FIELDS:
-            cumulative[f] = cumulative.get(f, 0) + delta[f]
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
-                                       prefix=".stats.", suffix=".tmp")
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(cumulative, indent=2, sort_keys=True)
-                         + "\n")
-            os.replace(tmp, self.stats_path())
-        except OSError:
-            return   # observability must never sink a planning run
-        for f in _STAT_FIELDS:
-            setattr(self._flushed, f, getattr(self.stats, f))
+        with self._lock:
+            # the whole read-modify-write runs under the instance lock so
+            # concurrent daemon threads cannot double-count a delta; the
+            # rare disk I/O inside is the price of exact session totals
+            delta = {f: getattr(self.stats, f) - getattr(self._flushed, f)
+                     for f in _STAT_FIELDS}
+            if not any(delta.values()):
+                return
+            cumulative = self.cumulative_stats()
+            for f in _STAT_FIELDS:
+                cumulative[f] = cumulative.get(f, 0) + delta[f]
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                           prefix=".stats.", suffix=".tmp")
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(cumulative, indent=2,
+                                        sort_keys=True) + "\n")
+                os.replace(tmp, self.stats_path())
+            except OSError:
+                return   # observability must never sink a planning run
+            for f in _STAT_FIELDS:
+                setattr(self._flushed, f, getattr(self.stats, f))
 
     def cumulative_stats(self) -> Dict[str, int]:
-        """The sidecar's cumulative counters (zeros when absent)."""
+        """The sidecar's cumulative counters (zeros when absent).
+
+        The sidecar is written via atomic replace, but a reader racing a
+        *non-atomic* writer (an interrupted flush on a filesystem without
+        atomic rename, an NFS mount) can observe a torn document — so a
+        JSON decode error is retried once after a short pause before
+        giving up and reporting zeros.  A long-lived daemon flushing
+        deltas must never be able to crash a concurrent
+        ``cache info`` CLI invocation.
+        """
         empty = {f: 0 for f in _STAT_FIELDS}
         if not self.persist or self.cache_dir is None:
             return empty
-        try:
-            record = json.loads(self.stats_path().read_text())
-        except (OSError, json.JSONDecodeError):
-            return empty
+        record: Any = None
+        for attempt in (0, 1):
+            try:
+                record = json.loads(self.stats_path().read_text())
+                break
+            except OSError:
+                return empty
+            except json.JSONDecodeError:
+                if attempt:
+                    return empty   # torn twice: treat as absent, not fatal
+                time.sleep(0.01)   # one concurrent-writer retry
         if not isinstance(record, dict):
             return empty
         out = dict(empty)
@@ -265,7 +297,8 @@ class PlanCache:
                 or any(record.get(k) != v for k, v in expected.items()):
             # stale or foreign entry: invalidate rather than serve
             path.unlink(missing_ok=True)
-            self.stats.invalidated += 1
+            with self._lock:
+                self.stats.invalidated += 1
             return None
         payload = record.get("payload")
         return payload if isinstance(payload, dict) else None

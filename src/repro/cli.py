@@ -81,19 +81,24 @@ def _resolve_transfer(link: str):
 def plan_config_full(config: Dict[str, Any], *,
                      cache_dir: Optional[str] = None,
                      use_cache: bool = True,
-                     n_workers: int = 1) -> "Tuple[Dict[str, Any], Any]":
+                     n_workers: int = 1,
+                     cache: Optional[Any] = None
+                     ) -> "Tuple[Dict[str, Any], Any]":
     """Plan one configuration dict; returns ``(record, KarmaPlan)``.
 
     The record is the JSON-ready summary; the
     :class:`~repro.core.planner.KarmaPlan` carries the full plan and
     cost model for callers that keep going (trace export compiles and
     simulates it).  Session-cumulative cache counters are flushed to the
-    cache's sidecar before returning.
+    cache's sidecar before returning.  Passing an existing ``cache``
+    instance (the planner daemon's shared warm tier) overrides
+    ``cache_dir``/``use_cache``; flushing is then the owner's job.
     """
     from .cache.plan_cache import PlanCache
     from .core.planner import plan
     from .hardware.tiering import STORAGE_TIER
     from .models.registry import build
+    from .tiering.placement import swapped_stash_bytes
 
     model = config["model"]
     batch = int(config["batch"])
@@ -101,8 +106,8 @@ def plan_config_full(config: Dict[str, Any], *,
     device, transfer = _resolve_transfer(config.get("link", "calibrated"))
     hierarchy = _resolve_hierarchy(config.get("hierarchy", "none"))
     capacity = config.get("capacity")
-    cache = None
-    if use_cache:
+    owns_cache = cache is None
+    if cache is None and use_cache:
         cache = PlanCache(cache_dir=Path(cache_dir) if cache_dir else None)
 
     t0 = time.perf_counter()
@@ -115,8 +120,19 @@ def plan_config_full(config: Dict[str, Any], *,
               placement_policy=config.get("placement", "auto"),
               cache=cache, n_workers=n_workers)
     wall = time.perf_counter() - t0
-    if cache is not None:
+    if cache is not None and owns_cache:
         cache.flush_session_stats()
+
+    tier_bytes: Dict[str, int] = {}
+    placement_tiers = getattr(kp.placement, "tier_bytes", None)
+    if placement_tiers:
+        tier_bytes = {str(t): int(n)
+                      for t, n in sorted(placement_tiers.items())}
+    elif kp.plan.swapped:
+        # no explicit tier placement: every swapped stash lands in DRAM
+        stash = swapped_stash_bytes(list(kp.plan.blocks),
+                                    list(kp.plan.policies), kp.cost)
+        tier_bytes = {"1": int(sum(stash.values()))}
 
     record = {
         "model": model,
@@ -135,6 +151,7 @@ def plan_config_full(config: Dict[str, Any], *,
         "resident": len(kp.plan.resident),
         "storage_blocks": sorted(b for b, t in kp.plan.placements.items()
                                  if t >= STORAGE_TIER),
+        "tier_bytes": tier_bytes,
         "rejected_grid_points": len(kp.blocking.rejected),
         "plan_string": kp.plan.plan_string(),
     }
@@ -187,8 +204,11 @@ def _format_result(r: Dict[str, Any]) -> str:
     if "error" in r:
         return (f"  {r['model']:<14} batch {r['batch']:<5} "
                 f"FAILED: {r['error']}")
+    # served via the planner daemon: show the hit tier (hot/warm/cold)
+    tier = f" tier={r['tier']}" if "tier" in r else ""
     return (f"  {r['model']:<14} batch {r['batch']:<5} "
-            f"cache={r['cache']:<4} wall={r['wall_s'] * 1e3:9.1f} ms  "
+            f"cache={r['cache']:<4}{tier} "
+            f"wall={r['wall_s'] * 1e3:9.1f} ms  "
             f"search={r['search_s'] * 1e3:9.1f} ms  "
             f"blocks={r['blocks']:<3} "
             f"S/R/C={r['swapped']}/{r['resident']}/{r['recomputed']}")
@@ -276,6 +296,55 @@ def _trace_notice(path: Path, *, json_mode: bool = False) -> None:
           file=sys.stderr if json_mode else sys.stdout)
 
 
+def _plan_via_server(args: argparse.Namespace,
+                     configs: List[Dict[str, Any]]) -> int:
+    """Plan through a running daemon (``serve``) instead of in-process.
+
+    Typed rejections (queue full, deadline expired, ...) become error
+    records, mirroring how manifest failures are reported.
+    """
+    from .service.client import PlannerClient
+    from .service.errors import ServiceRejection
+    from .service.server import parse_address
+
+    address = parse_address(args.server)
+    results: List[Dict[str, Any]] = []
+    t0 = time.perf_counter()
+    try:
+        with PlannerClient(address) as client:
+            for config in configs:
+                try:
+                    reply = client.plan(config, deadline_s=args.deadline)
+                except ServiceRejection as exc:
+                    results.append({"model": config.get("model", "?"),
+                                    "batch": config.get("batch", "?"),
+                                    "error": f"{exc.code}: {exc}"})
+                    continue
+                record = dict(reply.get("record") or {})
+                record["tier"] = reply.get("tier", "?")
+                record["merged"] = bool(reply.get("merged", False))
+                record["wall_s"] = float(reply.get("wall_s", 0.0))
+                results.append(record)
+    except OSError as exc:
+        print(f"error: cannot reach planner daemon at {args.server}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    total = time.perf_counter() - t0
+
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(f"planned {len(results)} configuration(s) in {total:.2f} s "
+              f"via daemon at {args.server}:")
+        for r in results:
+            print(_format_result(r))
+        errors = sum(1 for r in results if "error" in r)
+        merged = sum(1 for r in results if r.get("merged"))
+        print(f"  -> {merged} single-flight merge(s), "
+              f"{errors} rejection(s)/failure(s)")
+    return 1 if any("error" in r for r in results) else 0
+
+
 def _run_plan(args: argparse.Namespace) -> int:
     if (args.manifest is None) == (args.model is None):
         print("error: provide exactly one of --model or --manifest",
@@ -294,6 +363,14 @@ def _run_plan(args: argparse.Namespace) -> int:
                        if args.capacity is not None else {})}]
     use_cache = not args.no_cache
     workers = max(1, args.workers)
+
+    if args.server is not None:
+        if args.trace is not None:
+            print("error: --trace is not available with --server "
+                  "(the daemon owns the planner process)",
+                  file=sys.stderr)
+            return 2
+        return _plan_via_server(args, configs)
 
     if args.trace is not None:
         if args.manifest is not None:
@@ -360,7 +437,7 @@ def _run_plan(args: argparse.Namespace) -> int:
         errors = sum(1 for r in results if "error" in r)
         print(f"  -> {hits} cache hit(s), {misses} miss(es), "
               f"{errors} failure(s)")
-    _dump_metrics(args.metrics)
+    _dump_metrics(args.metrics, json_mode=args.json)
     return 1 if any("error" in r for r in results) else 0
 
 
@@ -386,6 +463,83 @@ def _run_cache(args: argparse.Namespace) -> int:
           f"{cum['disk_hits']} disk), {cum['misses']} miss(es), "
           f"{cum['stores']} store(s), {cum['evictions']} eviction(s), "
           f"{cum['invalidated']} invalidated")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service.server import parse_address
+
+    if (args.socket is None) == (args.port is None):
+        print("error: provide exactly one of --socket or --port",
+              file=sys.stderr)
+        return 2
+    address = parse_address(args.socket if args.socket is not None
+                            else str(args.port))
+
+    if args.ping or args.stop:
+        return _serve_client_op(args, address)
+
+    from .cache.plan_cache import PlanCache
+    from .service.cluster import ClusterArbiter
+    from .service.daemon import PlannerDaemon, ServiceConfig
+    from .service.server import PlannerServer
+
+    cache = None
+    if not args.no_cache:
+        cache = PlanCache(cache_dir=Path(args.cache_dir)
+                          if args.cache_dir else None)
+    cluster = None
+    if args.cluster != "none":
+        cluster = ClusterArbiter(_resolve_hierarchy(args.cluster),
+                                 n_devices=args.devices)
+    service_config = ServiceConfig(
+        queue_depth=args.queue_depth,
+        service_workers=args.service_workers,
+        pool_workers=args.pool_workers,
+        max_workers_per_request=args.max_request_workers,
+        default_deadline_s=args.deadline,
+        hot_capacity=args.hot_capacity)
+    daemon = PlannerDaemon(service_config, cache=cache, cluster=cluster)
+    server = PlannerServer(daemon, address)
+    daemon.start()
+    print(f"planner daemon serving on {address} "
+          f"(queue={args.queue_depth}, workers={args.service_workers}, "
+          f"pool={args.pool_workers}, cache "
+          f"{'off' if cache is None else 'on'}, cluster "
+          f"{args.cluster}); stop with 'serve --stop' or Ctrl-C",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.stop()
+        daemon.stop()
+        _dump_metrics(args.metrics)
+    return 0
+
+
+def _serve_client_op(args: argparse.Namespace, address: Any) -> int:
+    """The ``serve --ping`` / ``serve --stop`` client-side operations."""
+    from .service.client import PlannerClient, wait_for_server
+    from .service.errors import ServiceRejection
+
+    if args.ping:
+        timeout = args.wait if args.wait is not None else 2.0
+        if wait_for_server(address, timeout=timeout):
+            print(f"planner daemon at {address} is up")
+            return 0
+        print(f"error: no planner daemon answered at {address} "
+              f"within {timeout}s", file=sys.stderr)
+        return 1
+    try:
+        with PlannerClient(address, timeout=10.0) as client:
+            client.shutdown()
+    except (OSError, ServiceRejection) as exc:
+        print(f"error: could not stop daemon at {address}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"planner daemon at {address} stopping")
     return 0
 
 
@@ -558,7 +712,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="PATH", default=None,
                    help="write the process metrics snapshot as JSON "
                         "('-' for stdout)")
+    p.add_argument("--server", metavar="ADDR", default=None,
+                   help="plan via a running daemon ('serve'): a unix "
+                        "socket path or host:port")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="with --server: seconds to wait before the "
+                        "daemon sheds this request")
     p.set_defaults(func=_run_plan)
+
+    s = sub.add_parser(
+        "serve",
+        help="run the planner daemon (admission control, hot cache "
+             "tier, single-flight, optional cluster placement)")
+    s.add_argument("--socket", default=None,
+                   help="unix socket path to bind (or reach, with "
+                        "--ping/--stop)")
+    s.add_argument("--port", type=int, default=None,
+                   help="localhost TCP port instead of a unix socket")
+    s.add_argument("--ping", action="store_true",
+                   help="client mode: check whether a daemon answers")
+    s.add_argument("--wait", type=float, default=None,
+                   help="with --ping: wait up to this many seconds for "
+                        "the daemon to come up")
+    s.add_argument("--stop", action="store_true",
+                   help="client mode: ask a running daemon to shut down")
+    s.add_argument("--queue-depth", type=int, default=16,
+                   help="admission bound; beyond it requests are shed "
+                        "with queue_full")
+    s.add_argument("--service-workers", type=int, default=2,
+                   help="daemon threads consuming the request queue")
+    s.add_argument("--pool-workers", type=int, default=4,
+                   help="planner workers shared by all in-flight "
+                        "requests")
+    s.add_argument("--max-request-workers", type=int, default=2,
+                   help="cap on workers any single request may lease")
+    s.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    s.add_argument("--hot-capacity", type=int, default=128,
+                   help="entries kept in the in-process hot LRU tier")
+    s.add_argument("--cluster", choices=HIERARCHIES, default="none",
+                   help="enable collocation-aware placement on this "
+                        "shared hierarchy")
+    s.add_argument("--devices", type=int, default=4,
+                   help="device slots for cluster placement")
+    s.add_argument("--cache-dir", default=None,
+                   help="plan cache directory (the warm tier)")
+    s.add_argument("--no-cache", action="store_true",
+                   help="run without the on-disk warm tier")
+    s.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the service metrics snapshot as JSON "
+                        "when the daemon stops ('-' for stdout)")
+    s.set_defaults(func=_run_serve)
 
     c = sub.add_parser("cache", help="inspect or clear the plan cache")
     c.add_argument("cache_command", choices=("info", "clear"))

@@ -26,8 +26,19 @@ from __future__ import annotations
 import itertools
 import math
 import pickle
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 import numpy as np
 from scipy import optimize, sparse
@@ -485,6 +496,86 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
                            best_dims=best_combo, best_value=best_value,
                            evaluated=len(grid), rejected=rejected,
                            n_workers=use_workers)
+
+
+class WorkerBudget:
+    """Thread-safe token pool that carves the portfolio process pool into
+    per-request leases.
+
+    The planning daemon (:mod:`repro.service`) serves many concurrent
+    requests out of one machine, but the sweep's process pool
+    (``n_workers`` in :func:`portfolio_search`) is a machine-wide
+    resource: one huge sweep taking every core would starve every other
+    queued request.  A budget holds ``total`` worker tokens; each request
+    leases ``max(minimum, min(want, per_request_cap, free))`` of them for
+    the duration of its search.
+
+    The ``minimum`` floor guarantees progress — a request is always
+    granted at least one worker even when the pool is exhausted, so the
+    budget may transiently oversubscribe by at most one token per
+    concurrent lease (a single-process sweep is just the serial path).
+    The ``per_request_cap`` keeps any single sweep from monopolizing the
+    pool regardless of what it asks for.
+
+    Args:
+        total: machine-wide worker tokens shared by all leases.
+        per_request_cap: ceiling on any one lease's grant; defaults to
+            ``total`` (no per-request cap beyond the pool itself).
+    """
+
+    def __init__(self, total: int,
+                 per_request_cap: Optional[int] = None) -> None:
+        if total < 1:
+            raise ValueError("worker budget must hold at least 1 token")
+        self.total = int(total)
+        self.per_request_cap = int(per_request_cap
+                                   if per_request_cap is not None else total)
+        if self.per_request_cap < 1:
+            raise ValueError("per-request cap must be >= 1")
+        self._free = self.total
+        self._lock = threading.Lock()
+
+    @property
+    def free(self) -> int:
+        """Currently unleased tokens (negative while oversubscribed)."""
+        with self._lock:
+            return self._free
+
+    def acquire(self, want: int = 1, *, minimum: int = 1) -> int:
+        """Lease up to ``want`` workers; returns the granted count.
+
+        Never blocks and never grants less than ``minimum`` (progress
+        floor); the grant is clamped by the per-request cap and by the
+        tokens currently free.  Pair every acquire with a
+        :meth:`release` of the same grant — or use :meth:`lease`.
+        """
+        want = max(int(minimum), int(want))
+        with self._lock:
+            granted = max(int(minimum),
+                          min(want, self.per_request_cap, self._free))
+            self._free -= granted
+            return granted
+
+    def release(self, granted: int) -> None:
+        """Return a lease's tokens to the pool."""
+        with self._lock:
+            self._free += int(granted)
+            if self._free > self.total:   # release without matching acquire
+                raise ValueError("worker budget over-released")
+
+    @contextmanager
+    def lease(self, want: int = 1, *,
+              minimum: int = 1) -> Iterator[int]:
+        """Context manager pairing :meth:`acquire` with :meth:`release`.
+
+        Yields the granted worker count for the ``with`` body (typically
+        forwarded as ``plan(..., n_workers=granted)``).
+        """
+        granted = self.acquire(want, minimum=minimum)
+        try:
+            yield granted
+        finally:
+            self.release(granted)
 
 
 def local_search(boundaries: List[int], num_segments: int,

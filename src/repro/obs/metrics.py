@@ -53,6 +53,14 @@ class Gauge:
         """Overwrite the gauge with the latest observation."""
         self.value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (queue depths, active leases).
+
+        Useful when the instrumented quantity is maintained as a running
+        level by increments and decrements rather than re-read whole.
+        """
+        self.value += float(delta)
+
 
 class Histogram:
     """Streaming summary of observed values: count / sum / min / max."""

@@ -1,0 +1,51 @@
+"""Multi-tenant planning service: daemon, cluster arbitration, protocol.
+
+The planner-as-a-service layer over the KARMA pipeline: a long-lived
+:class:`~repro.service.daemon.PlannerDaemon` with admission control, an
+in-process hot LRU tier over the content-addressed plan cache, and
+single-flight stampede protection; a collocation-aware
+:class:`~repro.service.cluster.ClusterArbiter` placing admitted jobs on
+one shared memory hierarchy; and a newline-JSON socket protocol
+(:mod:`~repro.service.server` / :mod:`~repro.service.client`) behind
+``python -m repro serve``.  See ``docs/service.md`` for the request
+lifecycle, knobs and metric names.
+"""
+
+from .cluster import (
+    ClusterArbiter,
+    JobDemand,
+    JobPlacement,
+    demand_from_record,
+    place_jobs,
+)
+from .daemon import PlanResponse, PlannerDaemon, ServiceConfig, request_key
+from .errors import (
+    BadRequest,
+    DeadlineExpired,
+    PlacementDenied,
+    PlanningFailed,
+    QueueFull,
+    ServiceClosed,
+    ServiceRejection,
+    rejection_for,
+)
+
+__all__ = [
+    "PlannerDaemon",
+    "ServiceConfig",
+    "PlanResponse",
+    "request_key",
+    "ClusterArbiter",
+    "JobDemand",
+    "JobPlacement",
+    "demand_from_record",
+    "place_jobs",
+    "ServiceRejection",
+    "QueueFull",
+    "DeadlineExpired",
+    "ServiceClosed",
+    "PlanningFailed",
+    "PlacementDenied",
+    "BadRequest",
+    "rejection_for",
+]

@@ -1,0 +1,145 @@
+"""Client for the planner daemon's newline-JSON socket protocol.
+
+The CLI's ``plan --server`` path and the CI smoke test go through
+:class:`PlannerClient`; it is also the reference implementation for the
+protocol documented in :mod:`repro.service.server`.  Error replies are
+re-raised as the same typed rejections an in-process caller of
+:class:`~repro.service.daemon.PlannerDaemon` would catch
+(:func:`~repro.service.errors.rejection_for` maps the wire code back to
+the class), so switching a caller between in-process and remote planning
+changes no exception handling.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from .errors import ServiceRejection, rejection_for
+from .server import Address
+
+__all__ = ["PlannerClient", "wait_for_server"]
+
+
+class PlannerClient:
+    """One connection to a running planner daemon.
+
+    Args:
+        address: unix-socket path or ``(host, port)`` tuple (the same
+            :data:`~repro.service.server.Address` the server binds).
+        timeout: socket timeout in seconds for connect and each reply
+            (``None`` = block forever; per-request planning deadlines
+            are the ``deadline_s`` arguments, not this).
+    """
+
+    def __init__(self, address: Address,
+                 timeout: Optional[float] = None) -> None:
+        self.address = address
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+        self._rfile = self._sock.makefile("rb")
+
+    # -- protocol ----------------------------------------------------------
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request line and decode the reply.
+
+        Raises the typed :class:`~repro.service.errors.ServiceRejection`
+        subclass matching the server's error code on failure replies.
+        """
+        request = {"op": op, **fields}
+        self._sock.sendall(
+            (json.dumps(request, sort_keys=True) + "\n").encode("utf-8"))
+        raw = self._rfile.readline()
+        if not raw:
+            raise ServiceRejection(
+                f"server closed the connection during {op!r}")
+        reply = json.loads(raw.decode("utf-8"))
+        if not isinstance(reply, dict):
+            raise ServiceRejection(f"malformed reply to {op!r}: {reply!r}")
+        if not reply.get("ok"):
+            err = reply.get("error") or {}
+            raise rejection_for(str(err.get("code", "rejected")),
+                                str(err.get("message", "request rejected")))
+        return reply
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """True when the daemon behind the socket is admitting requests."""
+        return bool(self.call("ping").get("running"))
+
+    def plan(self, config: Mapping[str, Any], *,
+             deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Request one plan; returns the served response dict.
+
+        The reply carries ``record`` (the plan record ``python -m repro
+        plan --json`` would print), ``tier`` (hot/warm/cold) and
+        ``merged`` (single-flight waiter).
+        """
+        fields: Dict[str, Any] = {"config": dict(config)}
+        if deadline_s is not None:
+            fields["deadline_s"] = float(deadline_s)
+        reply = self.call("plan", **fields)
+        reply.pop("ok", None)
+        return reply
+
+    def place(self, job_id: str,
+              tier_bytes: Mapping[Any, Any]) -> Dict[str, Any]:
+        """Place a job on the daemon's cluster; returns the placement."""
+        reply = self.call("place", job_id=job_id,
+                          tier_bytes={str(t): float(b)
+                                      for t, b in tier_bytes.items()})
+        return reply["placement"]
+
+    def release(self, job_id: str) -> Dict[str, Any]:
+        """Release a placed job; returns the placement that was freed."""
+        return self.call("release", job_id=job_id)["placement"]
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's JSON stats snapshot (queue, tiers, counters)."""
+        return self.call("stats")["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting connections."""
+        self.call("shutdown")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PlannerClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def wait_for_server(address: Address, *, timeout: float = 10.0,
+                    interval: float = 0.05) -> bool:
+    """Poll until a daemon answers ``ping`` at ``address``.
+
+    Returns True once the server responds, False when ``timeout``
+    elapses first — the CI smoke test uses this to sequence a
+    just-forked daemon and its first client without sleeps.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with PlannerClient(address, timeout=interval * 10) as client:
+                client.ping()
+                return True
+        except (OSError, ServiceRejection, json.JSONDecodeError):
+            time.sleep(interval)
+    return False

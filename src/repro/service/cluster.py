@@ -1,0 +1,315 @@
+"""Collocation-aware cluster placement over one shared memory hierarchy.
+
+CARMA (PAPERS.md) observes that deep-learning jobs packed onto shared
+hardware interfere through the *memory* system long before they exhaust
+compute, and argues for collocation decisions made by a resource manager
+that sees every job's footprint; ZeRO-Infinity makes the complementary
+point that per-job capacity decisions are wrong when taken in isolation
+from the fleet.  This module is the service-side synthesis: N admitted
+planning jobs are placed onto one shared HBM/DRAM/NVMe hierarchy
+(:class:`~repro.hardware.tiering.MemoryHierarchy`), where
+
+* each job occupies one **device slot** (its HBM working set is private)
+  and *collocates* on the shared tiers below — its planned per-tier stash
+  bytes are **debited** from per-tier reservations at placement and
+  **credited** back at release;
+* a tier under pressure **spills** the overflow one tier down (DRAM
+  pressure pushes stash bytes to NVMe), priced with the hierarchy's own
+  link model as an estimated per-iteration round-trip penalty;
+* a job whose demand cannot fit even after spilling past the last tier —
+  or that finds no free device — is **denied** with a typed
+  :class:`~repro.service.errors.PlacementDenied`, leaving every
+  reservation untouched (placement is atomic: all tiers or none).
+
+The arbiter is deliberately mechanism, not policy: admission ordering is
+the daemon's queue, and per-job demands come from the planner's own tier
+placement (``tier_bytes`` in the plan record), so the same content-
+addressed plans that serve single clients also drive fleet arbitration.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping
+
+from ..hardware.tiering import DEVICE_TIER, MemoryHierarchy
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+from .errors import BadRequest, PlacementDenied
+
+__all__ = ["JobDemand", "JobPlacement", "ClusterArbiter",
+           "DEFAULT_UTILIZATION", "demand_from_record", "place_jobs"]
+
+#: Fraction of each shared tier's capacity jobs may collectively claim;
+#: the rest is headroom for host/OS state the arbiter cannot see
+#: (mirrors the planner-side default in :mod:`repro.tiering.placement`).
+DEFAULT_UTILIZATION = 0.9
+
+#: Reservations below this many bytes are treated as satisfied (guards
+#: float round-off in the cascade arithmetic, never real capacity).
+_EPSILON_BYTES = 1e-6
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """Per-tier stash bytes one admitted job asks to collocate.
+
+    ``tier_bytes`` maps *shared* tier indices (>= 1: DRAM, NVMe, ...) to
+    the bytes the job's plan places there; the device tier is implied by
+    the device slot the job occupies.  The daemon derives demands from
+    the ``tier_bytes`` field of plan records, but hand-built demands are
+    equally valid (capacity what-ifs, admission simulations).
+    """
+
+    job_id: str
+    tier_bytes: Mapping[int, float]
+
+    def total_bytes(self) -> float:
+        """Sum of the demanded bytes across all shared tiers."""
+        return float(sum(self.tier_bytes.values()))
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """One job's committed placement on the shared hierarchy."""
+
+    job_id: str
+    device: int                     # the device slot the job occupies
+    reserved: Dict[int, float]      # tier -> bytes actually reserved
+    spilled: Dict[int, float]       # source tier -> bytes pushed down
+    spill_penalty_s: float          # est. per-iteration round-trip cost
+
+    @property
+    def spilled_bytes(self) -> float:
+        """Total bytes that landed below the tier the plan asked for."""
+        return float(sum(self.spilled.values()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the socket protocol and the CLI."""
+        return {
+            "job_id": self.job_id,
+            "device": self.device,
+            "reserved": {str(t): b for t, b in sorted(self.reserved.items())},
+            "spilled": {str(t): b for t, b in sorted(self.spilled.items())},
+            "spill_penalty_s": round(self.spill_penalty_s, 9),
+        }
+
+
+class ClusterArbiter:
+    """Capacity arbitration for N jobs collocated on one tier hierarchy.
+
+    Thread-safe: the daemon's worker and connection threads place and
+    release concurrently; each operation commits (or denies) atomically
+    under one lock.
+
+    Args:
+        hierarchy: the shared tier stack; tier 0 (HBM) is per-device,
+            tiers >= 1 (DRAM, NVMe, ...) are collocation-shared.
+        n_devices: device slots available for placement.
+        utilization: fraction of each shared tier jobs may claim.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy, *, n_devices: int = 4,
+                 utilization: float = DEFAULT_UTILIZATION) -> None:
+        if n_devices < 1:
+            raise ValueError("cluster needs at least one device slot")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if hierarchy.depth < 2:
+            raise ValueError("cluster arbitration needs at least one "
+                             "shared tier below the device")
+        self.hierarchy = hierarchy
+        self.n_devices = int(n_devices)
+        self.utilization = float(utilization)
+        self._shared = tuple(range(DEVICE_TIER + 1, hierarchy.depth))
+        self._budgets = {t: hierarchy.tier(t).capacity * self.utilization
+                         for t in self._shared}
+        self._reserved = {t: 0.0 for t in self._shared}
+        self._free_devices = list(range(self.n_devices))
+        self._jobs: Dict[str, JobPlacement] = {}
+        self._lock = threading.Lock()
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, demand: JobDemand) -> JobPlacement:
+        """Place one job, debiting per-tier reservations.
+
+        The demand cascades down the shared tiers: whatever a tier cannot
+        hold (its budget minus current reservations) spills to the next
+        tier down; overflow past the last tier, or the absence of a free
+        device slot, denies the placement with
+        :class:`~repro.service.errors.PlacementDenied` and leaves all
+        reservations untouched.
+
+        Returns:
+            The committed :class:`JobPlacement` (device slot, per-tier
+            reservations, spills and the estimated spill penalty).
+        """
+        bad = [t for t in demand.tier_bytes
+               if t not in self._shared or demand.tier_bytes[t] < 0]
+        if bad:
+            raise BadRequest(f"job {demand.job_id!r}: demand names "
+                             f"non-shared or negative tiers {sorted(bad)}; "
+                             f"shared tiers are {list(self._shared)}")
+        with self._lock, TRACER.span("cluster.place", "service",
+                                     job=demand.job_id):
+            if demand.job_id in self._jobs:
+                raise BadRequest(f"job {demand.job_id!r} is already placed")
+            if not self._free_devices:
+                METRICS.counter("cluster.denials").inc()
+                raise PlacementDenied(
+                    f"job {demand.job_id!r}: no free device "
+                    f"({self.n_devices} slot(s), all busy)")
+            reserved: Dict[int, float] = {}
+            spilled: Dict[int, float] = {}
+            carry = 0.0
+            for t in self._shared:
+                want = float(demand.tier_bytes.get(t, 0.0)) + carry
+                free = self._budgets[t] - self._reserved[t]
+                take = min(want, max(0.0, free))
+                reserved[t] = take
+                carry = want - take
+                if carry > _EPSILON_BYTES and t < self._shared[-1]:
+                    spilled[t] = carry
+            if carry > _EPSILON_BYTES:
+                METRICS.counter("cluster.denials").inc()
+                raise PlacementDenied(
+                    f"job {demand.job_id!r}: {carry / 2 ** 20:.1f} MiB "
+                    f"overflow past tier {self._shared[-1]} "
+                    f"({self.hierarchy.tier(self._shared[-1]).name}); "
+                    "release a collocated job or shrink the demand")
+            # commit: debit every tier, take the lowest free device slot
+            device = self._free_devices.pop(0)
+            for t, nbytes in reserved.items():
+                self._reserved[t] += nbytes
+            placement = JobPlacement(
+                job_id=demand.job_id, device=device, reserved=reserved,
+                spilled=spilled,
+                spill_penalty_s=self._spill_penalty(spilled))
+            self._jobs[demand.job_id] = placement
+            self._publish()
+            METRICS.counter("cluster.placements").inc()
+            if spilled:
+                METRICS.counter("cluster.spilled_bytes").inc(
+                    placement.spilled_bytes)
+            return placement
+
+    def release(self, job_id: str) -> JobPlacement:
+        """Release a placed job, crediting its reservations back.
+
+        Returns the placement that was released; unknown job ids raise
+        :class:`~repro.service.errors.BadRequest`.
+        """
+        with self._lock:
+            placement = self._jobs.pop(job_id, None)
+            if placement is None:
+                raise BadRequest(f"job {job_id!r} is not placed "
+                                 f"(placed: {sorted(self._jobs)})")
+            for t, nbytes in placement.reserved.items():
+                self._reserved[t] = max(0.0, self._reserved[t] - nbytes)
+            self._free_devices.append(placement.device)
+            self._free_devices.sort()
+            self._publish()
+            METRICS.counter("cluster.releases").inc()
+            return placement
+
+    # -- reporting ---------------------------------------------------------
+
+    def utilization_by_tier(self) -> Dict[int, float]:
+        """Reserved fraction of each shared tier's budget (0..1)."""
+        with self._lock:
+            return {t: (self._reserved[t] / self._budgets[t]
+                        if self._budgets[t] else 0.0)
+                    for t in self._shared}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready cluster state for the ``stats`` protocol op."""
+        with self._lock:
+            return {
+                "devices_total": self.n_devices,
+                "devices_free": len(self._free_devices),
+                "jobs": sorted(self._jobs),
+                "tiers": {
+                    str(t): {
+                        "name": self.hierarchy.tier(t).name,
+                        "budget_bytes": self._budgets[t],
+                        "reserved_bytes": self._reserved[t],
+                        "utilization": (self._reserved[t] / self._budgets[t]
+                                        if self._budgets[t] else 0.0),
+                    }
+                    for t in self._shared
+                },
+            }
+
+    def describe(self) -> str:
+        """Human-readable one-liner-per-tier summary of the cluster."""
+        snap = self.snapshot()
+        lines = [f"cluster: {snap['devices_free']}/{snap['devices_total']} "
+                 f"device slot(s) free, {len(snap['jobs'])} job(s) placed"]
+        for t, row in sorted(snap["tiers"].items(), key=lambda kv: kv[0]):
+            lines.append(
+                f"  tier {t} ({row['name']}): "
+                f"{row['reserved_bytes'] / 2 ** 20:.1f} / "
+                f"{row['budget_bytes'] / 2 ** 20:.1f} MiB reserved "
+                f"({row['utilization'] * 100:.0f}%)")
+        return "\n".join(lines)
+
+    # -- internals ---------------------------------------------------------
+
+    def _spill_penalty(self, spilled: Mapping[int, float]) -> float:
+        """Estimated extra seconds per iteration the spills cost.
+
+        Each spilled byte crosses one extra hop down at swap-out and back
+        up at swap-in, so the penalty is the round-trip transfer time of
+        the spilled volume over each pressured tier's lower link.
+        """
+        penalty = 0.0
+        for t, nbytes in spilled.items():
+            penalty += self.hierarchy.transfer_time(nbytes, t, t + 1)
+            penalty += self.hierarchy.transfer_time(nbytes, t + 1, t)
+        return penalty
+
+    def _publish(self) -> None:
+        """Mirror reservation levels into the metrics registry."""
+        for t in self._shared:
+            METRICS.gauge(f"cluster.reserved_bytes.tier{t}").set(
+                self._reserved[t])
+        METRICS.gauge("cluster.devices_free").set(len(self._free_devices))
+
+
+def demand_from_record(record: Mapping[str, Any],
+                       job_id: str) -> JobDemand:
+    """Build a :class:`JobDemand` from a plan record's ``tier_bytes``.
+
+    Records from plans without any swapped stash (fully resident models)
+    yield an empty demand — the job still occupies a device slot.
+    """
+    raw = record.get("tier_bytes") or {}
+    tier_bytes = {int(t): float(b) for t, b in raw.items()
+                  if float(b) > 0}
+    return JobDemand(job_id=job_id, tier_bytes=tier_bytes)
+
+
+def place_jobs(arbiter: ClusterArbiter,
+               demands: List[JobDemand]) -> Dict[str, Any]:
+    """Arbitrate a batch of demands; denials are recorded, not raised.
+
+    Returns a JSON-ready report: per-job placement or typed denial, plus
+    the cluster snapshot after the batch.  Jobs are placed in list order
+    (the daemon's admission order), which is what makes the arbitration
+    *collocation-aware* rather than per-job: later jobs see the
+    reservations earlier jobs debited.
+    """
+    placed: List[Dict[str, Any]] = []
+    for demand in demands:
+        try:
+            placement = arbiter.place(demand)
+        except (PlacementDenied, BadRequest) as exc:
+            placed.append({"job_id": demand.job_id, "placed": False,
+                           "error": {"type": exc.code,
+                                     "message": str(exc)}})
+            continue
+        placed.append({"job_id": demand.job_id, "placed": True,
+                       **placement.to_dict()})
+    return {"jobs": placed, "cluster": arbiter.snapshot()}

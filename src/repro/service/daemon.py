@@ -1,0 +1,453 @@
+"""The planner daemon: admission control, hot cache tier, single-flight.
+
+``python -m repro plan`` pays the full import-plan-exit cycle per call;
+a fleet of examples, benchmarks and schedulers asking for plans turns
+that into the dominant cost.  :class:`PlannerDaemon` keeps one process
+resident and turns planning into a *service*:
+
+* **admission control** — requests enter a bounded queue; at depth the
+  request is shed immediately with a typed
+  :class:`~repro.service.errors.QueueFull` (never a hang), and a
+  per-request deadline is enforced both while waiting and after being
+  queued (:class:`~repro.service.errors.DeadlineExpired`);
+* **hot tier** — an in-process LRU of finished plan *records* in front
+  of the content-addressed :class:`~repro.cache.plan_cache.PlanCache`
+  (which remains the warm, on-disk tier); a hot hit never touches the
+  queue;
+* **single-flight** — identical concurrent requests collapse onto one
+  planner invocation: the first becomes the *leader*, the rest attach as
+  *waiters* and share the leader's bit-identical result (classic
+  cache-stampede protection);
+* **worker budgets** — planner parallelism is carved from one shared
+  :class:`~repro.core.solver.WorkerBudget` so a single request cannot
+  monopolize the process pool under load.
+
+Requests are served by a small pool of daemon worker threads; the
+planner callable itself may fan out into processes (the PR 2 portfolio
+pool).  Everything lands in :data:`~repro.obs.metrics.METRICS`
+(``service.*`` names) and, when enabled, :data:`~repro.obs.trace.TRACER`
+spans — see ``docs/service.md`` for the name tables.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..cache.digest import stable_digest
+from ..cache.plan_cache import PlanCache
+from ..core.solver import WorkerBudget
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+from .cluster import ClusterArbiter, JobDemand, JobPlacement
+from .errors import (
+    BadRequest,
+    DeadlineExpired,
+    PlanningFailed,
+    QueueFull,
+    ServiceClosed,
+    ServiceRejection,
+)
+
+__all__ = ["ServiceConfig", "PlanResponse", "PlannerDaemon", "request_key"]
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = object()
+
+#: The hit tiers a response can report, hottest first.
+TIERS = ("hot", "warm", "cold")
+
+
+def request_key(config: Mapping[str, Any]) -> str:
+    """Content address of one planning request.
+
+    ``None``-valued keys are dropped before digesting so a client that
+    spells a default explicitly (``{"capacity": None}``) merges with one
+    that omits it — single-flight and the hot tier key on *meaning*, not
+    spelling.  Everything else flows through the same canonical-JSON
+    digest the plan cache uses.
+    """
+    cleaned = {k: v for k, v in config.items() if v is not None}
+    return stable_digest({"service_request": cleaned})
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`PlannerDaemon`.
+
+    Args:
+        queue_depth: admission bound; requests beyond it are shed with
+            :class:`~repro.service.errors.QueueFull`.
+        service_workers: daemon threads consuming the request queue.
+        pool_workers: total planner workers shared by all in-flight
+            requests (the :class:`~repro.core.solver.WorkerBudget` pool).
+        max_workers_per_request: cap on the workers any one request may
+            lease from the pool.
+        default_deadline_s: deadline applied to requests that do not
+            carry their own (``None`` = wait forever).
+        hot_capacity: entries kept in the in-process hot LRU tier.
+    """
+
+    queue_depth: int = 16
+    service_workers: int = 2
+    pool_workers: int = 4
+    max_workers_per_request: int = 2
+    default_deadline_s: Optional[float] = None
+    hot_capacity: int = 128
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.service_workers < 1:
+            raise ValueError("service_workers must be >= 1")
+        if self.pool_workers < 1:
+            raise ValueError("pool_workers must be >= 1")
+        if self.max_workers_per_request < 1:
+            raise ValueError("max_workers_per_request must be >= 1")
+        if self.hot_capacity < 1:
+            raise ValueError("hot_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One served plan: the record plus how it was served.
+
+    ``tier`` is where the plan came from (``hot``: in-process LRU,
+    ``warm``: on-disk plan cache, ``cold``: freshly planned); ``merged``
+    marks a waiter that shared a leader's single-flight result.
+    """
+
+    record: Dict[str, Any]
+    tier: str
+    merged: bool
+    wall_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the socket protocol."""
+        return {"record": self.record, "tier": self.tier,
+                "merged": self.merged, "wall_s": round(self.wall_s, 6)}
+
+
+class _Flight:
+    """One in-flight planning key: leader's result shared with waiters."""
+
+    __slots__ = ("key", "event", "response", "error", "waiters")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.event = threading.Event()
+        self.response: Optional[PlanResponse] = None
+        self.error: Optional[ServiceRejection] = None
+        self.waiters = 0
+
+
+@dataclass
+class _Job:
+    """One queued unit of work (the leader's side of a flight)."""
+
+    key: str
+    config: Dict[str, Any]
+    flight: _Flight
+    deadline: Optional[float] = None   # monotonic, None = no deadline
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+#: A planner callable: (config, n_workers) -> plan record.
+PlannerFn = Callable[[Dict[str, Any], int], Dict[str, Any]]
+
+
+class PlannerDaemon:
+    """Long-lived planning service over the content-addressed cache.
+
+    Thread-safe: :meth:`request`, :meth:`place`, :meth:`release` and
+    :meth:`stats` may be called from any number of client threads (the
+    socket server's connection handlers do exactly that).
+
+    Args:
+        config: service tunables (:class:`ServiceConfig`).
+        cache: the warm tier; ``None`` disables plan caching entirely
+            (every non-hot, non-merged request plans cold).
+        planner: override for the planning callable — primarily for
+            tests; defaults to :func:`repro.cli.plan_config_full`
+            against ``cache``.
+        cluster: optional :class:`~repro.service.cluster.ClusterArbiter`
+            backing :meth:`place`/:meth:`release`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 cache: Optional[PlanCache] = None,
+                 planner: Optional[PlannerFn] = None,
+                 cluster: Optional[ClusterArbiter] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = cache
+        self.cluster = cluster
+        self._planner: PlannerFn = planner or self._default_planner
+        self._budget = WorkerBudget(
+            self.config.pool_workers,
+            per_request_cap=self.config.max_workers_per_request)
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=self.config.queue_depth)
+        self._hot: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._hot_lock = threading.Lock()
+        self._flights: Dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "PlannerDaemon":
+        """Spawn the worker threads and begin admitting requests."""
+        with self._state_lock:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(target=self._worker, daemon=True,
+                                 name=f"plan-worker-{i}")
+                for i in range(self.config.service_workers)]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, stop the workers, flush cache counters.
+
+        Jobs already admitted are still served; requests arriving after
+        ``stop`` raise :class:`~repro.service.errors.ServiceClosed`, and
+        any job that raced past the closed check is resolved with the
+        same rejection rather than left hanging.
+        """
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(_STOP)
+        for t in threads:
+            t.join()
+        while True:   # resolve stragglers that raced the closed check
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not _STOP:
+                self._resolve(job.flight,
+                              error=ServiceClosed("daemon stopped"))
+        if self.cache is not None:
+            self.cache.flush_session_stats()
+
+    def __enter__(self) -> "PlannerDaemon":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the daemon is admitting requests."""
+        return self._running
+
+    # -- the request path --------------------------------------------------
+
+    def request(self, config: Mapping[str, Any], *,
+                deadline_s: Optional[float] = None) -> PlanResponse:
+        """Serve one planning request (blocking).
+
+        Resolution order: hot LRU hit (no queue), single-flight merge
+        onto an identical in-flight request, else admission into the
+        bounded queue as a new leader.  Raises the typed rejections from
+        :mod:`repro.service.errors`; never hangs past the deadline.
+
+        Args:
+            config: the same configuration dict ``python -m repro plan``
+                takes (``model``, ``batch``, ``hierarchy``, ...).
+            deadline_s: seconds this caller is willing to wait
+                (overrides the service default; ``None`` defers to it).
+        """
+        if not self._running:
+            raise ServiceClosed("daemon is not running")
+        METRICS.counter("service.requests").inc()
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        deadline = (None if deadline_s is None
+                    else time.monotonic() + float(deadline_s))
+        key = request_key(config)
+        t0 = time.perf_counter()
+        with TRACER.span("service.request", "service", key=key[:16]):
+            hot = self._hot_get(key)
+            if hot is not None:
+                METRICS.counter("service.plans.hot").inc()
+                wall = time.perf_counter() - t0
+                METRICS.histogram("service.request_seconds").observe(wall)
+                return PlanResponse(record=hot, tier="hot", merged=False,
+                                    wall_s=wall)
+            flight, leader = self._join_flight(key)
+            if leader:
+                job = _Job(key=key, config=dict(config), flight=flight,
+                           deadline=deadline)
+                try:
+                    self._queue.put_nowait(job)
+                except queue.Full:
+                    with self._flights_lock:
+                        self._flights.pop(key, None)
+                    METRICS.counter("service.rejected.queue_full").inc()
+                    raise QueueFull(
+                        f"admission queue at depth "
+                        f"{self.config.queue_depth}; request shed") \
+                        from None
+                METRICS.gauge("service.queue_depth").add(1)
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if not flight.event.wait(timeout=remaining):
+                METRICS.counter("service.rejected.deadline").inc()
+                raise DeadlineExpired(
+                    f"deadline of {deadline_s}s expired waiting for plan "
+                    f"{key[:16]}")
+            if flight.error is not None:
+                raise flight.error
+            served = flight.response
+            assert served is not None
+            wall = time.perf_counter() - t0
+            METRICS.histogram("service.request_seconds").observe(wall)
+            return PlanResponse(record=served.record, tier=served.tier,
+                                merged=not leader, wall_s=wall)
+
+    # -- cluster delegation ------------------------------------------------
+
+    def place(self, job_id: str,
+              tier_bytes: Mapping[Any, Any]) -> JobPlacement:
+        """Place a job on the shared cluster tiers (cluster mode only).
+
+        ``tier_bytes`` maps shared tier index -> bytes (keys may be
+        strings, as delivered by the JSON protocol).
+        """
+        if self.cluster is None:
+            raise BadRequest("cluster mode is not enabled on this daemon")
+        demand = JobDemand(job_id=str(job_id),
+                           tier_bytes={int(t): float(b)
+                                       for t, b in tier_bytes.items()})
+        return self.cluster.place(demand)
+
+    def release(self, job_id: str) -> JobPlacement:
+        """Release a placed job's reservations (cluster mode only)."""
+        if self.cluster is None:
+            raise BadRequest("cluster mode is not enabled on this daemon")
+        return self.cluster.release(job_id)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready service state for the ``stats`` protocol op."""
+        snap = METRICS.snapshot()
+        out: Dict[str, Any] = {
+            "running": self._running,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_depth,
+            "hot_entries": len(self._hot),
+            "hot_capacity": self.config.hot_capacity,
+            "workers_free": self._budget.free,
+            "pool_workers": self.config.pool_workers,
+            "counters": {k: v for k, v in snap["counters"].items()
+                         if k.startswith(("service.", "cluster.",
+                                          "plan_cache."))},
+        }
+        if self.cache is not None:
+            out["cache"] = {"in_memory": len(self.cache),
+                            "hits": self.cache.stats.hits,
+                            "misses": self.cache.stats.misses}
+        if self.cluster is not None:
+            out["cluster"] = self.cluster.snapshot()
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _join_flight(self, key: str) -> Tuple[_Flight, bool]:
+        """Attach to an in-flight plan for ``key``, or lead a new one."""
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                METRICS.counter("service.singleflight_merges").inc()
+                return flight, False
+            flight = _Flight(key)
+            self._flights[key] = flight
+            return flight, True
+
+    def _resolve(self, flight: _Flight, *,
+                 response: Optional[PlanResponse] = None,
+                 error: Optional[ServiceRejection] = None) -> None:
+        """Publish a flight's outcome and wake every attached request."""
+        with self._flights_lock:
+            self._flights.pop(flight.key, None)
+        flight.response = response
+        flight.error = error
+        flight.event.set()
+
+    def _worker(self) -> None:
+        """One daemon thread: drain the queue, plan, resolve flights."""
+        while True:
+            job = self._queue.get()
+            try:
+                if job is _STOP:
+                    return
+                METRICS.gauge("service.queue_depth").add(-1)
+                if job.deadline is not None \
+                        and time.monotonic() > job.deadline:
+                    METRICS.counter("service.rejected.deadline").inc()
+                    self._resolve(job.flight, error=DeadlineExpired(
+                        f"deadline expired while plan {job.key[:16]} "
+                        "was queued"))
+                    continue
+                try:
+                    with TRACER.span("service.plan", "service",
+                                     key=job.key[:16]):
+                        with self._budget.lease(
+                                self.config.max_workers_per_request) as n:
+                            record = self._planner(job.config, n)
+                    tier = ("warm" if record.get("cache") == "hit"
+                            else "cold")
+                    self._hot_insert(job.key, record)
+                    METRICS.counter(f"service.plans.{tier}").inc()
+                    self._resolve(job.flight, response=PlanResponse(
+                        record=record, tier=tier, merged=False,
+                        wall_s=0.0))
+                except ServiceRejection as exc:
+                    self._resolve(job.flight, error=exc)
+                except Exception as exc:  # noqa: BLE001 - typed to client
+                    METRICS.counter("service.plan_failures").inc()
+                    self._resolve(job.flight, error=PlanningFailed(
+                        f"{type(exc).__name__}: {exc}"))
+            finally:
+                self._queue.task_done()
+
+    def _default_planner(self, config: Dict[str, Any],
+                         n_workers: int) -> Dict[str, Any]:
+        """Plan through the CLI's service entry against our cache tier."""
+        from ..cli import plan_config_full
+
+        record, _ = plan_config_full(config, use_cache=self.cache is not None,
+                                     n_workers=n_workers, cache=self.cache)
+        return record
+
+    def _hot_get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._hot_lock:
+            record = self._hot.get(key)
+            if record is not None:
+                self._hot.move_to_end(key)
+                METRICS.counter("service.hot_hits").inc()
+            return record
+
+    def _hot_insert(self, key: str, record: Dict[str, Any]) -> None:
+        with self._hot_lock:
+            self._hot[key] = record
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.config.hot_capacity:
+                self._hot.popitem(last=False)
+                METRICS.counter("service.hot_evictions").inc()

@@ -1,0 +1,90 @@
+"""Typed rejections shared by the planner daemon, cluster and protocol.
+
+Admission control is only useful if saturation is *visible*: a shed
+request must carry a machine-readable reason so callers can retry, back
+off, or re-route — never a hang, never a bare string.  Every rejection
+subclass carries a stable wire ``code`` that the socket protocol
+round-trips (:mod:`repro.service.server` serializes it,
+:mod:`repro.service.client` re-raises the matching class on the far
+side), so a remote client catches exactly the same typed exceptions an
+in-process caller does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+__all__ = [
+    "ServiceRejection",
+    "QueueFull",
+    "DeadlineExpired",
+    "ServiceClosed",
+    "PlanningFailed",
+    "PlacementDenied",
+    "BadRequest",
+    "rejection_for",
+]
+
+
+class ServiceRejection(RuntimeError):
+    """Base of every typed planner-service rejection.
+
+    ``code`` is the stable wire identifier for the rejection type; the
+    base class's ``"rejected"`` also serves as the catch-all when a
+    client receives a code minted by a newer server.
+    """
+
+    code = "rejected"
+
+
+class QueueFull(ServiceRejection):
+    """Admission control shed the request: the queue is at depth."""
+
+    code = "queue_full"
+
+
+class DeadlineExpired(ServiceRejection):
+    """The request's deadline passed before a plan could be served."""
+
+    code = "deadline_expired"
+
+
+class ServiceClosed(ServiceRejection):
+    """The daemon is stopping and no longer admits requests."""
+
+    code = "service_closed"
+
+
+class PlanningFailed(ServiceRejection):
+    """Planning itself raised; the message names the original error."""
+
+    code = "planning_failed"
+
+
+class PlacementDenied(ServiceRejection):
+    """Cluster arbitration could not fit the job on the shared tiers."""
+
+    code = "placement_denied"
+
+
+class BadRequest(ServiceRejection):
+    """The request is malformed (unknown op, missing field, bad value)."""
+
+    code = "bad_request"
+
+
+#: Wire code -> rejection class, for protocol round-tripping.
+REJECTIONS: Dict[str, Type[ServiceRejection]] = {
+    cls.code: cls
+    for cls in (QueueFull, DeadlineExpired, ServiceClosed, PlanningFailed,
+                PlacementDenied, BadRequest, ServiceRejection)
+}
+
+
+def rejection_for(code: str, message: str) -> ServiceRejection:
+    """Rebuild the typed rejection a server serialized as ``code``.
+
+    Unknown codes (a newer server, an internal error) map to the base
+    :class:`ServiceRejection` so clients can always catch one type.
+    """
+    return REJECTIONS.get(code, ServiceRejection)(message)

@@ -1,0 +1,234 @@
+"""Newline-delimited JSON protocol server in front of the planner daemon.
+
+One daemon process serves many clients over a unix socket (default; no
+network surface) or localhost TCP.  The protocol is deliberately dumb —
+one JSON object per line in, one per line out — so a shell one-liner,
+the bundled :mod:`repro.service.client`, or a scheduler in another
+language can all speak it:
+
+Request::
+
+    {"op": "plan", "config": {"model": "unet", "batch": 8}}
+
+Response::
+
+    {"ok": true, "record": {...}, "tier": "hot", "merged": false, ...}
+    {"ok": false, "error": {"code": "queue_full", "message": "..."}}
+
+Ops: ``ping``, ``plan``, ``place``, ``release``, ``stats``,
+``shutdown``.  Rejections cross the wire as their stable ``code``
+(:mod:`repro.service.errors`) and are re-raised as the matching typed
+exception by the client, so remote callers and in-process callers catch
+the same classes.  Each connection is handled on its own thread; the
+daemon underneath is the concurrency boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple, Union, cast
+
+from .daemon import PlannerDaemon
+from .errors import BadRequest, ServiceRejection
+
+__all__ = ["Address", "parse_address", "PlannerServer"]
+
+#: A unix-socket path, or a ``(host, port)`` localhost TCP endpoint.
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_address(spec: str) -> Address:
+    """Parse a CLI address spec into an :data:`Address`.
+
+    ``"1234"`` and ``"host:1234"`` mean TCP (bare ports bind loopback);
+    anything else is a unix-socket path.
+    """
+    spec = spec.strip()
+    if spec.isdigit():
+        return ("127.0.0.1", int(spec))
+    host, sep, port = spec.rpartition(":")
+    if sep and port.isdigit() and "/" not in host:
+        return (host or "127.0.0.1", int(port))
+    return spec
+
+
+class _ServerState:
+    """Class-level contract the request handler reads off ``self.server``."""
+
+    planner_server: "PlannerServer"
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _ThreadingUnixServer(_ServerState, socketserver.ThreadingMixIn,
+                           socketserver.UnixStreamServer):
+    """Thread-per-connection unix-socket server (the default transport)."""
+
+
+class _ThreadingTCPServer(_ServerState, socketserver.ThreadingMixIn,
+                          socketserver.TCPServer):
+    """Thread-per-connection loopback TCP server."""
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, write JSON replies, until EOF."""
+
+    def handle(self) -> None:
+        """Dispatch every line on this connection through the daemon."""
+        server = cast(_ServerState, self.server).planner_server
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            reply = server.handle_request(line.decode("utf-8",
+                                                      errors="replace"))
+            self.wfile.write((reply + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class PlannerServer:
+    """Bind a :class:`~repro.service.daemon.PlannerDaemon` to a socket.
+
+    The server owns only the transport; the daemon's lifecycle belongs
+    to the caller (the CLI starts the daemon, serves, then stops it).
+    Use :meth:`serve_forever` in the foreground (the CLI) or
+    :meth:`start` for a background thread (tests).
+    """
+
+    def __init__(self, daemon: PlannerDaemon, address: Address) -> None:
+        self.daemon = daemon
+        self.address = address
+        self._server: Optional[socketserver.BaseServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self) -> "PlannerServer":
+        """Create and bind the underlying socket server (idempotent)."""
+        if self._server is not None:
+            return self
+        if isinstance(self.address, str):
+            if os.path.exists(self.address):
+                os.unlink(self.address)   # stale socket from a dead daemon
+            srv: socketserver.BaseServer = _ThreadingUnixServer(
+                self.address, _Handler)
+        else:
+            srv = _ThreadingTCPServer(self.address, _Handler)
+        cast(_ServerState, srv).planner_server = self
+        self._server = srv
+        return self
+
+    def start(self) -> "PlannerServer":
+        """Bind and serve on a background thread (for tests/embedding)."""
+        self.bind()
+        assert self._server is not None
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="planner-server")
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread until :meth:`stop`."""
+        self.bind()
+        assert self._server is not None
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        srv = self._server
+        if srv is None:
+            return
+        srv.shutdown()
+        srv.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if isinstance(self.address, str) and os.path.exists(self.address):
+            os.unlink(self.address)
+        self._server = None
+
+    def __enter__(self) -> "PlannerServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- protocol ----------------------------------------------------------
+
+    def handle_request(self, line: str) -> str:
+        """Serve one protocol line; always returns a JSON reply line."""
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return self._error(BadRequest(f"request is not JSON: {exc}"))
+        if not isinstance(msg, dict):
+            return self._error(BadRequest("request must be a JSON object"))
+        op = msg.get("op")
+        try:
+            return json.dumps(self._dispatch(op, msg), sort_keys=True)
+        except ServiceRejection as exc:
+            return self._error(exc)
+        except Exception as exc:  # noqa: BLE001 - typed over the wire
+            return self._error(ServiceRejection(
+                f"{type(exc).__name__}: {exc}"))
+
+    def _dispatch(self, op: Any, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one decoded request to the daemon; returns the reply."""
+        if op == "ping":
+            return {"ok": True, "pong": True,
+                    "running": self.daemon.running}
+        if op == "plan":
+            config = msg.get("config")
+            if not isinstance(config, dict) or "model" not in config:
+                raise BadRequest(
+                    "plan needs a config object with at least 'model'")
+            resp = self.daemon.request(config,
+                                       deadline_s=msg.get("deadline_s"))
+            return {"ok": True, **resp.to_dict()}
+        if op == "place":
+            job_id = msg.get("job_id")
+            if not job_id:
+                raise BadRequest("place needs a job_id")
+            placement = self.daemon.place(str(job_id),
+                                          msg.get("tier_bytes") or {})
+            return {"ok": True, "placement": placement.to_dict()}
+        if op == "release":
+            job_id = msg.get("job_id")
+            if not job_id:
+                raise BadRequest("release needs a job_id")
+            placement = self.daemon.release(str(job_id))
+            return {"ok": True, "placement": placement.to_dict()}
+        if op == "stats":
+            return {"ok": True, "stats": self.daemon.stats()}
+        if op == "shutdown":
+            self._schedule_shutdown()
+            return {"ok": True, "stopping": True}
+        raise BadRequest(f"unknown op {op!r}; known: ping, plan, place, "
+                         "release, stats, shutdown")
+
+    # -- internals ---------------------------------------------------------
+
+    def _error(self, exc: ServiceRejection) -> str:
+        """Serialize a typed rejection as the protocol's error reply."""
+        return json.dumps(
+            {"ok": False,
+             "error": {"code": exc.code, "message": str(exc)}},
+            sort_keys=True)
+
+    def _schedule_shutdown(self) -> None:
+        """Stop the server from a handler thread, after the reply flushes.
+
+        ``BaseServer.shutdown`` must not run on the serving thread and
+        would otherwise race the reply write, so a short-lived helper
+        thread performs the actual stop.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        threading.Thread(target=self.stop, daemon=True,
+                         name="planner-server-shutdown").start()

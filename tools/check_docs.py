@@ -34,7 +34,8 @@ DOCS = REPO / "docs"
 sys.path.insert(0, str(REPO / "src"))
 
 #: Packages whose public surface must be documented.
-COVERED_PACKAGES = ("repro.core", "repro.runtime", "repro.obs")
+COVERED_PACKAGES = ("repro.core", "repro.runtime", "repro.obs",
+                    "repro.service")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
