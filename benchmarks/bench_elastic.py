@@ -1,0 +1,128 @@
+"""Elastic-training benchmarks: churn overhead, recovery, warm replans.
+
+KARMA's fault-tolerance story (§II-B) is that preemption-driven world
+changes should be survivable at near-zero cost: replicas are
+bit-identical after every iteration, so a clean shrink loses no state,
+and a warm plan cache makes replanning for the new world ~free.  This
+module prices three parts of that claim:
+
+1. **modeled churn overhead** — a deterministic timeline twin
+   (:func:`repro.elastic.simulate_churn`) replays a fixed synthetic
+   trace through the replan/degrade/restart policy and reports the
+   throughput ratio vs a churn-free run plus modeled recovery times.
+   These numbers have no clock or RNG in them, so they gate bit-stably;
+2. **real end-to-end recovery** — the numeric
+   :class:`~repro.elastic.ChurnScenario` actually trains through the
+   same kind of churn with checkpoint restarts and asserts zero lost
+   steps on clean traces (wall-clock figures are informational — CI
+   runners jitter);
+3. **warm replan latency** — the per-world-size plan through a warm
+   :class:`~repro.cache.PlanCache` vs the cold first plan; the speedup
+   is why ``replan`` beats ``degrade`` in the decision table whenever
+   the cache is warm.
+
+Key metrics (``key_metrics.json``): ``throughput_under_churn_ratio``
+(higher), ``modeled_mean_recover_s`` (lower), ``modeled_lost_steps``
+(lower) — all from the deterministic twin.  Wall-clock metrics are
+deliberately not gated.
+"""
+
+import time
+
+from repro.cache import PlanCache
+from repro.core.planner import plan as karma_plan
+from repro.elastic import (
+    ChurnScenario,
+    FaultTrace,
+    ScenarioConfig,
+    simulate_churn,
+    synthetic_trace,
+)
+from repro.elastic.scenario import divisor_worlds
+
+#: The fixed churn workload both the twin and the real scenario replay.
+STEPS, WORLD, GLOBAL_BATCH, SEED = 40, 4, 12, 7
+
+
+def _trace():
+    return synthetic_trace(SEED, steps=STEPS, world=WORLD, preemptions=3,
+                           joins=2, slowdowns=1,
+                           allowed_worlds=divisor_worlds(GLOBAL_BATCH))
+
+
+def test_modeled_churn_overhead(bench_writer):
+    """Deterministic timeline: throughput under churn vs churn-free."""
+    trace = _trace()
+    tl = simulate_churn(trace, steps=STEPS, world=WORLD,
+                        global_batch=GLOBAL_BATCH)
+    again = simulate_churn(trace, steps=STEPS, world=WORLD,
+                           global_batch=GLOBAL_BATCH)
+    assert tl.to_dict() == again.to_dict()   # gate input is bit-stable
+
+    print(f"\nmodeled churn: {len(trace.events)} events over {STEPS} "
+          f"steps, world trajectory {tl.world_trajectory}")
+    print(f"  churn-free {tl.no_churn_s:.2f} s -> under churn "
+          f"{tl.total_s:.2f} s (throughput ratio "
+          f"{tl.throughput_ratio:.3f})")
+    print(f"  recovery: mean {tl.mean_time_to_recover_s:.3f} s, max "
+          f"{tl.max_time_to_recover_s:.3f} s, lost steps "
+          f"{tl.total_lost_steps}")
+    bench_writer.emit("elastic", {
+        "throughput_under_churn_ratio": tl.throughput_ratio,
+        "modeled_mean_recover_s": tl.mean_time_to_recover_s,
+        "modeled_lost_steps": float(tl.total_lost_steps),
+        "modeled_max_recover_s": tl.max_time_to_recover_s,  # informational
+    })
+
+
+def test_real_churn_recovery(bench_writer, tmp_path):
+    """Numeric churn scenario: train through preemptions end to end."""
+    cfg = ScenarioConfig(steps=12, world=WORLD, global_batch=GLOBAL_BATCH,
+                         seed=SEED, preemptions=2, joins=1,
+                         checkpoint_interval=3)
+    t0 = time.perf_counter()
+    result = ChurnScenario(cfg, str(tmp_path / "ckpt")).run()
+    wall = time.perf_counter() - t0
+
+    assert result.lost_steps == 0        # clean churn loses nothing
+    assert len(result.losses) == cfg.steps
+    recoveries = len(result.reports)
+    mean_rec = (sum(r.time_to_recover_s for r in result.reports)
+                / recoveries if recoveries else 0.0)
+    print(f"\nreal churn: {recoveries} recoveries across worlds "
+          f"{[w for _, w in result.world_trajectory]} in {wall:.2f} s")
+    print(f"  mean wall recovery {mean_rec * 1e3:.1f} ms, checkpoints "
+          f"{result.checkpoints_written}, lost steps {result.lost_steps}")
+    bench_writer.emit("elastic", {
+        "real_recoveries": float(recoveries),            # informational
+        "real_wall_s": wall,                             # informational
+        "real_mean_recover_ms": mean_rec * 1e3,          # informational
+        "real_lost_steps": float(result.lost_steps),     # informational
+    })
+
+
+def test_warm_replan_latency(benchmark, bench_writer):
+    """Replanning for a seen world size through a warm PlanCache."""
+    graph = ChurnScenario(
+        ScenarioConfig(steps=2, world=1, global_batch=GLOBAL_BATCH),
+        checkpoint_dir="/tmp/unused-bench-elastic",
+        trace=FaultTrace(events=())).graph
+    cache = PlanCache(persist=False)
+    t0 = time.perf_counter()
+    cold = karma_plan(graph, GLOBAL_BATCH // WORLD, method="dp",
+                      cache=cache)
+    cold_s = time.perf_counter() - t0
+    assert not cold.cache_hit
+
+    warm = benchmark(lambda: karma_plan(graph, GLOBAL_BATCH // WORLD,
+                                        method="dp", cache=cache))
+    assert warm.cache_hit
+    warm_s = benchmark.stats.stats.mean
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    print(f"\nwarm replan: cold {cold_s * 1e3:.1f} ms -> warm "
+          f"{warm_s * 1e6:.0f} us ({speedup:.0f}x)")
+    bench_writer.emit("elastic", {
+        "warm_replan_ms": warm_s * 1e3,                  # informational
+        "cold_replan_ms": cold_s * 1e3,                  # informational
+        "warm_replan_speedup": speedup,                  # informational
+    })

@@ -15,6 +15,7 @@ Usage::
     python -m repro cache clear
     python -m repro validate
     python -m repro validate --config cnn gpt --target-wall 0.5 --json
+    python -m repro elastic --steps 12 --world 4 --dirty-rate 0.5
 
 A manifest is a JSON list of configuration objects (or ``{"configs":
 [...]}``); each object takes the same keys as the single-config flags::
@@ -314,7 +315,8 @@ def _plan_via_server(args: argparse.Namespace,
         with PlannerClient(address) as client:
             for config in configs:
                 try:
-                    reply = client.plan(config, deadline_s=args.deadline)
+                    reply = client.plan(config, deadline_s=args.deadline,
+                                        retries=args.retries)
                 except ServiceRejection as exc:
                     results.append({"model": config.get("model", "?"),
                                     "batch": config.get("batch", "?"),
@@ -499,14 +501,24 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_workers_per_request=args.max_request_workers,
         default_deadline_s=args.deadline,
         hot_capacity=args.hot_capacity)
-    daemon = PlannerDaemon(service_config, cache=cache, cluster=cluster)
+    chaos = None
+    if args.chaos_rate > 0 or args.chaos_first > 0:
+        from .elastic.faults import ChaosMonkey
+
+        chaos = ChaosMonkey(args.chaos_rate, seed=args.chaos_seed,
+                            crash_first=args.chaos_first)
+    daemon = PlannerDaemon(service_config, cache=cache, cluster=cluster,
+                           chaos=chaos)
     server = PlannerServer(daemon, address)
     daemon.start()
     print(f"planner daemon serving on {address} "
           f"(queue={args.queue_depth}, workers={args.service_workers}, "
           f"pool={args.pool_workers}, cache "
           f"{'off' if cache is None else 'on'}, cluster "
-          f"{args.cluster}); stop with 'serve --stop' or Ctrl-C",
+          f"{args.cluster}"
+          + (f", chaos rate={args.chaos_rate} first={args.chaos_first}"
+             if chaos is not None else "")
+          + "); stop with 'serve --stop' or Ctrl-C",
           flush=True)
     try:
         server.serve_forever()
@@ -540,6 +552,82 @@ def _serve_client_op(args: argparse.Namespace, address: Any) -> int:
               file=sys.stderr)
         return 1
     print(f"planner daemon at {address} stopping")
+    return 0
+
+
+def _run_elastic(args: argparse.Namespace) -> int:
+    """The ``elastic`` subcommand: a trace-driven churn scenario.
+
+    Runs a real data-parallel trainer through preemptions/joins with
+    checkpoint-backed recovery, prints (or JSON-dumps) the per-event
+    recovery reports, and exits non-zero if recovery ever failed or
+    replicas diverged.
+    """
+    import tempfile
+
+    from .elastic.controller import RecoveryError, RecoveryPolicy
+    from .elastic.faults import FaultTrace
+    from .elastic.scenario import ChurnScenario, ScenarioConfig
+
+    if args.global_batch % args.world:
+        print(f"error: --global-batch {args.global_batch} must divide by "
+              f"--world {args.world}", file=sys.stderr)
+        return 2
+    policy = RecoveryPolicy(mode=args.mode, backoff_base_s=0.001,
+                            backoff_max_s=0.05)
+    config = ScenarioConfig(
+        steps=args.steps, world=args.world,
+        global_batch=args.global_batch, seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval, policy=policy,
+        preemptions=args.preemptions, joins=args.joins,
+        slowdowns=args.slowdowns, dirty_rate=args.dirty_rate)
+    trace = FaultTrace.from_json(args.trace_file) if args.trace_file \
+        else None
+    tmpdir = None
+    ckpt_dir = args.checkpoint_dir
+    if ckpt_dir is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-elastic-")
+        ckpt_dir = tmpdir.name
+    try:
+        scenario = ChurnScenario(config, ckpt_dir, trace=trace)
+        if args.save_trace:
+            path = scenario.trace.to_json(args.save_trace)
+            print(f"trace written to {path}",
+                  file=sys.stderr if args.json else sys.stdout)
+        try:
+            result = scenario.run()
+        except RecoveryError as exc:
+            print(f"error: recovery failed ({exc.code}): {exc}",
+                  file=sys.stderr)
+            return 1
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"elastic churn scenario: {config.steps} steps, world "
+              f"{config.world} -> {result.final_world}, global batch "
+              f"{config.global_batch}")
+        print(f"  events      : {len(result.trace)} "
+              f"({result.trace.preemptions} preempt, "
+              f"{result.trace.joins} join)")
+        print(f"  recoveries  : "
+              + (", ".join(r.decision for r in result.reports) or "none"))
+        print(f"  lost steps  : {result.lost_steps} "
+              f"(replayed {result.replayed_steps})")
+        print(f"  checkpoints : {result.checkpoints_written}")
+        print(f"  final loss  : {result.losses[-1]:.6f}")
+        for r in result.reports:
+            e = r.event
+            print(f"    step {e.step:>3} {e.kind.value:<9} "
+                  f"world {r.world_before}->{r.world_after} "
+                  f"decision={r.decision} attempts={r.attempts} "
+                  f"recover={r.time_to_recover_s * 1e3:.1f}ms"
+                  + (f" lost={r.lost_steps}" if r.lost_steps else ""))
+        print("  replicas bit-identical after every world change: yes")
+    _dump_metrics(args.metrics, json_mode=args.json)
     return 0
 
 
@@ -718,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None,
                    help="with --server: seconds to wait before the "
                         "daemon sheds this request")
+    p.add_argument("--retries", type=int, default=0,
+                   help="with --server: extra attempts after a "
+                        "retryable rejection (shed queue, crashed "
+                        "worker), with exponential backoff")
     p.set_defaults(func=_run_plan)
 
     s = sub.add_parser(
@@ -762,7 +854,56 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--metrics", metavar="PATH", default=None,
                    help="write the service metrics snapshot as JSON "
                         "when the daemon stops ('-' for stdout)")
+    s.add_argument("--chaos-rate", type=float, default=0.0,
+                   help="chaos mode: probability a worker crashes per "
+                        "dequeued request (served as a retryable "
+                        "worker_crashed rejection + respawn)")
+    s.add_argument("--chaos-first", type=int, default=0,
+                   help="chaos mode: deterministically crash the first "
+                        "N dequeued requests")
+    s.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the chaos coin")
     s.set_defaults(func=_run_serve)
+
+    e = sub.add_parser(
+        "elastic",
+        help="run a trace-driven churn scenario: preemptions/joins with "
+             "checkpoint-backed recovery on a real data-parallel trainer")
+    e.add_argument("--steps", type=int, default=12,
+                   help="training steps")
+    e.add_argument("--world", type=int, default=4,
+                   help="starting world size")
+    e.add_argument("--global-batch", type=int, default=12,
+                   help="fixed global batch (must divide by every world "
+                        "size the trace visits)")
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--preemptions", type=int, default=2,
+                   help="synthetic trace: preempt events")
+    e.add_argument("--joins", type=int, default=1,
+                   help="synthetic trace: join events")
+    e.add_argument("--slowdowns", type=int, default=0,
+                   help="synthetic trace: slowdown events")
+    e.add_argument("--dirty-rate", type=float, default=0.0,
+                   help="synthetic trace: probability a preemption is "
+                        "dirty (mid-iteration; forces checkpoint restart)")
+    e.add_argument("--trace-file", default=None,
+                   help="drive a recorded JSON trace instead of a "
+                        "synthetic one")
+    e.add_argument("--save-trace", metavar="PATH", default=None,
+                   help="record the trace that was run as JSON")
+    e.add_argument("--checkpoint-interval", type=int, default=3,
+                   help="periodic checkpoint cadence in steps")
+    e.add_argument("--checkpoint-dir", default=None,
+                   help="checkpoint directory (default: a temp dir)")
+    e.add_argument("--mode", choices=("auto", "replan", "degrade"),
+                   default="auto",
+                   help="recovery policy for clean world changes")
+    e.add_argument("--json", action="store_true",
+                   help="emit the scenario result as JSON")
+    e.add_argument("--metrics", metavar="PATH", default=None,
+                   help="write the process metrics snapshot as JSON "
+                        "('-' for stdout)")
+    e.set_defaults(func=_run_elastic)
 
     c = sub.add_parser("cache", help="inspect or clear the plan cache")
     c.add_argument("cache_command", choices=("info", "clear"))

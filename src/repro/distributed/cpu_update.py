@@ -31,6 +31,24 @@ class HostSGD:
         self.weight_decay = weight_decay
         self._buffers: Dict[Tuple[str, str], Array] = {}
 
+    def state_dict(self) -> Dict[str, Array]:
+        """Copy of the momentum slots, keyed ``layer/param/momentum``.
+
+        Flat string keys so the state round-trips through checkpoint
+        ``extra`` arrays and across workers (grow_world clones it).
+        """
+        return {f"{name}/{pname}/momentum": arr.copy()
+                for (name, pname), arr in self._buffers.items()}
+
+    def load_state_dict(self, state: Dict[str, Array]) -> None:
+        """Restore slots produced by :meth:`state_dict` (replaces all)."""
+        self._buffers = {}
+        for key, arr in state.items():
+            name, pname, slot = key.rsplit("/", 2)
+            if slot != "momentum":
+                raise KeyError(f"unknown HostSGD state slot {key!r}")
+            self._buffers[(name, pname)] = np.array(arr, copy=True)
+
     def update_block(self, model: ExecutableModel,
                      layer_indices: Sequence[int]) -> int:
         """Update the parameters of the given layers; returns bytes touched."""
@@ -71,6 +89,31 @@ class HostAdam:
         """Advance the shared time step once per iteration (all blocks of
         one iteration share the same bias correction)."""
         self.t += 1
+
+    def state_dict(self) -> Dict[str, Array]:
+        """Copy of the Adam slots (+ step), keyed ``layer/param/slot``."""
+        out: Dict[str, Array] = {"__t__": np.asarray(self.t)}
+        for (name, pname), arr in self._m.items():
+            out[f"{name}/{pname}/m"] = arr.copy()
+        for (name, pname), arr in self._v.items():
+            out[f"{name}/{pname}/v"] = arr.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, Array]) -> None:
+        """Restore slots produced by :meth:`state_dict` (replaces all)."""
+        self._m, self._v = {}, {}
+        self.t = 0
+        for key, arr in state.items():
+            if key == "__t__":
+                self.t = int(np.asarray(arr))
+                continue
+            name, pname, slot = key.rsplit("/", 2)
+            if slot == "m":
+                self._m[(name, pname)] = np.array(arr, copy=True)
+            elif slot == "v":
+                self._v[(name, pname)] = np.array(arr, copy=True)
+            else:
+                raise KeyError(f"unknown HostAdam state slot {key!r}")
 
     def update_block(self, model: ExecutableModel,
                      layer_indices: Sequence[int]) -> int:

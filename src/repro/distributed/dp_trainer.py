@@ -41,6 +41,12 @@ class DataParallelKarmaTrainer:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
         self.plan = plan
+        self.graph = graph
+        self.dtype = dtype
+        self.seed = seed
+        self.near_capacity = near_capacity
+        self.far_capacity = far_capacity
+        self.target_group_bytes = target_group_bytes
         # identical initialization on every replica (same seed), as a real
         # data-parallel launch broadcasts rank 0's weights
         self.models = [ExecutableModel(graph, dtype=dtype, seed=seed)
@@ -49,21 +55,11 @@ class DataParallelKarmaTrainer:
                        for _ in range(world_size)]
         self.executors = [OutOfCoreExecutor(m, plan, s)
                           for m, s in zip(self.models, self.spaces)]
-        self.comm = RingCommunicator(world_size)
-        grad_bytes = []
-        for (s, e) in plan.blocks:
-            total = 0
-            for i in range(s, e):
-                module = self.models[0].modules[graph[i].name]
-                total += sum(g.nbytes for g in module.grads.values())
-            grad_bytes.append(total)
-        self.exchange = PhasedGradientExchange(
-            self.comm, plan.blocks, grad_bytes,
-            target_group_bytes=target_group_bytes)
         self.optimizer = optimizer or HostSGD(lr=0.01)
         self._host_optimizers = [self.optimizer] + [
             type(self.optimizer)(**_optimizer_kwargs(self.optimizer))
             for _ in range(world_size - 1)]
+        self._rebuild_comm()
         self.step_count = 0
 
     def train_step(self, batch: Array, targets: Array) -> float:
@@ -99,6 +95,23 @@ class DataParallelKarmaTrainer:
         self.step_count += 1
         return float(np.mean(losses))
 
+    def _rebuild_comm(self) -> None:
+        """(Re)build the communicator + phased exchange for the current
+        world size and plan, from the surviving replica's gradient
+        layout."""
+        self.comm = RingCommunicator(self.world_size)
+        grad_bytes = []
+        for (s, e) in self.plan.blocks:
+            total = 0
+            for i in range(s, e):
+                module = self.models[0].modules[
+                    self.models[0].graph[i].name]
+                total += sum(g.nbytes for g in module.grads.values())
+            grad_bytes.append(total)
+        self.exchange = PhasedGradientExchange(
+            self.comm, self.plan.blocks, grad_bytes,
+            target_group_bytes=self.target_group_bytes)
+
     def shrink_world(self, new_size: int) -> None:
         """Fault tolerance (§II-B): continue with a smaller worker pool.
 
@@ -117,22 +130,76 @@ class DataParallelKarmaTrainer:
         self.executors = self.executors[:new_size]
         self._host_optimizers = self._host_optimizers[:new_size]
         self.world_size = new_size
-        self.comm = RingCommunicator(new_size)
-        self.exchange = PhasedGradientExchange(
-            self.comm, self.exchange.blocks,
-            [0] * len(self.exchange.blocks),
-            target_group_bytes=1)
-        # rebuild groups from the surviving replica's gradient layout
-        grad_bytes = []
-        for (s, e) in self.plan.blocks:
-            total = 0
-            for i in range(s, e):
-                module = self.models[0].modules[
-                    self.models[0].graph[i].name]
-                total += sum(g.nbytes for g in module.grads.values())
-            grad_bytes.append(total)
-        self.exchange = PhasedGradientExchange(
-            self.comm, self.plan.blocks, grad_bytes)
+        self._rebuild_comm()
+        self.assert_replicas_identical()
+
+    def grow_world(self, new_size: int) -> None:
+        """Elasticity: admit joining workers into the pool (§II-B dual).
+
+        New replicas are cloned from survivor 0 — parameters, buffers
+        (BN statistics), and host-optimizer slots — exactly as a real
+        elastic launch broadcasts rank 0's state to joiners, so the
+        grown pool is bit-identical before its first step (asserted).
+        """
+        if new_size < self.world_size:
+            raise ValueError(f"cannot grow world {self.world_size} "
+                             f"-> {new_size}")
+        if new_size == self.world_size:
+            return
+        template = self.models[0]
+        opt_state = self._host_optimizers[0].state_dict()
+        for _ in range(new_size - self.world_size):
+            model = ExecutableModel(self.graph, dtype=self.dtype,
+                                    seed=self.seed)
+            for (ln, pn, src), (ln2, pn2, dst) in zip(
+                    template.parameters(), model.parameters()):
+                assert (ln, pn) == (ln2, pn2)
+                dst[...] = src
+            for spec in self.graph:
+                src_mod = template.modules[spec.name]
+                dst_mod = model.modules[spec.name]
+                for bname, arr in src_mod.buffers.items():
+                    dst_mod.buffers[bname][...] = arr
+            space = MemorySpace(self.near_capacity, self.far_capacity)
+            opt = type(self.optimizer)(
+                **_optimizer_kwargs(self.optimizer))
+            opt.load_state_dict(opt_state)
+            self.models.append(model)
+            self.spaces.append(space)
+            self.executors.append(OutOfCoreExecutor(model, self.plan,
+                                                    space))
+            self._host_optimizers.append(opt)
+        self.world_size = new_size
+        self._rebuild_comm()
+        self.assert_replicas_identical()
+
+    def apply_plan(self, plan: ExecutionPlan) -> None:
+        """Swap in a replanned schedule without touching replica state.
+
+        The elastic recovery controller calls this after a fast replan on
+        a new world size: models and host-optimizer state carry over (no
+        lost steps), only the executors and the phased exchange are
+        rebuilt against the new block structure.
+        """
+        self.plan = plan
+        self.executors = [OutOfCoreExecutor(m, plan, s)
+                          for m, s in zip(self.models, self.spaces)]
+        self._rebuild_comm()
+
+    def assert_replicas_identical(self) -> None:
+        """Raise if any replica's parameters drifted from worker 0's.
+
+        Bit-identity (``np.array_equal``, not allclose) is the §IV-D
+        invariant every world-size change must preserve; a mismatch
+        names the first offending (worker, layer, parameter).
+        """
+        ref = self.models[0].parameters()
+        for w, model in enumerate(self.models[1:], start=1):
+            for (ln, pn, a), (ln2, pn2, b) in zip(ref, model.parameters()):
+                if (ln, pn) != (ln2, pn2) or not np.array_equal(a, b):
+                    raise RuntimeError(
+                        f"replica divergence after world-size change: "
+                        f"worker {w} {ln}/{pn} differs from worker 0")
 
     def parameters_equal_across_workers(self, atol: float = 0.0) -> bool:
         """Replicas must stay in lockstep after every iteration."""

@@ -1,0 +1,63 @@
+"""Elastic fault-tolerant training: survive a changing fleet.
+
+KARMA's fault-tolerance story (§II-B) is that out-of-core data
+parallelism adapts to node loss by relaunching from a checkpoint onto a
+smaller worker pool.  This package turns that sentence into a runtime:
+
+* :mod:`repro.elastic.faults` — deterministic, seedable preemption /
+  join / slowdown event traces (synthetic or recorded) and the injector
+  that drives them into a training loop, plus the chaos hook the planner
+  daemon uses for worker-crash injection;
+* :mod:`repro.elastic.controller` — the recovery controller that, on
+  every world-size change, chooses between *fast replan* (re-invoke the
+  planner on the new world size — warm plan-cache replays make this
+  nearly free), *degrade* (keep the old plan, demote overflow stashes a
+  tier), or *restart from checkpoint*, with retry / exponential-backoff
+  semantics and typed failure states;
+* :mod:`repro.elastic.scenario` — the end-to-end churn scenario: a real
+  :class:`~repro.distributed.dp_trainer.DataParallelKarmaTrainer` under
+  a fault trace with asynchronous checkpointing, and the modeled
+  counterpart (:func:`~repro.elastic.scenario.simulate_churn`) that
+  prices the same trace against simulator iteration times.
+
+``python -m repro elastic`` runs a trace-driven scenario end to end;
+``docs/elastic.md`` documents the event model, the policy decision
+table, and the ``elastic.*`` metrics.
+"""
+
+from .controller import (
+    DegradeFailed,
+    RecoveryController,
+    RecoveryError,
+    RecoveryImpossible,
+    RecoveryPolicy,
+    RecoveryReport,
+    ReplanFailed,
+    RestartFailed,
+    demote_plan,
+)
+from .faults import (
+    ChaosMonkey,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultTrace,
+    synthetic_trace,
+)
+from .scenario import (
+    ChurnScenario,
+    ChurnTimeline,
+    ScenarioConfig,
+    ScenarioResult,
+    simulate_churn,
+)
+
+__all__ = [
+    "FaultKind", "FaultEvent", "FaultTrace", "FaultInjector",
+    "ChaosMonkey", "synthetic_trace",
+    "RecoveryPolicy", "RecoveryController", "RecoveryReport",
+    "RecoveryError", "ReplanFailed", "DegradeFailed", "RestartFailed",
+    "RecoveryImpossible", "demote_plan",
+    "ScenarioConfig", "ScenarioResult", "ChurnScenario",
+    "ChurnTimeline", "simulate_churn",
+]

@@ -1,0 +1,437 @@
+"""Recovery control: replan, degrade, or restart on every fleet change.
+
+The controller is the policy brain between the fault injector and the
+trainer.  On each event it must answer *how* to keep training:
+
+* **fast replan** — re-invoke the planner for the new per-worker shard;
+  with a warm :class:`~repro.cache.plan_cache.PlanCache` a previously
+  seen world size replays in milliseconds, so replanning is the default
+  whenever it is estimated to be cheap;
+* **degrade** — keep the old plan (zero planning cost) and, when a
+  memory hierarchy is present, demote the coldest overflow stashes one
+  tier down via the existing capacity-pressure placement
+  (:func:`demote_plan`) — the ZeRO-Infinity-style always-offload
+  fallback that trades bandwidth for survival;
+* **restart from checkpoint** — the §II-B relaunch: tear down, reload
+  the last digest-verified archive, and replay the steps since.  Chosen
+  when in-memory state is torn (a *dirty* preemption) and as the last
+  fallback when replan and degrade both fail.
+
+Every step of every action runs under retry with exponential backoff +
+jitter; when the whole cascade is exhausted the controller raises a
+typed :class:`RecoveryImpossible` instead of leaving the job wedged.
+Latency lands in ``elastic.*`` metrics (time-to-detect, time-to-replan,
+time-to-recover, lost steps) and ``elastic.recover`` spans — the
+decision table is documented in ``docs/elastic.md``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.schedule import ExecutionPlan
+from ..core.stages import make_plan
+from ..costs.profiler import CostModel
+from ..hardware.tiering import MemoryHierarchy
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
+from ..tiering.placement import (
+    capacity_pressure_placement,
+    swapped_stash_bytes,
+)
+from .faults import FaultEvent, FaultKind
+
+__all__ = [
+    "RecoveryError", "ReplanFailed", "DegradeFailed", "RestartFailed",
+    "RecoveryImpossible", "RecoveryPolicy", "RecoveryReport",
+    "RecoveryController", "demote_plan",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Base of the typed recovery failure states.
+
+    ``code`` is a stable identifier mirroring the service-layer
+    convention, so scenario results and logs can name the failure class
+    without string matching.
+    """
+
+    code = "recovery_failed"
+
+
+class ReplanFailed(RecoveryError):
+    """Every replan attempt raised (planner bug or infeasible config)."""
+
+    code = "replan_failed"
+
+
+class DegradeFailed(RecoveryError):
+    """The degraded placement is infeasible on the surviving hierarchy."""
+
+    code = "degrade_failed"
+
+
+class RestartFailed(RecoveryError):
+    """Restart-from-checkpoint failed (no archive, or all corrupt)."""
+
+    code = "restart_failed"
+
+
+class RecoveryImpossible(RecoveryError):
+    """The whole cascade (replan -> degrade -> restart) is exhausted."""
+
+    code = "recovery_impossible"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tunables for the replan-vs-degrade-vs-restart decision.
+
+    Args:
+        mode: ``"auto"`` applies the decision table; ``"replan"`` /
+            ``"degrade"`` force that action for every clean event.
+        min_world: below this many survivors a clean preemption is
+            treated like a dirty one (restart on a future fleet).
+        max_attempts: retry budget per action (replan, degrade, restart
+            each get this many attempts).
+        backoff_base_s: first retry delay.
+        backoff_factor: multiplier between consecutive delays.
+        backoff_max_s: delay ceiling.
+        backoff_jitter: +/- fraction of uniform jitter on each delay.
+        replan_budget_s: estimated replan cost above which *auto* mode
+            degrades instead (the estimate is an EMA of measured replan
+            walls; unknown cost is optimistically treated as cheap,
+            because a warm plan cache makes repeat world sizes ~free).
+        slowdown_degrade_factor: slowdowns at or above this factor
+            trigger a degrade; milder ones are ignored.
+    """
+
+    mode: str = "auto"
+    min_world: int = 1
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.25
+    replan_budget_s: float = 30.0
+    slowdown_degrade_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "replan", "degrade"):
+            raise ValueError(f"unknown policy mode {self.mode!r}")
+        if self.min_world < 1:
+            raise ValueError("min_world must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if not (0.0 <= self.backoff_jitter < 1.0):
+            raise ValueError("backoff_jitter must be in [0, 1)")
+
+    def decide(self, event: FaultEvent, *, survivors: int,
+               est_replan_s: Optional[float],
+               have_checkpoint: bool) -> str:
+        """The decision table: one of replan / degrade / restart / ignore.
+
+        Args:
+            event: the churn event being handled.
+            survivors: world size after applying the event.
+            est_replan_s: EMA of measured replan walls (None = no
+                measurement yet).
+            have_checkpoint: whether a restartable archive exists.
+        """
+        if event.kind is FaultKind.SLOWDOWN:
+            return ("degrade"
+                    if event.factor >= self.slowdown_degrade_factor
+                    else "ignore")
+        if event.kind is FaultKind.PREEMPT and event.dirty:
+            return "restart"
+        if event.kind is FaultKind.PREEMPT and survivors < self.min_world:
+            return "restart"
+        if self.mode in ("replan", "degrade"):
+            return self.mode
+        if (est_replan_s is not None
+                and est_replan_s > self.replan_budget_s):
+            return "degrade"
+        return "replan"
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did, and how long each stage took."""
+
+    event: FaultEvent
+    decision: str                     # the action that finally succeeded
+    tried: List[str] = field(default_factory=list)
+    attempts: int = 0                 # total action attempts (incl. retries)
+    world_before: int = 0
+    world_after: int = 0
+    time_to_detect_s: float = 0.0
+    time_to_replan_s: float = 0.0     # 0 when no replan ran
+    time_to_recover_s: float = 0.0
+    lost_steps: int = 0               # steps replayed after a restart
+    resumed_step: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the CLI / bench artifacts."""
+        return {
+            "event": self.event.to_dict(),
+            "decision": self.decision,
+            "tried": list(self.tried),
+            "attempts": self.attempts,
+            "world_before": self.world_before,
+            "world_after": self.world_after,
+            "time_to_detect_s": round(self.time_to_detect_s, 6),
+            "time_to_replan_s": round(self.time_to_replan_s, 6),
+            "time_to_recover_s": round(self.time_to_recover_s, 6),
+            "lost_steps": self.lost_steps,
+            "resumed_step": self.resumed_step,
+        }
+
+
+def demote_plan(plan: ExecutionPlan, cost: CostModel,
+                hierarchy: MemoryHierarchy, *,
+                pressure: float = 0.5,
+                prefetch: str = "eager") -> ExecutionPlan:
+    """Degraded-mode plan: same blocks, overflow stashes demoted a tier.
+
+    Re-runs the existing capacity-pressure placement fallback over the
+    plan's swapped stashes: everything starts in DRAM and the coldest
+    blocks demote to deeper tiers until DRAM pressure relaxes.  The
+    block structure, policies, and stage schedule shape are unchanged —
+    only the tier qualifiers (and therefore which link each swap
+    occupies) move, which is what makes degrade effectively free to
+    apply compared to a full replan.
+
+    Raises :class:`DegradeFailed` when even the demoted placement cannot
+    fit the hierarchy.
+    """
+    from ..tiering.placement import PlacementError
+
+    stash = swapped_stash_bytes(list(plan.blocks), list(plan.policies),
+                                cost)
+    if not stash:
+        return plan
+    try:
+        placed = capacity_pressure_placement(stash, hierarchy,
+                                             pressure=pressure)
+    except PlacementError as exc:
+        raise DegradeFailed(
+            f"degraded placement infeasible: {exc}") from exc
+    return make_plan(plan.model_name, plan.batch_size, list(plan.blocks),
+                     list(plan.policies), prefetch=prefetch,
+                     placements=placed.placements)
+
+
+#: replan(world) -> plan-like; applied by the caller's closure itself.
+ReplanFn = Callable[[int], Any]
+#: degrade(world) -> plan-like (or None to keep the old plan verbatim).
+DegradeFn = Callable[[int], Any]
+#: restart(world) -> step the checkpoint resumed at.
+RestartFn = Callable[[int], int]
+
+
+class RecoveryController:
+    """Drive one recovery per fault event, with retries and fallbacks.
+
+    The controller is deliberately decoupled from the trainer: it works
+    through four callables (resize / replan / degrade / restart) so the
+    same policy machinery drives the numeric churn scenario, the modeled
+    timeline, and unit tests with stub actions.
+
+    Args:
+        policy: the decision table + retry/backoff tunables.
+        resize: apply a world-size change (shrink/grow the trainer);
+            called before replan/degrade for clean events.
+        replan: produce and apply a plan for the new world size.
+        degrade: apply the degraded plan for the new world size.
+        restart: rebuild from the last checkpoint on the new world size;
+            returns the step training resumed at.
+        have_checkpoint: probe for a restartable archive (defaults to
+            "yes", making restart always eligible).
+        sleep: injected for tests (defaults to ``time.sleep``).
+        clock: injected for tests (defaults to ``time.perf_counter``).
+        seed: jitter RNG seed (deterministic backoff in tests).
+    """
+
+    def __init__(self, policy: RecoveryPolicy, *,
+                 resize: Callable[[int], None],
+                 replan: ReplanFn,
+                 degrade: DegradeFn,
+                 restart: RestartFn,
+                 have_checkpoint: Callable[[], bool] = lambda: True,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.perf_counter,
+                 seed: int = 0) -> None:
+        self.policy = policy
+        self._resize = resize
+        self._replan = replan
+        self._degrade = degrade
+        self._restart = restart
+        self._have_checkpoint = have_checkpoint
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self.est_replan_s: Optional[float] = None
+        self.reports: List[RecoveryReport] = []
+
+    # -- public ------------------------------------------------------------
+
+    def recover(self, event: FaultEvent, *, world: int, step: int,
+                injected_at: Optional[float] = None) -> RecoveryReport:
+        """Handle one event; returns the report (also kept in
+        :attr:`reports`).
+
+        Args:
+            event: the fault to recover from.
+            world: world size *before* the event.
+            step: the training step about to run.
+            injected_at: the injector's delivery timestamp (measures
+                time-to-detect); None means detection was immediate.
+
+        Raises:
+            RecoveryImpossible: every action in the cascade failed.
+        """
+        t0 = self._clock()
+        new_world = self._world_after(event, world)
+        report = RecoveryReport(
+            event=event, decision="pending", world_before=world,
+            world_after=new_world,
+            time_to_detect_s=(t0 - injected_at) if injected_at else 0.0)
+        METRICS.counter(f"elastic.events.{event.kind.value}").inc()
+        METRICS.histogram("elastic.time_to_detect_s").observe(
+            report.time_to_detect_s)
+        with TRACER.span("elastic.recover", "elastic",
+                         kind=event.kind.value, step=step):
+            decision = self.policy.decide(
+                event, survivors=new_world,
+                est_replan_s=self.est_replan_s,
+                have_checkpoint=self._have_checkpoint())
+            if decision == "ignore":
+                report.decision = "ignore"
+                self._finish(report, t0)
+                return report
+            if decision == "restart":
+                self._run_restart(report, new_world, step, t0)
+                return report
+            # clean world change: resize first, then replan or degrade
+            if new_world != world:
+                self._resize(new_world)
+            try:
+                if decision == "replan":
+                    self._run_replan(report, new_world)
+                else:
+                    self._run_degrade(report, new_world)
+            except (ReplanFailed, DegradeFailed):
+                # cascade: the other cheap action, then restart
+                other = "degrade" if decision == "replan" else "replan"
+                try:
+                    if other == "replan":
+                        self._run_replan(report, new_world)
+                    else:
+                        self._run_degrade(report, new_world)
+                except (ReplanFailed, DegradeFailed):
+                    self._run_restart(report, new_world, step, t0)
+                    return report
+            self._finish(report, t0)
+            return report
+
+    # -- actions -----------------------------------------------------------
+
+    def _run_replan(self, report: RecoveryReport, world: int) -> None:
+        report.tried.append("replan")
+        t0 = self._clock()
+        with TRACER.span("elastic.replan", "elastic", world=world):
+            self._retry("replan", ReplanFailed, report,
+                        lambda: self._replan(world))
+        wall = self._clock() - t0
+        report.time_to_replan_s = wall
+        report.decision = "replan"
+        METRICS.histogram("elastic.time_to_replan_s").observe(wall)
+        # EMA of measured replan cost feeds the next decision
+        self.est_replan_s = (wall if self.est_replan_s is None
+                             else 0.5 * self.est_replan_s + 0.5 * wall)
+
+    def _run_degrade(self, report: RecoveryReport, world: int) -> None:
+        report.tried.append("degrade")
+        with TRACER.span("elastic.degrade", "elastic", world=world):
+            self._retry("degrade", DegradeFailed, report,
+                        lambda: self._degrade(world))
+        report.decision = "degrade"
+        METRICS.counter("elastic.degrades").inc()
+
+    def _run_restart(self, report: RecoveryReport, world: int, step: int,
+                     t0: float) -> None:
+        report.tried.append("restart")
+        if not self._have_checkpoint():
+            METRICS.counter("elastic.recovery_impossible").inc()
+            raise RecoveryImpossible(
+                f"cannot restart on {world} worker(s): no checkpoint was "
+                "ever written (enable periodic checkpointing)")
+        with TRACER.span("elastic.restart", "elastic", world=world):
+            try:
+                resumed = self._retry("restart", RestartFailed, report,
+                                      lambda: self._restart(world))
+            except RestartFailed as exc:
+                METRICS.counter("elastic.recovery_impossible").inc()
+                raise RecoveryImpossible(
+                    f"restart failed after {self.policy.max_attempts} "
+                    f"attempt(s): {exc}") from exc
+        report.decision = "restart"
+        report.resumed_step = int(resumed)
+        report.lost_steps = max(0, step - int(resumed))
+        METRICS.counter("elastic.restarts").inc()
+        METRICS.counter("elastic.lost_steps").inc(report.lost_steps)
+        self._finish(report, t0)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _world_after(event: FaultEvent, world: int) -> int:
+        if event.kind is FaultKind.PREEMPT:
+            return world - event.nodes
+        if event.kind is FaultKind.JOIN:
+            return world + event.nodes
+        return world
+
+    def _finish(self, report: RecoveryReport, t0: float) -> None:
+        report.time_to_recover_s = self._clock() - t0
+        METRICS.histogram("elastic.time_to_recover_s").observe(
+            report.time_to_recover_s)
+        METRICS.counter("elastic.recoveries").inc()
+        METRICS.counter(f"elastic.decision.{report.decision}").inc()
+        self.reports.append(report)
+
+    def _delays(self) -> List[float]:
+        delays: List[float] = []
+        delay = self.policy.backoff_base_s
+        for _ in range(self.policy.max_attempts - 1):
+            jitter = 1.0 + self._rng.uniform(-self.policy.backoff_jitter,
+                                             self.policy.backoff_jitter)
+            delays.append(min(self.policy.backoff_max_s, delay) * jitter)
+            delay *= self.policy.backoff_factor
+        return delays
+
+    def _retry(self, label: str, failure: type, report: RecoveryReport,
+               action: Callable[[], Any]) -> Any:
+        """Run ``action`` under the policy's retry/backoff budget.
+
+        Raises ``failure`` (a :class:`RecoveryError` subclass) carrying
+        the last underlying error once the budget is exhausted.
+        """
+        delays = self._delays()
+        last: Optional[BaseException] = None
+        for attempt in range(self.policy.max_attempts):
+            report.attempts += 1
+            try:
+                return action()
+            except Exception as exc:  # noqa: BLE001 - typed re-raise below
+                last = exc
+                METRICS.counter("elastic.retries").inc()
+                if attempt < len(delays):
+                    self._sleep(delays[attempt])
+        raise failure(f"{label} failed after {self.policy.max_attempts} "
+                      f"attempt(s): {type(last).__name__}: {last}")

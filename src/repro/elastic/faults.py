@@ -1,0 +1,349 @@
+"""Deterministic fault injection: preemption / join / slowdown traces.
+
+Spot fleets (the CARMA / Varuna setting) lose and gain nodes on the
+provider's schedule, not the job's.  To test recovery *deterministically*
+we model the fleet as a **fault trace**: an ordered list of events, each
+pinned to the training step before which it fires.  Traces come from two
+sources — :func:`synthetic_trace` (seeded pseudo-random churn with
+guaranteed well-formedness) or a recorded JSON file (the format
+round-trips via :meth:`FaultTrace.to_json` / :meth:`FaultTrace.from_json`)
+— and drive both the real trainer and the modeled timeline through the
+same :class:`FaultInjector`, so sim and runtime see identical churn.
+
+Event semantics:
+
+* ``preempt`` — ``nodes`` workers are lost before step ``step``.  A
+  *clean* preemption arrives between steps (replica state on survivors
+  is intact); a ``dirty`` one kills mid-iteration, so in-memory state is
+  unusable and recovery must restart from the last checkpoint.
+* ``join`` — ``nodes`` workers join before step ``step``.
+* ``slowdown`` — the interconnect (or a straggler) degrades by
+  ``factor`` for ``duration`` steps; no world-size change.
+
+:class:`ChaosMonkey` is the service-side counterpart: a seeded coin the
+planner daemon flips per request to decide whether a worker "crashes"
+(see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["FaultKind", "FaultEvent", "FaultTrace", "FaultInjector",
+           "ChaosMonkey", "synthetic_trace"]
+
+
+class FaultKind(Enum):
+    """The three churn event classes a spot trace produces."""
+
+    PREEMPT = "preempt"
+    JOIN = "join"
+    SLOWDOWN = "slowdown"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One churn event, pinned to the step before which it fires.
+
+    Args:
+        step: the event fires before training step ``step`` (0-based).
+        kind: preempt / join / slowdown.
+        nodes: workers lost (preempt) or gained (join); ignored for
+            slowdowns.
+        dirty: preempt only — the kill arrived mid-iteration, so the
+            survivors' in-memory state is torn and recovery must restart
+            from the last checkpoint (the §II-B relaunch path).
+        factor: slowdown only — link/straggler degradation multiplier
+            (>= 1; 2.0 means half speed).
+        duration: slowdown only — steps the degradation lasts.
+    """
+
+    step: int
+    kind: FaultKind
+    nodes: int = 1
+    dirty: bool = False
+    factor: float = 1.0
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("event step must be >= 0")
+        if self.kind is not FaultKind.SLOWDOWN and self.nodes < 1:
+            raise ValueError("preempt/join events need nodes >= 1")
+        if self.kind is FaultKind.SLOWDOWN and self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1.0")
+        if self.kind is FaultKind.SLOWDOWN and self.duration < 1:
+            raise ValueError("slowdown duration must be >= 1 step")
+        if self.dirty and self.kind is not FaultKind.PREEMPT:
+            raise ValueError("only preemptions can be dirty")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (the recorded-trace wire format)."""
+        out: Dict[str, object] = {"step": self.step,
+                                  "kind": self.kind.value}
+        if self.kind is FaultKind.SLOWDOWN:
+            out["factor"] = self.factor
+            out["duration"] = self.duration
+        else:
+            out["nodes"] = self.nodes
+            if self.dirty:
+                out["dirty"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        kind = FaultKind(str(data["kind"]))
+        return cls(step=int(data["step"]), kind=kind,  # type: ignore[arg-type]
+                   nodes=int(data.get("nodes", 1)),  # type: ignore[arg-type]
+                   dirty=bool(data.get("dirty", False)),
+                   factor=float(data.get("factor", 1.0)),  # type: ignore[arg-type]
+                   duration=int(data.get("duration", 1)))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """An ordered, validated sequence of fault events.
+
+    ``validate(world)`` walks the events against a starting world size
+    and rejects traces that drop the fleet below one worker — recovery
+    can shrink and grow, but cannot run on zero nodes.
+    """
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events",
+            tuple(sorted(self.events, key=lambda e: (e.step,
+                                                     e.kind.value))))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def preemptions(self) -> int:
+        """Number of preemption events in the trace."""
+        return sum(1 for e in self.events if e.kind is FaultKind.PREEMPT)
+
+    @property
+    def joins(self) -> int:
+        """Number of join events in the trace."""
+        return sum(1 for e in self.events if e.kind is FaultKind.JOIN)
+
+    def world_after(self, world: int,
+                    upto_step: Optional[int] = None) -> int:
+        """World size after applying events (optionally only those with
+        ``step < upto_step``) to a starting ``world``."""
+        for e in self.events:
+            if upto_step is not None and e.step >= upto_step:
+                break
+            if e.kind is FaultKind.PREEMPT:
+                world -= e.nodes
+            elif e.kind is FaultKind.JOIN:
+                world += e.nodes
+        return world
+
+    def validate(self, world: int) -> None:
+        """Reject traces that ever leave fewer than one worker."""
+        if world < 1:
+            raise ValueError("starting world size must be >= 1")
+        for e in self.events:
+            if e.kind is FaultKind.PREEMPT:
+                world -= e.nodes
+            elif e.kind is FaultKind.JOIN:
+                world += e.nodes
+            if world < 1:
+                raise ValueError(
+                    f"trace drops the fleet to {world} worker(s) at step "
+                    f"{e.step}; at least one survivor is required")
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Record the trace as a JSON file; returns the path."""
+        out = Path(path)
+        out.write_text(json.dumps(
+            {"events": [e.to_dict() for e in self.events]},
+            indent=2, sort_keys=True) + "\n")
+        return out
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "FaultTrace":
+        """Load a recorded trace (the :meth:`to_json` format)."""
+        data = json.loads(Path(path).read_text())
+        if isinstance(data, dict):
+            data = data.get("events", [])
+        if not isinstance(data, list):
+            raise ValueError(f"trace file {path} must hold a JSON list of "
+                             "events (or {'events': [...]})")
+        return cls(events=tuple(FaultEvent.from_dict(e) for e in data))
+
+    @classmethod
+    def from_events(cls, events: Iterable[FaultEvent]) -> "FaultTrace":
+        """Build a trace from an iterable of events (sorted by step)."""
+        return cls(events=tuple(events))
+
+
+def synthetic_trace(seed: int, *, steps: int, world: int,
+                    preemptions: int = 2, joins: int = 1,
+                    slowdowns: int = 0, dirty_rate: float = 0.0,
+                    allowed_worlds: Optional[Sequence[int]] = None
+                    ) -> FaultTrace:
+    """Generate a seeded, well-formed churn trace.
+
+    Deterministic for a given argument tuple: the same seed replays the
+    same fleet in the simulator, the trainer, and CI.  Preemptions and
+    joins are single-node events spread over ``steps``; the generator
+    retries placements until the fleet never drops below one worker (and,
+    when ``allowed_worlds`` is given, only visits those world sizes —
+    the scenario uses it to keep the global batch divisible).
+
+    Args:
+        seed: RNG seed.
+        steps: trace horizon; events land on steps ``1..steps-1``.
+        world: starting world size.
+        preemptions: preempt events to place.
+        joins: join events to place.
+        slowdowns: slowdown events to place.
+        dirty_rate: probability a preemption is dirty (mid-iteration).
+        allowed_worlds: optional whitelist of world sizes the trace may
+            visit (including after every event).
+    """
+    if steps < 2:
+        raise ValueError("need steps >= 2 to place events")
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    rng = random.Random(seed)
+    ok_world = set(allowed_worlds) if allowed_worlds is not None else None
+    for _ in range(1000):
+        kinds = ([FaultKind.PREEMPT] * preemptions
+                 + [FaultKind.JOIN] * joins)
+        rng.shuffle(kinds)
+        fleet = world
+        events: List[FaultEvent] = []
+        used_steps: set = set()
+        feasible = True
+        for kind in kinds:
+            fleet += 1 if kind is FaultKind.JOIN else -1
+            if fleet < 1 or (ok_world is not None
+                             and fleet not in ok_world):
+                feasible = False
+                break
+            free = [s for s in range(1, steps) if s not in used_steps]
+            if not free:
+                feasible = False
+                break
+            step = rng.choice(free)
+            used_steps.add(step)
+            dirty = (kind is FaultKind.PREEMPT
+                     and rng.random() < dirty_rate)
+            events.append(FaultEvent(step=step, kind=kind, nodes=1,
+                                     dirty=dirty))
+        if not feasible:
+            continue
+        for _ in range(slowdowns):
+            free = [s for s in range(1, steps) if s not in used_steps]
+            if not free:
+                break
+            step = rng.choice(free)
+            used_steps.add(step)
+            events.append(FaultEvent(
+                step=step, kind=FaultKind.SLOWDOWN,
+                factor=round(rng.uniform(1.5, 4.0), 2),
+                duration=rng.randint(1, max(1, steps // 4))))
+        # events were placed in causal (shuffled-kind) order but at random
+        # steps; replay them sorted to confirm the fleet stays legal
+        trace = FaultTrace(events=tuple(events))
+        try:
+            trace.validate(world)
+        except ValueError:
+            continue
+        if ok_world is not None:
+            fleet, legal = world, True
+            for e in trace:
+                if e.kind is FaultKind.PREEMPT:
+                    fleet -= e.nodes
+                elif e.kind is FaultKind.JOIN:
+                    fleet += e.nodes
+                if e.kind is not FaultKind.SLOWDOWN \
+                        and fleet not in ok_world:
+                    legal = False
+                    break
+            if not legal:
+                continue
+        return trace
+    raise ValueError(
+        f"could not place {preemptions} preemption(s) + {joins} join(s) "
+        f"legally in {steps} steps starting from world {world}")
+
+
+class FaultInjector:
+    """Feed a trace's events into a step loop, exactly once each.
+
+    The training loop polls :meth:`poll` at the top of every step; the
+    injector returns the events pinned to that step (or any earlier step
+    not yet delivered — a loop that skips steps after a restart still
+    sees every event).  ``clock`` timestamps each delivery so recovery
+    latency can be measured from the moment of injection.
+    """
+
+    def __init__(self, trace: FaultTrace, *, clock=None) -> None:
+        import time as _time
+
+        self.trace = trace
+        self._clock = clock or _time.perf_counter
+        self._cursor = 0
+        self.injected_at: Dict[int, float] = {}
+
+    def poll(self, step: int) -> List[FaultEvent]:
+        """Events firing before ``step`` that have not fired yet."""
+        fired: List[FaultEvent] = []
+        while (self._cursor < len(self.trace.events)
+               and self.trace.events[self._cursor].step <= step):
+            event = self.trace.events[self._cursor]
+            self.injected_at[self._cursor] = self._clock()
+            self._cursor += 1
+            fired.append(event)
+        return fired
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every event has been delivered."""
+        return self._cursor >= len(self.trace.events)
+
+
+class ChaosMonkey:
+    """A seeded coin for service-side worker-crash injection.
+
+    The planner daemon calls the monkey once per dequeued request; True
+    means the worker thread "crashes" mid-plan (the daemon resolves the
+    request with a retryable ``worker_crashed`` rejection and respawns
+    the worker).  ``crash_first`` forces the first N calls to crash —
+    deterministic tests and the CI chaos smoke use it instead of a rate.
+    """
+
+    def __init__(self, crash_rate: float = 0.0, *, seed: int = 0,
+                 crash_first: int = 0) -> None:
+        if not (0.0 <= crash_rate <= 1.0):
+            raise ValueError("crash_rate must be in [0, 1]")
+        self.crash_rate = crash_rate
+        self.crash_first = crash_first
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.crashes = 0
+
+    def __call__(self) -> bool:
+        """Flip the coin: True = crash this request's worker."""
+        self.calls += 1
+        crash = (self.calls <= self.crash_first
+                 or self._rng.random() < self.crash_rate)
+        if crash:
+            self.crashes += 1
+        return crash

@@ -1,0 +1,481 @@
+"""Trace-driven churn scenarios: the real trainer and the modeled twin.
+
+Two consumers of the same :class:`~repro.elastic.faults.FaultTrace`:
+
+* :class:`ChurnScenario` runs an actual
+  :class:`~repro.distributed.dp_trainer.DataParallelKarmaTrainer` (tiny
+  CNN, float64) through the trace with periodic asynchronous
+  checkpointing and the
+  :class:`~repro.elastic.controller.RecoveryController` reacting to every
+  event — clean preemptions shrink in place, joins clone survivor 0,
+  dirty preemptions rebuild from the last digest-verified archive and
+  replay the lost steps.  Replica bit-identity is asserted after every
+  world-size change, and the *same batches* are replayed after a restart
+  (the dataset is pre-generated from the seed), so recovery is exact, not
+  merely plausible.
+* :func:`simulate_churn` prices the trace against a deterministic
+  iteration-time model (no wall clock, no RNG) — throughput under churn
+  vs. the no-churn ceiling, modeled time-to-recover, lost steps.  Being
+  bit-deterministic, its outputs are the ones the elastic benchmark gates
+  in ``key_metrics.json``.
+
+``python -m repro elastic`` wraps :class:`ChurnScenario`;
+``benchmarks/bench_elastic.py`` wraps both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.plan_cache import PlanCache
+from ..core.planner import plan as karma_plan
+from ..core.schedule import ExecutionPlan
+from ..distributed.cpu_update import HostSGD
+from ..distributed.dp_trainer import DataParallelKarmaTrainer
+from ..models.builder import GraphBuilder
+from ..obs.metrics import METRICS
+from ..runtime.checkpoint import CheckpointManager
+from .controller import RecoveryController, RecoveryPolicy, RecoveryReport
+from .faults import FaultInjector, FaultKind, FaultTrace, synthetic_trace
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "ChurnScenario",
+           "ChurnTimeline", "simulate_churn", "divisor_worlds"]
+
+GiB = float(1 << 30)
+
+
+def divisor_worlds(global_batch: int) -> Tuple[int, ...]:
+    """World sizes that divide ``global_batch`` evenly (legal fleet
+    sizes for a fixed-global-batch data-parallel run)."""
+    return tuple(w for w in range(1, global_batch + 1)
+                 if global_batch % w == 0)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs for the end-to-end churn scenario.
+
+    The defaults (12 steps, world 4, global batch 12) keep every divisor
+    world size {1, 2, 3, 4, 6, 12} legal, so any single-node churn trace
+    stays divisible.
+
+    Args:
+        steps: training steps to run.
+        world: starting world size.
+        global_batch: fixed global batch (must divide by every world
+            size the trace visits).
+        seed: seeds the model init, the dataset, and the backoff jitter.
+        lr / momentum: host-SGD hyperparameters.
+        checkpoint_interval: periodic checkpoint cadence in steps.
+        keep: checkpoint archives retained on disk.
+        policy: recovery policy (defaults to fast backoff suitable for
+            tests and the CLI; production would use larger delays).
+        preemptions / joins / slowdowns / dirty_rate: synthetic-trace
+            shape when no recorded trace is supplied.
+        near_capacity / far_capacity: per-worker memory-space bounds.
+    """
+
+    steps: int = 12
+    world: int = 4
+    global_batch: int = 12
+    seed: int = 0
+    lr: float = 0.05
+    momentum: float = 0.9
+    checkpoint_interval: int = 3
+    keep: int = 3
+    policy: RecoveryPolicy = field(default_factory=lambda: RecoveryPolicy(
+        backoff_base_s=0.001, backoff_max_s=0.01))
+    preemptions: int = 2
+    joins: int = 1
+    slowdowns: int = 0
+    dirty_rate: float = 0.0
+    near_capacity: float = 2 * GiB
+    far_capacity: float = 32 * GiB
+
+    def __post_init__(self) -> None:
+        if self.steps < 2:
+            raise ValueError("steps must be >= 2")
+        if self.world < 1:
+            raise ValueError("world must be >= 1")
+        if self.global_batch % self.world:
+            raise ValueError(f"global_batch {self.global_batch} not "
+                             f"divisible by world {self.world}")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+
+
+@dataclass
+class ScenarioResult:
+    """What a churn run did: losses, recoveries, and fleet history."""
+
+    losses: List[float]               # loss per step index (final value)
+    reports: List[RecoveryReport]
+    world_trajectory: List[Tuple[int, int]]   # (step, world) changes
+    final_world: int
+    steps_run: int                    # train_step calls incl. replays
+    lost_steps: int                   # steps replayed after restarts
+    checkpoints_written: int
+    trace: FaultTrace
+
+    @property
+    def replayed_steps(self) -> int:
+        """Extra iterations paid to churn (replays beyond the horizon)."""
+        return self.steps_run - len(self.losses)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the CLI / CI artifact."""
+        return {
+            "steps": len(self.losses),
+            "steps_run": self.steps_run,
+            "lost_steps": self.lost_steps,
+            "replayed_steps": self.replayed_steps,
+            "final_world": self.final_world,
+            "final_loss": self.losses[-1] if self.losses else None,
+            "checkpoints_written": self.checkpoints_written,
+            "world_trajectory": [list(t) for t in self.world_trajectory],
+            "recoveries": [r.to_dict() for r in self.reports],
+            "trace": [e.to_dict() for e in self.trace],
+        }
+
+
+def _scenario_graph(name: str = "elastic_cnn"):
+    """The scenario's model: a small CNN (no BN, so data-parallel runs
+    are bit-exact at any world size)."""
+    b = GraphBuilder(name)
+    b.input((3, 8, 8))
+    b.conv(4, 3)
+    b.relu()
+    b.conv(8, 3)
+    b.relu()
+    b.pool(2, 2)
+    b.global_avg_pool()
+    b.flatten()
+    b.linear(4)
+    b.softmax()
+    b.loss()
+    return b.finish()
+
+
+class ChurnScenario:
+    """Run a real data-parallel trainer through a fault trace.
+
+    Args:
+        config: scenario knobs.
+        checkpoint_dir: directory for the periodic archives (required —
+            restart-from-checkpoint is the scenario's whole point).
+        trace: a recorded trace; omitted, a synthetic one is generated
+            from ``config`` (seeded, divisibility-safe).
+    """
+
+    def __init__(self, config: ScenarioConfig, checkpoint_dir: str,
+                 trace: Optional[FaultTrace] = None) -> None:
+        self.config = config
+        self.checkpoint_dir = checkpoint_dir
+        self.graph = _scenario_graph()
+        self.trace = trace if trace is not None else synthetic_trace(
+            config.seed, steps=config.steps, world=config.world,
+            preemptions=config.preemptions, joins=config.joins,
+            slowdowns=config.slowdowns, dirty_rate=config.dirty_rate,
+            allowed_worlds=divisor_worlds(config.global_batch))
+        self.trace.validate(config.world)
+        for w in self._worlds_visited():
+            if config.global_batch % w:
+                raise ValueError(
+                    f"trace visits world {w}, which does not divide the "
+                    f"global batch {config.global_batch}")
+        # one warm cache across the whole run: a replan at a previously
+        # seen world size replays the cached Opt-1/Opt-2 decisions
+        self._cache = PlanCache(persist=False)
+        self._plans: Dict[int, ExecutionPlan] = {}
+
+    def _worlds_visited(self) -> List[int]:
+        worlds, w = [self.config.world], self.config.world
+        for e in self.trace:
+            if e.kind is FaultKind.PREEMPT:
+                w -= e.nodes
+            elif e.kind is FaultKind.JOIN:
+                w += e.nodes
+            worlds.append(w)
+        return worlds
+
+    def plan_for(self, world: int) -> ExecutionPlan:
+        """The (cached) KARMA plan for this model at ``world`` workers."""
+        if world not in self._plans:
+            kp = karma_plan(self.graph,
+                            self.config.global_batch // world,
+                            method="dp", cache=self._cache)
+            self._plans[world] = kp.plan
+        return self._plans[world]
+
+    def _make_trainer(self, world: int) -> DataParallelKarmaTrainer:
+        cfg = self.config
+        return DataParallelKarmaTrainer(
+            self.graph, self.plan_for(world), world,
+            cfg.near_capacity, cfg.far_capacity,
+            optimizer=HostSGD(lr=cfg.lr, momentum=cfg.momentum),
+            dtype=np.float64, seed=cfg.seed)
+
+    def run(self) -> ScenarioResult:
+        """Train through the trace end to end; returns the result.
+
+        Raises :class:`~repro.elastic.controller.RecoveryImpossible` if
+        the cascade is ever exhausted (it should not be, with
+        checkpointing enabled).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        # the whole dataset up front: a restart replays *these* batches
+        xs = rng.standard_normal(
+            (cfg.steps, cfg.global_batch, 3, 8, 8))
+        ys = rng.integers(0, 4, (cfg.steps, cfg.global_batch))
+        state = {"trainer": self._make_trainer(cfg.world)}
+        manager = CheckpointManager(self.checkpoint_dir,
+                                    interval=cfg.checkpoint_interval,
+                                    keep=cfg.keep)
+        injector = FaultInjector(self.trace)
+
+        def resize(world: int) -> None:
+            t = state["trainer"]
+            if world < t.world_size:
+                t.shrink_world(world)
+            else:
+                t.grow_world(world)
+
+        def replan(world: int) -> None:
+            state["trainer"].apply_plan(self.plan_for(world))
+
+        def degrade(world: int) -> None:
+            # keep the old plan verbatim: zero planning cost.  The
+            # numeric MemorySpace has no deeper tier to demote into —
+            # tiered plans degrade via controller.demote_plan instead.
+            return None
+
+        def have_checkpoint() -> bool:
+            manager.wait()
+            return manager.last_good is not None
+
+        def restart(world: int) -> int:
+            # §II-B relaunch: fresh trainer at one worker, restore the
+            # newest good archive (params + optimizer slots), then grow
+            # to the survivor count by cloning worker 0
+            manager.wait()
+            rebuilt = self._make_trainer(1)
+            step, extras = manager.restore_latest(rebuilt.models[0])
+            rebuilt.optimizer.load_state_dict(extras)
+            rebuilt.grow_world(world)
+            rebuilt.step_count = step
+            state["trainer"] = rebuilt
+            return step
+
+        controller = RecoveryController(
+            cfg.policy, resize=resize, replan=replan, degrade=degrade,
+            restart=restart, have_checkpoint=have_checkpoint,
+            seed=cfg.seed)
+        losses: Dict[int, float] = {}
+        trajectory = [(0, cfg.world)]
+        steps_run = 0
+        checkpoints = 0
+        try:
+            # launch archive: a dirty preemption before the first
+            # periodic checkpoint must still be survivable
+            manager.save(state["trainer"].models[0], 0,
+                         extra=state["trainer"].optimizer.state_dict())
+            checkpoints += 1
+            step = 0
+            while step < cfg.steps:
+                for event in injector.poll(step):
+                    world = state["trainer"].world_size
+                    report = controller.recover(event, world=world,
+                                                step=step)
+                    if report.decision == "restart":
+                        assert report.resumed_step is not None
+                        step = report.resumed_step
+                    if state["trainer"].world_size != world:
+                        trajectory.append(
+                            (step, state["trainer"].world_size))
+                trainer = state["trainer"]
+                losses[step] = trainer.train_step(xs[step], ys[step])
+                steps_run += 1
+                step += 1
+                if manager.maybe_save(
+                        trainer.models[0], step,
+                        extra=trainer.optimizer.state_dict()) is not None:
+                    checkpoints += 1
+        finally:
+            manager.close()
+        trainer = state["trainer"]
+        trainer.assert_replicas_identical()
+        lost = sum(r.lost_steps for r in controller.reports)
+        METRICS.gauge("elastic.final_world").set(trainer.world_size)
+        return ScenarioResult(
+            losses=[losses[s] for s in range(cfg.steps)],
+            reports=list(controller.reports),
+            world_trajectory=trajectory,
+            final_world=trainer.world_size,
+            steps_run=steps_run,
+            lost_steps=lost,
+            checkpoints_written=checkpoints,
+            trace=self.trace)
+
+
+# -- modeled twin -----------------------------------------------------------
+
+
+@dataclass
+class ChurnTimeline:
+    """Deterministic modeled cost of a trace (the benchmarked object)."""
+
+    steps: int
+    world0: int
+    events: List[Dict[str, Any]]
+    total_s: float
+    no_churn_s: float
+    throughput_ratio: float           # churn throughput / no-churn ceiling
+    mean_time_to_recover_s: float
+    max_time_to_recover_s: float
+    total_lost_steps: int
+    world_trajectory: List[Tuple[int, int]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the bench artifact."""
+        return {
+            "steps": self.steps,
+            "world0": self.world0,
+            "events": self.events,
+            "total_s": round(self.total_s, 6),
+            "no_churn_s": round(self.no_churn_s, 6),
+            "throughput_ratio": round(self.throughput_ratio, 6),
+            "mean_time_to_recover_s": round(self.mean_time_to_recover_s,
+                                            6),
+            "max_time_to_recover_s": round(self.max_time_to_recover_s, 6),
+            "total_lost_steps": self.total_lost_steps,
+            "world_trajectory": [list(t) for t in self.world_trajectory],
+        }
+
+
+def simulate_churn(trace: FaultTrace, *, steps: int, world: int,
+                   global_batch: int,
+                   t_iter: Optional[Callable[[int], float]] = None,
+                   compute_s_per_sample: float = 0.05,
+                   comm_base_s: float = 0.01,
+                   comm_per_worker_s: float = 0.004,
+                   replan_cold_s: float = 0.8,
+                   replan_warm_s: float = 0.02,
+                   restart_s: float = 5.0,
+                   degrade_overhead: float = 1.15,
+                   checkpoint_interval: int = 3,
+                   policy: Optional[RecoveryPolicy] = None
+                   ) -> ChurnTimeline:
+    """Price a churn trace against a modeled iteration time.
+
+    Fully deterministic (no clock, no RNG): the same trace and knobs
+    always produce the same timeline, which is why the elastic benchmark
+    gates these numbers.  Decisions come from the *same*
+    :meth:`RecoveryPolicy.decide` table the real controller uses, with
+    the estimated replan cost set to ``replan_cold_s`` for a never-seen
+    world size and ``replan_warm_s`` for a cache-warm repeat.
+
+    Args:
+        trace: the churn trace to price.
+        steps: training horizon.
+        world: starting world size.
+        global_batch: fixed global batch.
+        t_iter: iteration time at a given world size; defaults to the
+            analytic ``shard * compute + ring-allreduce`` model built
+            from the three constants below (pass a simulator-derived
+            callable to price a real model's schedule).
+        compute_s_per_sample: per-sample fwd+bwd+update time.
+        comm_base_s / comm_per_worker_s: allreduce latency model
+            (``base + per_worker * (w - 1)`` for ``w > 1``).
+        replan_cold_s / replan_warm_s: planner cost, cache-cold vs warm.
+        restart_s: relaunch + checkpoint-load cost of a dirty restart.
+        degrade_overhead: iteration-time multiplier while degraded.
+        checkpoint_interval: periodic checkpoint cadence (bounds the
+            replay after a dirty restart).
+        policy: decision table (defaults to :class:`RecoveryPolicy`).
+    """
+    if global_batch % world:
+        raise ValueError(f"global_batch {global_batch} not divisible by "
+                         f"world {world}")
+    trace.validate(world)
+    policy = policy or RecoveryPolicy()
+
+    def default_t_iter(w: int) -> float:
+        shard = global_batch / w
+        comm = (comm_base_s + comm_per_worker_s * (w - 1)) if w > 1 \
+            else 0.0
+        return shard * compute_s_per_sample + comm
+
+    titer = t_iter or default_t_iter
+    by_step: Dict[int, List] = {}
+    for e in trace:
+        by_step.setdefault(e.step, []).append(e)
+    w_now = world
+    seen_worlds = {world}
+    degrade_until = -1           # step index the degradation lasts to
+    degrade_mult = 1.0
+    total = 0.0
+    last_ckpt = 0
+    lost_total = 0
+    events_out: List[Dict[str, Any]] = []
+    trajectory = [(0, world)]
+    recover_times: List[float] = []
+    for step in range(steps):
+        for event in by_step.get(step, []):
+            if event.kind is FaultKind.PREEMPT:
+                w_next = w_now - event.nodes
+            elif event.kind is FaultKind.JOIN:
+                w_next = w_now + event.nodes
+            else:
+                w_next = w_now
+            est = (replan_warm_s if w_next in seen_worlds
+                   else replan_cold_s)
+            decision = policy.decide(event, survivors=w_next,
+                                     est_replan_s=est,
+                                     have_checkpoint=True)
+            cost = 0.0
+            lost = 0
+            if decision == "replan":
+                cost = est
+            elif decision == "degrade":
+                if event.kind is FaultKind.SLOWDOWN:
+                    degrade_mult = max(degrade_mult, event.factor)
+                    degrade_until = max(degrade_until,
+                                        step + event.duration)
+                else:
+                    degrade_mult = max(degrade_mult, degrade_overhead)
+                    degrade_until = steps   # sticks until the horizon
+            elif decision == "restart":
+                lost = step - last_ckpt
+                cost = restart_s + est + lost * titer(w_next)
+                lost_total += lost
+            if decision != "ignore":
+                recover_times.append(cost)
+            seen_worlds.add(w_next)
+            if w_next != w_now:
+                trajectory.append((step, w_next))
+            w_now = w_next
+            total += cost
+            events_out.append({**event.to_dict(),
+                               "decision": decision,
+                               "recover_s": round(cost, 6),
+                               "lost_steps": lost,
+                               "world_after": w_now})
+        mult = degrade_mult if step < degrade_until else 1.0
+        total += titer(w_now) * mult
+        if checkpoint_interval and (step + 1) % checkpoint_interval == 0:
+            last_ckpt = step + 1
+    no_churn = steps * titer(world)
+    return ChurnTimeline(
+        steps=steps, world0=world, events=events_out, total_s=total,
+        no_churn_s=no_churn,
+        throughput_ratio=no_churn / total if total > 0 else 1.0,
+        mean_time_to_recover_s=(sum(recover_times) / len(recover_times)
+                                if recover_times else 0.0),
+        max_time_to_recover_s=(max(recover_times) if recover_times
+                               else 0.0),
+        total_lost_steps=lost_total,
+        world_trajectory=trajectory)

@@ -9,7 +9,14 @@ streams, prefetched ahead of use and fenced before first use).  See
 """
 
 from .async_executor import AsyncOutOfCoreExecutor, RuntimeTrace
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    checkpoint_digest,
+    load_checkpoint,
+    load_checkpoint_full,
+    save_checkpoint,
+)
 from .executor import OutOfCoreExecutor, OutOfCorePlanError
 from .streams import (
     LINK_RESOURCES,
@@ -25,4 +32,6 @@ __all__ = ["OutOfCoreExecutor", "OutOfCorePlanError", "OutOfCoreTrainer",
            "AsyncOutOfCoreExecutor", "RuntimeTrace",
            "TransferPacer", "TransferStream", "TransferRequest",
            "StreamSet", "OpRecord", "LINK_RESOURCES",
-           "save_checkpoint", "load_checkpoint"]
+           "save_checkpoint", "load_checkpoint", "load_checkpoint_full",
+           "CheckpointCorruptError", "CheckpointManager",
+           "checkpoint_digest"]

@@ -13,10 +13,12 @@ changes no exception handling.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Mapping, Optional
 
+from ..obs.metrics import METRICS
 from .errors import ServiceRejection, rejection_for
 from .server import Address
 
@@ -37,13 +39,22 @@ class PlannerClient:
     def __init__(self, address: Address,
                  timeout: Optional[float] = None) -> None:
         self.address = address
-        if isinstance(address, str):
+        self.timeout = timeout
+        self._connect()
+
+    def _connect(self) -> None:
+        if isinstance(self.address, str):
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(address)
+        self._sock.settimeout(self.timeout)
+        self._sock.connect(self.address)
         self._rfile = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        """Drop the (possibly dead) connection and dial again."""
+        self.close()
+        self._connect()
 
     # -- protocol ----------------------------------------------------------
 
@@ -76,19 +87,49 @@ class PlannerClient:
         return bool(self.call("ping").get("running"))
 
     def plan(self, config: Mapping[str, Any], *,
-             deadline_s: Optional[float] = None) -> Dict[str, Any]:
+             deadline_s: Optional[float] = None,
+             retries: int = 0, backoff_s: float = 0.05,
+             backoff_factor: float = 2.0, backoff_max_s: float = 2.0,
+             jitter: float = 0.25) -> Dict[str, Any]:
         """Request one plan; returns the served response dict.
 
         The reply carries ``record`` (the plan record ``python -m repro
         plan --json`` would print), ``tier`` (hot/warm/cold) and
         ``merged`` (single-flight waiter).
+
+        Args:
+            config: the planning request.
+            deadline_s: per-request deadline forwarded to the daemon.
+            retries: extra attempts after a *retryable* rejection (a
+                shed request, a chaos-crashed worker) or a dropped
+                connection; deterministic rejections (bad request,
+                planning failure) are never retried.
+            backoff_s / backoff_factor / backoff_max_s / jitter:
+                exponential-backoff shape between attempts
+                (``backoff_s * factor^n``, capped, +/- ``jitter``
+                fraction of uniform noise).
         """
         fields: Dict[str, Any] = {"config": dict(config)}
         if deadline_s is not None:
             fields["deadline_s"] = float(deadline_s)
-        reply = self.call("plan", **fields)
-        reply.pop("ok", None)
-        return reply
+        delay = backoff_s
+        for attempt in range(retries + 1):
+            try:
+                reply = self.call("plan", **fields)
+                reply.pop("ok", None)
+                return reply
+            except (ServiceRejection, OSError) as exc:
+                retryable = (isinstance(exc, OSError)
+                             or getattr(exc, "retryable", False))
+                if not retryable or attempt >= retries:
+                    raise
+                METRICS.counter("service.client_retries").inc()
+                time.sleep(min(delay, backoff_max_s)
+                           * (1.0 + random.uniform(-jitter, jitter)))
+                delay *= backoff_factor
+                if isinstance(exc, OSError):
+                    self._reconnect()
+        raise AssertionError("unreachable")  # loop always returns/raises
 
     def place(self, job_id: str,
               tier_bytes: Mapping[Any, Any]) -> Dict[str, Any]:
@@ -127,19 +168,32 @@ class PlannerClient:
 
 
 def wait_for_server(address: Address, *, timeout: float = 10.0,
-                    interval: float = 0.05) -> bool:
+                    interval: float = 0.05, backoff_factor: float = 1.5,
+                    max_interval: float = 1.0,
+                    jitter: float = 0.2) -> bool:
     """Poll until a daemon answers ``ping`` at ``address``.
 
     Returns True once the server responds, False when ``timeout``
     elapses first — the CI smoke test uses this to sequence a
-    just-forked daemon and its first client without sleeps.
+    just-forked daemon and its first client without sleeps.  Polling
+    backs off exponentially (``interval * backoff_factor^n``, capped at
+    ``max_interval``) with +/- ``jitter`` fraction of uniform noise, so
+    many clients racing one slow daemon don't synchronize into poll
+    bursts the way a fixed interval does.
     """
     deadline = time.monotonic() + timeout
+    delay = interval
     while time.monotonic() < deadline:
         try:
-            with PlannerClient(address, timeout=interval * 10) as client:
+            with PlannerClient(address, timeout=max(0.5, delay * 10)) \
+                    as client:
                 client.ping()
                 return True
         except (OSError, ServiceRejection, json.JSONDecodeError):
-            time.sleep(interval)
+            remaining = deadline - time.monotonic()
+            sleep = delay * (1.0 + random.uniform(-jitter, jitter))
+            if remaining <= 0:
+                break
+            time.sleep(min(sleep, max(0.0, remaining)))
+            delay = min(delay * backoff_factor, max_interval)
     return False

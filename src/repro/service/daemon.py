@@ -51,6 +51,7 @@ from .errors import (
     QueueFull,
     ServiceClosed,
     ServiceRejection,
+    WorkerCrashed,
 )
 
 __all__ = ["ServiceConfig", "PlanResponse", "PlannerDaemon", "request_key"]
@@ -176,15 +177,24 @@ class PlannerDaemon:
             against ``cache``.
         cluster: optional :class:`~repro.service.cluster.ClusterArbiter`
             backing :meth:`place`/:meth:`release`.
+        chaos: chaos-mode hook, typically a
+            :class:`~repro.elastic.faults.ChaosMonkey` — called once per
+            dequeued job; ``True`` makes the worker thread "crash": the
+            request resolves with a retryable
+            :class:`~repro.service.errors.WorkerCrashed` rejection, the
+            thread exits, and a replacement worker is respawned.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
                  cache: Optional[PlanCache] = None,
                  planner: Optional[PlannerFn] = None,
-                 cluster: Optional[ClusterArbiter] = None) -> None:
+                 cluster: Optional[ClusterArbiter] = None,
+                 chaos: Optional[Callable[[], bool]] = None) -> None:
         self.config = config or ServiceConfig()
         self.cache = cache
         self.cluster = cluster
+        self.chaos = chaos
+        self._respawned = 0
         self._planner: PlannerFn = planner or self._default_planner
         self._budget = WorkerBudget(
             self.config.pool_workers,
@@ -405,6 +415,18 @@ class PlannerDaemon:
                         f"deadline expired while plan {job.key[:16]} "
                         "was queued"))
                     continue
+                if self.chaos is not None and self.chaos():
+                    # chaos mode: this worker "crashes" mid-plan — the
+                    # flight resolves with a retryable rejection instead
+                    # of hanging its waiters, and a fresh worker replaces
+                    # this thread before it exits
+                    METRICS.counter("service.worker_crashes").inc()
+                    self._resolve(job.flight, error=WorkerCrashed(
+                        f"worker {threading.current_thread().name} "
+                        f"crashed while serving plan {job.key[:16]}; "
+                        "retry against the respawned worker"))
+                    self._respawn()
+                    return
                 try:
                     with TRACER.span("service.plan", "service",
                                      key=job.key[:16]):
@@ -426,6 +448,25 @@ class PlannerDaemon:
                         f"{type(exc).__name__}: {exc}"))
             finally:
                 self._queue.task_done()
+
+    def _respawn(self) -> None:
+        """Replace a crashed worker thread (no-op once stopping).
+
+        Runs under ``_state_lock`` so it cannot race :meth:`stop`: either
+        the replacement lands in ``_threads`` before stop snapshots the
+        list (and receives its own ``_STOP``), or the daemon is already
+        stopping and no replacement is spawned.
+        """
+        with self._state_lock:
+            if not self._running:
+                return
+            self._respawned += 1
+            thread = threading.Thread(
+                target=self._worker, daemon=True,
+                name=f"plan-worker-respawn-{self._respawned}")
+            self._threads.append(thread)
+        thread.start()
+        METRICS.counter("service.workers_respawned").inc()
 
     def _default_planner(self, config: Dict[str, Any],
                          n_workers: int) -> Dict[str, Any]:

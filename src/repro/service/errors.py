@@ -22,6 +22,7 @@ __all__ = [
     "PlanningFailed",
     "PlacementDenied",
     "BadRequest",
+    "WorkerCrashed",
     "rejection_for",
 ]
 
@@ -31,16 +32,21 @@ class ServiceRejection(RuntimeError):
 
     ``code`` is the stable wire identifier for the rejection type; the
     base class's ``"rejected"`` also serves as the catch-all when a
-    client receives a code minted by a newer server.
+    client receives a code minted by a newer server.  ``retryable``
+    marks transient rejections a client may retry with backoff
+    (saturation, a crashed worker) as opposed to deterministic ones
+    (a bad request fails identically every time).
     """
 
     code = "rejected"
+    retryable = False
 
 
 class QueueFull(ServiceRejection):
     """Admission control shed the request: the queue is at depth."""
 
     code = "queue_full"
+    retryable = True
 
 
 class DeadlineExpired(ServiceRejection):
@@ -73,11 +79,23 @@ class BadRequest(ServiceRejection):
     code = "bad_request"
 
 
+class WorkerCrashed(ServiceRejection):
+    """A daemon worker died mid-plan (chaos injection or a real fault).
+
+    The request itself was well-formed — a retry against the respawned
+    worker is expected to succeed, hence ``retryable``.
+    """
+
+    code = "worker_crashed"
+    retryable = True
+
+
 #: Wire code -> rejection class, for protocol round-tripping.
 REJECTIONS: Dict[str, Type[ServiceRejection]] = {
     cls.code: cls
     for cls in (QueueFull, DeadlineExpired, ServiceClosed, PlanningFailed,
-                PlacementDenied, BadRequest, ServiceRejection)
+                PlacementDenied, BadRequest, WorkerCrashed,
+                ServiceRejection)
 }
 
 

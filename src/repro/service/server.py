@@ -29,8 +29,10 @@ import json
 import os
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple, Union, cast
 
+from ..obs.metrics import METRICS
 from .daemon import PlannerDaemon
 from .errors import BadRequest, ServiceRejection
 
@@ -104,6 +106,8 @@ class PlannerServer:
         self._server: Optional[socketserver.BaseServer] = None
         self._thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        self._active = 0
+        self._active_cond = threading.Condition()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -138,12 +142,35 @@ class PlannerServer:
         assert self._server is not None
         self._server.serve_forever()
 
-    def stop(self) -> None:
-        """Stop accepting connections and release the socket."""
+    @property
+    def active_requests(self) -> int:
+        """Requests currently inside :meth:`handle_request`."""
+        with self._active_cond:
+            return self._active
+
+    def stop(self, drain_s: float = 5.0) -> None:
+        """Stop accepting connections, drain in-flight requests, close.
+
+        A graceful shutdown: the serve loop stops first (no new
+        connections), then requests already inside
+        :meth:`handle_request` get up to ``drain_s`` seconds to finish
+        and flush their replies before the listening socket closes.
+        Requests still running after the window are abandoned (counted
+        in ``service.drain_timeouts``); ``drain_s=0`` restores the old
+        immediate-close behaviour.
+        """
         srv = self._server
         if srv is None:
             return
         srv.shutdown()
+        deadline = time.monotonic() + max(0.0, drain_s)
+        with self._active_cond:
+            while self._active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    METRICS.counter("service.drain_timeouts").inc()
+                    break
+                self._active_cond.wait(remaining)
         srv.server_close()
         if self._thread is not None:
             self._thread.join()
@@ -161,7 +188,21 @@ class PlannerServer:
     # -- protocol ----------------------------------------------------------
 
     def handle_request(self, line: str) -> str:
-        """Serve one protocol line; always returns a JSON reply line."""
+        """Serve one protocol line; always returns a JSON reply line.
+
+        Tracked in the in-flight counter so :meth:`stop` can drain
+        running requests before closing the socket.
+        """
+        with self._active_cond:
+            self._active += 1
+        try:
+            return self._handle_line(line)
+        finally:
+            with self._active_cond:
+                self._active -= 1
+                self._active_cond.notify_all()
+
+    def _handle_line(self, line: str) -> str:
         try:
             msg = json.loads(line)
         except json.JSONDecodeError as exc:

@@ -35,7 +35,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 #: Packages whose public surface must be documented.
 COVERED_PACKAGES = ("repro.core", "repro.runtime", "repro.obs",
-                    "repro.service")
+                    "repro.service", "repro.elastic")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
