@@ -16,6 +16,8 @@ Usage::
     python -m repro validate
     python -m repro validate --config cnn gpt --target-wall 0.5 --json
     python -m repro elastic --steps 12 --world 4 --dirty-rate 0.5
+    python -m repro trace unet --server /tmp/planner.sock --hierarchy abci
+    python -m repro top /tmp/planner.sock --interval 1
 
 A manifest is a JSON list of configuration objects (or ``{"configs":
 [...]}``); each object takes the same keys as the single-config flags::
@@ -700,7 +702,81 @@ def _run_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_via_server(args: argparse.Namespace) -> int:
+    """The ``trace --server`` path: one distributed-trace round trip.
+
+    Mints a fresh :class:`~repro.obs.trace.TraceContext`, plans through
+    a running daemon with span collection, and stitches the local client
+    span together with the daemon/worker spans shipped back in the reply
+    into one multi-process Chrome trace timeline.
+    """
+    from .models.registry import REGISTRY
+    from .obs.export import (
+        chrome_trace,
+        stitched_trace_events,
+        write_chrome_trace,
+    )
+    from .obs.trace import TRACER, TraceContext, span_from_dict
+    from .service.client import PlannerClient
+    from .service.errors import ServiceRejection
+    from .service.server import parse_address
+
+    name = args.config
+    if name not in REGISTRY:
+        print(f"error: trace --server plans registered models only; "
+              f"known: {sorted(REGISTRY)}", file=sys.stderr)
+        return 2
+    config: Dict[str, Any] = {
+        "model": name, "batch": args.batch,
+        "hierarchy": args.hierarchy, "link": args.link,
+        **({"capacity": args.capacity}
+           if args.capacity is not None else {})}
+    output = args.output or f"trace_{name}.json"
+    address = parse_address(args.server)
+
+    ctx = TraceContext.new()
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        with TRACER.activate(ctx), \
+                TRACER.span("client.plan", "client", track="client",
+                            model=name, server=str(args.server)):
+            with PlannerClient(address, timeout=60.0) as client:
+                reply = client.plan(config, deadline_s=args.deadline,
+                                    trace=ctx, collect_spans=True,
+                                    retries=args.retries)
+    except ServiceRejection as exc:
+        print(f"error: daemon rejected the plan ({exc.code}): {exc}",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach planner daemon at {args.server}: "
+              f"{exc}", file=sys.stderr)
+        return 2
+    finally:
+        spans = TRACER.drain()
+        TRACER.disable()
+
+    spans.extend(span_from_dict(d) for d in reply.get("spans") or [])
+    path = write_chrome_trace(output, chrome_trace(
+        stitched_trace_events(spans)))
+
+    record = dict(reply.get("record") or {})
+    record["tier"] = reply.get("tier", "?")
+    record["wall_s"] = float(reply.get("wall_s", 0.0))
+    procs = sorted({s.proc or "client" for s in spans})
+    print(_format_result(record))
+    print(f"  distributed trace {ctx.trace_id}: {len(spans)} span(s) "
+          f"across {len(procs)} process(es): {', '.join(procs)}")
+    _trace_notice(path)
+    _dump_metrics(args.metrics)
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
+    if args.server is not None:
+        return _trace_via_server(args)
+
     from .eval.validation import VALIDATION_CONFIGS, validate_config
     from .models.registry import REGISTRY
     from .obs.trace import TRACER
@@ -753,6 +829,101 @@ def _run_trace(args: argparse.Namespace) -> int:
     print(summary)
     _trace_notice(path)
     _dump_metrics(args.metrics)
+    return 0
+
+
+def _hist_line(hists: Dict[str, Any], name: str) -> str:
+    """One ``p50/p95/p99 (n)`` line for a histogram summary, in ms."""
+    h = hists.get(name) or {}
+    if not h.get("count"):
+        return "no samples yet"
+    return (f"p50={h.get('p50', 0.0) * 1e3:8.1f}ms  "
+            f"p95={h.get('p95', 0.0) * 1e3:8.1f}ms  "
+            f"p99={h.get('p99', 0.0) * 1e3:8.1f}ms  "
+            f"(n={h.get('count', 0):.0f})")
+
+
+def _hit_ratio(hits: float, total: float) -> str:
+    return f"{hits / total:5.1%}" if total else "  n/a"
+
+
+def _render_top(frame: Dict[str, Any], *, seq: int, addr: str) -> str:
+    """Render one telemetry frame as the ``top`` one-screen view."""
+    metrics = frame.get("metrics") or {}
+    c: Dict[str, float] = metrics.get("counters") or {}
+    hists: Dict[str, Any] = metrics.get("histograms") or {}
+    requests = c.get("service.requests", 0)
+    warm_hits = c.get("plan_cache.hits", 0)
+    warm_total = warm_hits + c.get("plan_cache.misses", 0)
+    lines = [
+        f"planner daemon at {addr} — up {frame.get('uptime_s', 0.0):.1f}s, "
+        f"frame {seq + 1}"
+        + ("" if frame.get("running") else "  [NOT RUNNING]"),
+        f"  queue      : {frame.get('queue_depth', 0)}/"
+        f"{frame.get('queue_capacity', 0)} deep   "
+        f"workers {frame.get('workers_free', 0)}/"
+        f"{frame.get('pool_workers', 0)} free",
+        f"  hot tier   : {frame.get('hot_entries', 0)}/"
+        f"{frame.get('hot_capacity', 0)} entries   hit ratio "
+        f"{_hit_ratio(c.get('service.plans.hot', 0), requests)} hot / "
+        f"{_hit_ratio(warm_hits, warm_total)} warm",
+        f"  requests   : {requests:.0f} total   "
+        f"{c.get('service.singleflight_merges', 0):.0f} merged "
+        f"(single-flight)   "
+        f"{c.get('service.rejected.queue_full', 0):.0f} shed   "
+        f"{c.get('service.rejected.deadline', 0):.0f} deadline   "
+        f"{c.get('service.plan_failures', 0):.0f} failed",
+        f"  plan       : {_hist_line(hists, 'service.latency.plan')}",
+        f"  queue wait : {_hist_line(hists, 'service.latency.queue')}",
+        f"  end-to-end : {_hist_line(hists, 'service.request_seconds')}",
+        f"  elastic    : {c.get('elastic.recoveries', 0):.0f} recoveries   "
+        f"{c.get('elastic.degrades', 0):.0f} degrades   "
+        f"{c.get('service.worker_crashes', 0):.0f} crash(es) / "
+        f"{c.get('service.workers_respawned', 0):.0f} respawned",
+        f"  flight     : {c.get('flight.spans', 0):.0f} spans   "
+        f"{c.get('flight.events', 0):.0f} events   "
+        f"{c.get('flight.dumps', 0):.0f} dump(s)",
+    ]
+    cluster = frame.get("cluster")
+    if cluster:
+        lines.append(f"  cluster    : {json.dumps(cluster, sort_keys=True)}")
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """The ``top`` subcommand: live telemetry view of a running daemon."""
+    from .service.client import PlannerClient
+    from .service.errors import ServiceRejection
+    from .service.server import parse_address
+
+    address = parse_address(args.addr)
+    count = args.count if args.count > 0 else 1 << 30
+    one_shot = args.count == 1
+    try:
+        # per-frame readline blocks interval seconds; pad the socket
+        # timeout well past it so a healthy stream never times out
+        with PlannerClient(address,
+                           timeout=args.interval + 30.0) as client:
+            for seq, frame in enumerate(
+                    client.telemetry(count=count,
+                                     interval_s=args.interval)):
+                if args.json:
+                    print(json.dumps(frame, sort_keys=True), flush=True)
+                    continue
+                if not one_shot:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(_render_top(frame, seq=seq, addr=args.addr),
+                      flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except ServiceRejection as exc:
+        print(f"error: daemon at {args.addr} rejected telemetry "
+              f"({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot watch planner daemon at {args.addr}: {exc}",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -962,7 +1133,34 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--metrics", metavar="PATH", default=None,
                    help="write the process metrics snapshot as JSON "
                         "('-' for stdout)")
+    t.add_argument("--server", metavar="ADDR", default=None,
+                   help="distributed mode: plan via a running daemon "
+                        "('serve') and stitch the client, daemon, and "
+                        "pool-worker spans into one timeline "
+                        "(registered-model configs)")
+    t.add_argument("--deadline", type=float, default=None,
+                   help="with --server: seconds to wait before the "
+                        "daemon sheds this request")
+    t.add_argument("--retries", type=int, default=0,
+                   help="with --server: extra attempts after a "
+                        "retryable rejection (shed queue, crashed "
+                        "worker)")
     t.set_defaults(func=_run_trace)
+
+    w = sub.add_parser(
+        "top",
+        help="live one-screen telemetry view of a running planner "
+             "daemon (queue depth, hit ratios, latency percentiles)")
+    w.add_argument("addr", help="daemon address: a unix socket path or "
+                                "host:port")
+    w.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between telemetry frames")
+    w.add_argument("--count", type=int, default=0,
+                   help="stop after N frames (0 = run until Ctrl-C)")
+    w.add_argument("--json", action="store_true",
+                   help="emit one JSON telemetry frame per line instead "
+                        "of the screen view")
+    w.set_defaults(func=_run_top)
     return parser
 
 

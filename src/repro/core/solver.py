@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 import pickle
 import threading
 from contextlib import contextmanager
@@ -44,7 +45,7 @@ import numpy as np
 from scipy import optimize, sparse
 
 from ..obs.metrics import METRICS
-from ..obs.trace import TRACER
+from ..obs.trace import TRACER, TraceContext, span_to_dict
 
 #: Version of the search semantics.  Bump whenever a change to the solver
 #: suite (objective, candidate portfolio, tie-breaking, placement sweep)
@@ -354,25 +355,53 @@ def _score(evaluate: Callable[..., float],
 # Per-process state for portfolio workers: the evaluator travels once per
 # worker (pool initializer), not once per task — the evaluator carries the
 # whole cost model, and re-pickling it for every grid point dominated the
-# sweep at ResNet-1001 scale.
+# sweep at ResNet-1001 scale.  When the sweep is traced, the initializer
+# also adopts the request's TraceContext and attaches a per-worker span
+# collector ("sink") so shards ship their spans back with each result.
 _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_portfolio_worker(evaluate: Callable[..., float],
-                           reject_on: Tuple[Type[BaseException], ...]
-                           ) -> None:
+                           reject_on: Tuple[Type[BaseException], ...],
+                           trace: Optional[TraceContext] = None) -> None:
     _WORKER_STATE["evaluate"] = evaluate
     _WORKER_STATE["reject_on"] = reject_on
+    if trace is not None:
+        TRACER.adopt_context(trace)
+        _WORKER_STATE["sink"] = TRACER.attach_collector(trace.trace_id)
+        _WORKER_STATE["proc"] = f"worker-{os.getpid()}"
 
 
 def _score_combo(task: Tuple[int, Tuple[int, ...], Tuple[object, ...]]
-                 ) -> Tuple[int, float, Optional[Tuple[str, str]]]:
+                 ) -> Tuple[int, float, Optional[Tuple[str, str]],
+                            Optional[List[Dict[str, object]]]]:
     """Price one grid point in a pool worker; must stay module-level
-    (process workers pickle it by reference)."""
+    (process workers pickle it by reference).
+
+    Returns ``(index, value, error, spans)`` — ``spans`` is the wire
+    rendering of the spans this shard recorded for the grid point (None
+    when the sweep is untraced), labeled with this worker's ``proc``
+    name so the stitched exporter renders one row per pool process.
+    """
     index, cand, combo = task
     evaluate = _WORKER_STATE["evaluate"]
     reject_on = _WORKER_STATE["reject_on"]
-    return _score(evaluate, reject_on, index, cand, combo)  # type: ignore[arg-type]
+    sink = _WORKER_STATE.get("sink")
+    if sink is None:
+        s = _score(evaluate, reject_on, index, cand, combo)  # type: ignore[arg-type]
+        return s[0], s[1], s[2], None
+    with TRACER.span(f"opt1.eval[{index}]", "solver", track="sweep",
+                     boundaries=len(cand)) as sp:
+        s = _score(evaluate, reject_on, index, cand, combo)  # type: ignore[arg-type]
+        sp.set(value=(None if math.isinf(s[1]) else round(s[1], 9)),
+               rejected=s[2] is not None)
+    proc = str(_WORKER_STATE["proc"])
+    shipped: List[Dict[str, object]] = []
+    for span in sink:  # type: ignore[union-attr]
+        span.proc = proc
+        shipped.append(span_to_dict(span))
+    del sink[:]  # type: ignore[union-attr]
+    return s[0], s[1], s[2], shipped
 
 
 def _parallelizable(evaluate: Callable[..., float],
@@ -433,7 +462,7 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
 
     scores: List[Tuple[int, float, Optional[Tuple[str, str]]]] = []
     if use_workers == 1:
-        if TRACER.enabled:
+        if TRACER.enabled or TRACER.current() is not None:
             # per-candidate progress spans: which grid point the sweep is
             # on, what it scored, whether it was rejected mid-sweep
             with TRACER.span("opt1.sweep", "solver", grid=len(grid),
@@ -459,15 +488,28 @@ def portfolio_search(candidates: Sequence[Sequence[int]],
         except ValueError:          # pragma: no cover - non-POSIX hosts
             ctx = mp.get_context("spawn")
         chunk = max(1, len(grid) // (4 * use_workers))
-        # shard spans stay sweep-granular: grid points are priced in
-        # worker *processes*, whose tracer buffers do not travel back
+        # when the sweep is traced (globally, or per-request via an
+        # activated context), workers adopt the trace and ship their
+        # per-eval spans back with each result
+        wire_trace = TRACER.current()
+        if wire_trace is None and TRACER.enabled:
+            wire_trace = TraceContext.new()
         with TRACER.span("opt1.sweep", "solver", grid=len(grid),
-                         workers=use_workers, shard_size=chunk):
+                         workers=use_workers, shard_size=chunk) as sweep_sp:
             with ProcessPoolExecutor(max_workers=use_workers,
                                      mp_context=ctx,
                                      initializer=_init_portfolio_worker,
-                                     initargs=(evaluate, reject_on)) as pool:
-                scores = list(pool.map(_score_combo, grid, chunksize=chunk))
+                                     initargs=(evaluate, reject_on,
+                                               wire_trace)) as pool:
+                raw = list(pool.map(_score_combo, grid, chunksize=chunk))
+            shipped = 0
+            for index, value, error, spans in raw:
+                if spans:
+                    TRACER.adopt(spans)
+                    shipped += len(spans)
+                scores.append((index, value, error))
+            if shipped:
+                sweep_sp.set(shipped_spans=shipped)
 
     METRICS.counter("solver.grid_points").inc(len(grid))
     best_index: Optional[int] = None

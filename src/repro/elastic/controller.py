@@ -36,6 +36,7 @@ from ..core.schedule import ExecutionPlan
 from ..core.stages import make_plan
 from ..costs.profiler import CostModel
 from ..hardware.tiering import MemoryHierarchy
+from ..obs.flight import FLIGHT
 from ..obs.metrics import METRICS
 from ..obs.trace import TRACER
 from ..tiering.placement import (
@@ -368,6 +369,9 @@ class RecoveryController:
         report.tried.append("restart")
         if not self._have_checkpoint():
             METRICS.counter("elastic.recovery_impossible").inc()
+            FLIGHT.dump("recovery_impossible",
+                        detail={"world": world, "cause": "no_checkpoint",
+                                "tried": list(report.tried)})
             raise RecoveryImpossible(
                 f"cannot restart on {world} worker(s): no checkpoint was "
                 "ever written (enable periodic checkpointing)")
@@ -377,6 +381,11 @@ class RecoveryController:
                                       lambda: self._restart(world))
             except RestartFailed as exc:
                 METRICS.counter("elastic.recovery_impossible").inc()
+                FLIGHT.dump("recovery_impossible",
+                            detail={"world": world,
+                                    "cause": "restart_failed",
+                                    "error": str(exc),
+                                    "tried": list(report.tried)})
                 raise RecoveryImpossible(
                     f"restart failed after {self.policy.max_attempts} "
                     f"attempt(s): {exc}") from exc

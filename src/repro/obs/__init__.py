@@ -17,6 +17,16 @@ the *inside* of a planning or validation run inspectable:
   timeline, and a measured
   :class:`~repro.runtime.async_executor.RuntimeTrace` timeline, so
   predicted-vs-measured schedules can be eyeballed side by side.
+* :mod:`repro.obs.flight` — an always-on bounded flight recorder of
+  recent spans and structured events, dumped atomically to a JSON
+  postmortem artifact on daemon/worker crashes, unrecoverable elastic
+  failures, and on demand via the ``dump`` protocol op.
+
+Distributed tracing rides on :class:`~repro.obs.trace.TraceContext`:
+``plan --server`` requests mint one per call, the wire protocol carries
+it daemon-side, and pool workers ship their spans back so
+:func:`~repro.obs.export.stitched_trace_events` can render one
+client/daemon/worker timeline.
 
 ``python -m repro trace <config> -o out.json`` (and the ``--trace`` /
 ``--metrics`` flags on ``plan`` and ``validate``) are the CLI front ends;
@@ -24,12 +34,19 @@ see ``docs/observability.md``.
 """
 
 from .metrics import METRICS, MetricsRegistry
-from .trace import TRACER, Span, Tracer
+from .trace import TRACER, Span, TraceContext, Tracer
+
+# Importing .flight registers FLIGHT as the tracer's span sink, so any
+# ``repro.obs`` import is enough to arm the crash recorder.
+from .flight import FLIGHT, FlightRecorder
 
 __all__ = [
+    "FLIGHT",
+    "FlightRecorder",
     "METRICS",
     "MetricsRegistry",
     "TRACER",
     "Span",
+    "TraceContext",
     "Tracer",
 ]

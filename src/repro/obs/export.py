@@ -38,6 +38,7 @@ __all__ = [
     "runtime_track_events",
     "sim_track_events",
     "span_track_events",
+    "stitched_trace_events",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]
@@ -119,6 +120,91 @@ def span_track_events(spans: "Sequence[Span]", *, pid: int,
         events.append(_complete(s.name, s.category, s.start - t0,
                                 s.end - t0, pid, tids[s.track], args))
     return events
+
+
+def stitched_trace_events(spans: "Sequence[Span]", *,
+                          client_proc: str = "client"
+                          ) -> List[Dict[str, Any]]:
+    """Stitch spans from several processes into one aligned timeline.
+
+    Input is the union of locally recorded client spans and
+    wire-shipped daemon/worker spans (``Span.proc`` names the origin
+    process; empty means the local ``client_proc``).  Unlike
+    :func:`span_track_events`, every process shares ONE global ``t0`` —
+    span timestamps are ``time.perf_counter`` readings, which on Linux
+    is the system-wide ``CLOCK_MONOTONIC``, so client, daemon and
+    forked pool-worker clocks are directly comparable and the rendered
+    rows line up in true wall-clock order.
+
+    Each origin process becomes its own ``pid`` row (client first, then
+    the daemon, then workers), with per-process tracks as threads.
+    Span ``trace_id``s are surfaced in event args, and single-flight
+    merges — waiter spans carrying a ``merged_into`` arg — are rendered
+    as Chrome-trace flow events (``ph: "s"``/``"f"``) from the leader's
+    ``service.plan`` span to each waiter's span.
+    """
+    if not spans:
+        return []
+
+    by_proc: Dict[str, List["Span"]] = {}
+    for s in spans:
+        by_proc.setdefault(s.proc or client_proc, []).append(s)
+
+    def _proc_rank(name: str) -> tuple:
+        if name == client_proc:
+            return (0, name)
+        if name == "daemon":
+            return (1, name)
+        return (2, name)
+
+    t0 = min(s.start for s in spans)
+    events: List[Dict[str, Any]] = []
+    # (pid, tid, end) per span, for flow-event anchoring below.
+    placed: List[tuple] = []
+    span_at: Dict[int, "Span"] = {}
+    for pid, proc in enumerate(sorted(by_proc, key=_proc_rank), start=1):
+        proc_spans = by_proc[proc]
+        tids = _assign_tids(s.track for s in proc_spans)
+        events.extend(_metadata(pid, proc, tids))
+        for s in proc_spans:
+            args = {k: _json_safe(v) for k, v in s.args.items()}
+            if s.trace_id:
+                args["trace_id"] = s.trace_id
+            span_at[len(placed)] = s
+            placed.append((pid, tids[s.track], s.end - t0))
+            events.append(_complete(s.name, s.category, s.start - t0,
+                                    s.end - t0, pid, tids[s.track], args))
+    events.extend(_flow_events(placed, span_at, t0))
+    return events
+
+
+def _flow_events(placed: List[tuple], span_at: Dict[int, "Span"],
+                 t0: float) -> List[Dict[str, Any]]:
+    """Flow arrows for single-flight merges (leader plan -> waiter)."""
+    leaders: Dict[str, tuple] = {}
+    for i, (pid, tid, end) in enumerate(placed):
+        s = span_at[i]
+        if s.name == "service.plan" and s.trace_id:
+            leaders[s.trace_id] = (pid, tid, end)
+    flows: List[Dict[str, Any]] = []
+    flow_id = 0
+    for i, (pid, tid, end) in enumerate(placed):
+        s = span_at[i]
+        merged_into = s.args.get("merged_into")
+        if not merged_into:
+            continue
+        leader = leaders.get(str(merged_into))
+        if leader is None:
+            continue
+        flow_id += 1
+        lpid, ltid, lend = leader
+        flows.append({"ph": "s", "id": flow_id, "name": "singleflight",
+                      "cat": "service", "pid": lpid, "tid": ltid,
+                      "ts": round(lend * _US, 3)})
+        flows.append({"ph": "f", "bp": "e", "id": flow_id,
+                      "name": "singleflight", "cat": "service",
+                      "pid": pid, "tid": tid, "ts": round(end * _US, 3)})
+    return flows
 
 
 def sim_track_events(sim: "SimResult", *, pid: int,

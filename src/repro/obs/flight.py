@@ -1,0 +1,169 @@
+"""Crash flight recorder: a bounded always-on ring of recent telemetry.
+
+When the planner daemon's worker crashes mid-plan, or the elastic
+controller exhausts its recovery cascade, the spans and counters that
+explain *why* normally die with the process — ``--metrics`` only dumps
+on a clean stop.  :data:`FLIGHT` keeps a bounded ring buffer of the most
+recent spans and structured events, costs ~nothing while nothing is
+wrong (one deque append per entry; no I/O, no locks on the hot path
+beyond a single mutex shared with dumps), and writes one atomic JSON
+postmortem artifact the moment something *is* wrong:
+
+* the planner daemon dumps on a chaos/worker crash
+  (:class:`~repro.service.errors.WorkerCrashed`) and on an unexpected
+  server-loop death;
+* the elastic controller dumps on
+  :class:`~repro.elastic.controller.RecoveryImpossible`;
+* checkpoint restore dumps when every archive is corrupt
+  (:class:`~repro.runtime.checkpoint.CheckpointCorruptError`);
+* the ``dump`` protocol op (``PlannerClient.dump``) snapshots on
+  demand.
+
+Dump artifacts land in ``$KARMA_FLIGHT_DIR`` (default
+``~/.cache/karma-repro/flight``), rotate oldest-first past
+:attr:`FlightRecorder.keep` files, and carry a schema version so CI
+assertions and humans parse the same shape.  Traffic is counted in the
+``flight.*`` metrics (tabled in ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+from .metrics import METRICS
+from .trace import Span, TRACER
+
+__all__ = ["FlightRecorder", "FLIGHT"]
+
+#: Schema version of the dump artifact (bump on breaking shape changes).
+DUMP_SCHEMA = 1
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans + structured events, dumpable as JSON.
+
+    Args:
+        capacity: entries retained (oldest evicted first).
+        keep: dump files retained per directory (oldest deleted first).
+        clock: wall-clock source (injectable for deterministic tests).
+    """
+
+    def __init__(self, capacity: int = 512, keep: int = 16,
+                 clock: Any = time.time) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.keep = int(keep)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._dropped = 0
+        self._dumps = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def note(self, event: str, **fields: Any) -> None:
+        """Record one structured event (always on, one deque append)."""
+        entry = {"kind": "event", "ts": self.clock(), "event": event,
+                 **fields}
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self._dropped += 1
+            self._entries.append(entry)
+        METRICS.counter("flight.events").inc()
+
+    def record_span(self, span: Span) -> None:
+        """Ring-buffer one finished span (the tracer's sink hook)."""
+        entry = {"kind": "span", "name": span.name, "cat": span.category,
+                 "start": span.start, "end": span.end,
+                 "track": span.track, "trace_id": span.trace_id,
+                 "proc": span.proc}
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self._dropped += 1
+            self._entries.append(entry)
+        METRICS.counter("flight.spans").inc()
+
+    def clear(self) -> None:
+        """Drop every buffered entry (tests; a fresh observation window)."""
+        with self._lock:
+            self._entries.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        """Entries currently buffered."""
+        with self._lock:
+            return len(self._entries)
+
+    # -- harvesting --------------------------------------------------------
+
+    def snapshot(self, reason: str = "on_demand",
+                 detail: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """JSON-ready postmortem: ring entries + a full metrics snapshot.
+
+        ``reason`` labels what triggered the capture (``worker_crashed``,
+        ``recovery_impossible``, ...); ``detail`` carries trigger
+        specifics (the crashed worker's name, the corrupt archive path).
+        """
+        with self._lock:
+            entries = list(self._entries)
+            dropped = self._dropped
+        return {
+            "schema": DUMP_SCHEMA,
+            "reason": reason,
+            "detail": dict(detail or {}),
+            "ts": self.clock(),
+            "pid": os.getpid(),
+            "dropped": dropped,
+            "entries": entries,
+            "metrics": METRICS.snapshot(),
+        }
+
+    def dump(self, reason: str = "on_demand", *,
+             detail: Optional[Dict[str, Any]] = None,
+             directory: Optional[str] = None) -> Path:
+        """Write one atomic postmortem artifact; returns its path.
+
+        The file lands in ``directory`` (default ``$KARMA_FLIGHT_DIR``,
+        else ``~/.cache/karma-repro/flight``) as
+        ``flight_<reason>_<pid>_<n>.json`` via tmp-file + ``os.replace``
+        so a crash mid-dump never leaves a truncated artifact.  Old
+        dumps rotate out past :attr:`keep` files per directory.
+        """
+        out_dir = Path(directory or os.environ.get("KARMA_FLIGHT_DIR")
+                       or Path.home() / ".cache" / "karma-repro" / "flight")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._dumps += 1
+            seq = self._dumps
+        path = out_dir / f"flight_{reason}_{os.getpid()}_{seq}.json"
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(self.snapshot(reason, detail),
+                                  indent=2, sort_keys=True,
+                                  default=str) + "\n")
+        os.replace(tmp, path)
+        METRICS.counter("flight.dumps").inc()
+        self._rotate(out_dir)
+        return path
+
+    # -- internals ---------------------------------------------------------
+
+    def _rotate(self, out_dir: Path) -> None:
+        dumps: List[Path] = sorted(out_dir.glob("flight_*.json"),
+                                   key=lambda p: p.stat().st_mtime)
+        for stale in dumps[:-self.keep] if self.keep > 0 else []:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent rotation
+                pass
+
+
+#: The process-wide flight recorder (registered as the tracer's sink).
+FLIGHT = FlightRecorder()
+TRACER.sink = FLIGHT.record_span

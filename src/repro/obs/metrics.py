@@ -9,19 +9,32 @@ Metric instruments are created on first use and live for the process
 (:data:`METRICS` is the shared registry).  Cheap always-on counters (a
 dict hit + float add) instrument cold paths like the plan cache and the
 runtime's reap loop unconditionally; hot paths (the event engine) only
-publish when the tracer is enabled.  Updates are expected from the thread
-that owns the instrumented state — the repo's instrumented sites all
-update from the issuing/main thread — so individual ``inc``/``observe``
-calls take no lock; registry mutation (first use, snapshot, reset) does.
+publish when the tracer is enabled.  ``Counter.inc`` / ``Gauge.set`` stay
+lock-free (a single float write is safe enough for monitoring data);
+histograms carry multi-field state plus a quantile reservoir, so
+``Histogram.observe``/``summary`` take a per-instrument lock and
+``snapshot()`` reads every instrument under the registry lock — a
+snapshot taken concurrently with observations is internally consistent
+per histogram, never torn mid-update.
 
-``snapshot()`` returns a plain JSON-ready dict; the CLI ``--metrics``
-flag dumps it, and ``docs/observability.md`` tables the metric names.
+``snapshot()`` returns a plain JSON-ready dict stamped with a wall-clock
+``ts`` and a ``schema`` version; the CLI ``--metrics`` flag dumps it,
+the ``telemetry`` protocol op streams it, and ``docs/observability.md``
+tables the metric names.
 """
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Any, Dict
+import time
+from typing import Any, Dict, List
+
+#: Version of the ``snapshot()`` payload shape (bump on breaking changes).
+SNAPSHOT_SCHEMA = 2
+
+#: Observations kept per histogram for quantile estimation (Algorithm R).
+RESERVOIR_SIZE = 512
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
 
@@ -63,38 +76,76 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count / sum / min / max."""
+    """Streaming summary with quantiles: count/sum/min/max + p50/p95/p99.
 
-    __slots__ = ("count", "total", "min", "max")
+    Quantiles come from a bounded reservoir (Vitter's Algorithm R,
+    :data:`RESERVOIR_SIZE` samples) so memory stays constant however many
+    values stream through.  The replacement RNG is seeded per instrument,
+    making summaries deterministic for a fixed observation sequence.
+    Multi-field updates happen under a per-instrument lock so a
+    concurrent ``summary()`` never sees torn state (count bumped, total
+    not yet).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng",
+                 "_lock")
 
     def __init__(self) -> None:
         self.count: int = 0
         self.total: float = 0.0
         self.min: float = 0.0
         self.max: float = 0.0
+        self._reservoir: List[float] = []
+        self._rng = random.Random(0)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Fold one observation into the summary."""
+        """Fold one observation into the summary and the reservoir."""
         v = float(value)
-        if self.count == 0:
-            self.min = self.max = v
-        else:
-            if v < self.min:
-                self.min = v
-            if v > self.max:
-                self.max = v
-        self.count += 1
-        self.total += v
+        with self._lock:
+            if self.count == 0:
+                self.min = self.max = v
+            else:
+                if v < self.min:
+                    self.min = v
+                if v > self.max:
+                    self.max = v
+            self.count += 1
+            self.total += v
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                self._reservoir.append(v)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    self._reservoir[slot] = v
 
     @property
     def mean(self) -> float:
         """Average of the observed values (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def _quantile(ordered: List[float], q: float) -> float:
+        """Nearest-rank quantile of an already-sorted sample."""
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
     def summary(self) -> Dict[str, float]:
-        """JSON-ready summary of the distribution so far."""
-        return {"count": float(self.count), "sum": self.total,
-                "min": self.min, "max": self.max, "mean": self.mean}
+        """JSON-ready summary of the distribution so far.
+
+        Includes ``p50``/``p95``/``p99`` estimated from the reservoir —
+        exact while fewer than :data:`RESERVOIR_SIZE` values have been
+        observed, sampled (deterministically) beyond that.
+        """
+        with self._lock:
+            ordered = sorted(self._reservoir)
+            return {"count": float(self.count), "sum": self.total,
+                    "min": self.min, "max": self.max, "mean": self.mean,
+                    "p50": self._quantile(ordered, 0.50),
+                    "p95": self._quantile(ordered, 0.95),
+                    "p99": self._quantile(ordered, 0.99)}
 
 
 class MetricsRegistry:
@@ -131,9 +182,17 @@ class MetricsRegistry:
         return h
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-ready dump of every registered instrument."""
+        """A JSON-ready dump of every registered instrument.
+
+        Taken under the registry lock (each histogram additionally under
+        its own lock), so concurrent ``inc``/``observe`` calls cannot
+        leave torn multi-field state in the payload.  Stamped with
+        ``ts`` (wall clock) and ``schema`` (:data:`SNAPSHOT_SCHEMA`).
+        """
         with self._lock:
             return {
+                "schema": SNAPSHOT_SCHEMA,
+                "ts": time.time(),
                 "counters": {n: c.value
                              for n, c in sorted(self._counters.items())},
                 "gauges": {n: g.value

@@ -34,21 +34,78 @@ Spans recorded while another thread is mid-append are only guaranteed to
 be visible to :meth:`Tracer.drain` once that thread's instrumented work
 has quiesced — callers drain after joining/draining their workers, which
 every instrumented call site in this repo already does.
+
+**Distributed tracing.**  A :class:`TraceContext` (a trace id plus the
+requesting span's id) can be *activated* on a thread
+(:meth:`Tracer.activate`); while a context is active, spans are sampled
+on that thread even when the tracer is globally disabled, and each span
+is stamped with the context's ``trace_id``.  Per-trace *collectors*
+(:meth:`Tracer.collect`) gather every span of one trace id regardless of
+which thread recorded it — the planner daemon registers one per traced
+request and ships the collected spans back over the wire
+(:func:`span_to_dict` / :func:`span_from_dict` are the wire format;
+:meth:`Tracer.adopt` re-emits spans received from another process).
+Timestamps are comparable across local processes because
+``time.perf_counter`` reads the system-wide ``CLOCK_MONOTONIC``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "Tracer", "TRACER"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TRACER",
+    "span_from_dict",
+    "span_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one distributed request: trace id + requesting span.
+
+    ``trace_id`` names the whole end-to-end request (client -> daemon ->
+    pool workers); ``parent_id`` names the span that minted or forwarded
+    the context (informational — spans link to their trace, not to each
+    other).  Contexts cross the newline-JSON wire as plain dicts.
+    """
+
+    trace_id: str
+    parent_id: str = ""
+
+    @classmethod
+    def new(cls, parent_id: str = "") -> "TraceContext":
+        """Mint a fresh 16-hex-digit trace id (process-unique)."""
+        return cls(trace_id=uuid.uuid4().hex[:16], parent_id=parent_id)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Wire rendering (the ``trace`` field of a ``plan`` request)."""
+        return {"trace_id": self.trace_id, "parent_id": self.parent_id}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        """Rebuild a context received over the wire (ignores extras)."""
+        return cls(trace_id=str(data.get("trace_id", "")),
+                   parent_id=str(data.get("parent_id", "")))
 
 
 @dataclass(slots=True)
 class Span:
-    """One recorded interval: ``[start, end]`` seconds on a named track."""
+    """One recorded interval: ``[start, end]`` seconds on a named track.
+
+    ``trace_id`` is the distributed request the span belongs to (empty
+    for spans recorded outside any activated context); ``proc`` is the
+    logical process that recorded it (empty = this process) — the
+    stitched exporter groups spans into Chrome-trace processes by it.
+    """
 
     name: str
     category: str
@@ -56,11 +113,33 @@ class Span:
     end: float
     track: str
     args: Dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
+    proc: str = ""
 
     @property
     def duration(self) -> float:
         """Span length in seconds (never negative for recorded spans)."""
         return self.end - self.start
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """Wire rendering of one span (the ``spans`` field of a plan reply)."""
+    return {"name": span.name, "cat": span.category,
+            "start": span.start, "end": span.end, "track": span.track,
+            "trace_id": span.trace_id, "proc": span.proc,
+            "args": dict(span.args)}
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a span shipped from another process (wire inverse)."""
+    return Span(name=str(data.get("name", "?")),
+                category=str(data.get("cat", "")),
+                start=float(data.get("start", 0.0)),
+                end=float(data.get("end", 0.0)),
+                track=str(data.get("track", "")) or "remote",
+                args=dict(data.get("args") or {}),
+                trace_id=str(data.get("trace_id", "")),
+                proc=str(data.get("proc", "")))
 
 
 class _NullSpan:
@@ -90,15 +169,17 @@ class _SpanHandle:
     """
 
     __slots__ = ("_tracer", "_name", "_category", "_track", "_args",
-                 "_start")
+                 "_start", "_trace_id")
 
     def __init__(self, tracer: "Tracer", name: str, category: str,
-                 track: Optional[str], args: Dict[str, Any]):
+                 track: Optional[str], args: Dict[str, Any],
+                 trace_id: str = ""):
         self._tracer = tracer
         self._name = name
         self._category = category
         self._track = track
         self._args = args
+        self._trace_id = trace_id
         self._start = 0.0
 
     def set(self, **args: Any) -> "_SpanHandle":
@@ -114,9 +195,10 @@ class _SpanHandle:
         tracer = self._tracer
         end = tracer.clock()
         track = self._track or threading.current_thread().name
-        tracer._buffer().append(Span(
+        tracer._emit(Span(
             name=self._name, category=self._category, start=self._start,
-            end=end, track=track, args=self._args))
+            end=end, track=track, args=self._args,
+            trace_id=self._trace_id))
         return None
 
 
@@ -133,6 +215,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._buffers: List[List[Span]] = []
+        self._collectors: Dict[str, List[Span]] = {}
+        #: Optional always-on span sink (the flight recorder registers
+        #: itself here); called for every emitted span.
+        self.sink: Optional[Callable[[Span], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -144,31 +230,124 @@ class Tracer:
         """Stop sampling spans; already-recorded spans stay buffered."""
         self.enabled = False
 
+    # -- trace contexts ----------------------------------------------------
+
+    def current(self) -> Optional[TraceContext]:
+        """The trace context active on this thread (None when outside)."""
+        return getattr(self._local, "ctx", None)
+
+    @contextmanager
+    def activate(self,
+                 ctx: Optional[TraceContext]) -> Iterator[
+                     Optional[TraceContext]]:
+        """Make ``ctx`` the thread's active trace context for the body.
+
+        While a context is active, spans recorded on this thread are
+        sampled *even when the tracer is globally disabled* and are
+        stamped with the context's trace id — this is how the planner
+        daemon traces one request without tracing the world.  Passing
+        ``None`` is a no-op (callers can activate unconditionally).
+        """
+        if ctx is None:
+            yield None
+            return
+        prev = getattr(self._local, "ctx", None)
+        self._local.ctx = ctx
+        try:
+            yield ctx
+        finally:
+            self._local.ctx = prev
+
+    def adopt_context(self, ctx: Optional[TraceContext]) -> None:
+        """Permanently activate ``ctx`` on this thread (pool workers)."""
+        self._local.ctx = ctx
+
+    @contextmanager
+    def collect(self, trace_id: str) -> Iterator[List[Span]]:
+        """Gather every span of ``trace_id``, from any thread, into a list.
+
+        The yielded list fills live as spans complete; on exit the
+        collector is unregistered and the list holds the trace's spans
+        (recorded by threads that emitted while it was registered).
+        """
+        sink: List[Span] = []
+        with self._lock:
+            self._collectors[trace_id] = sink
+        try:
+            yield sink
+        finally:
+            with self._lock:
+                self._collectors.pop(trace_id, None)
+
+    def attach_collector(self, trace_id: str) -> List[Span]:
+        """Register (and return) a collector list for ``trace_id``.
+
+        Non-context variant of :meth:`collect` for process-long
+        registrations (the portfolio pool workers); pair with
+        :meth:`detach_collector` when a scope exists.
+        """
+        sink: List[Span] = []
+        with self._lock:
+            self._collectors[trace_id] = sink
+        return sink
+
+    def detach_collector(self, trace_id: str) -> None:
+        """Unregister a collector installed by :meth:`attach_collector`."""
+        with self._lock:
+            self._collectors.pop(trace_id, None)
+
+    def peek_collected(self, trace_id: str) -> List[Span]:
+        """Snapshot a live collector's spans (empty when unregistered)."""
+        sink = self._collectors.get(trace_id)
+        return list(sink) if sink is not None else []
+
     # -- recording ---------------------------------------------------------
 
     def span(self, name: str, category: str = "", *,
              track: Optional[str] = None, **args: Any):
         """A context manager timing one interval.
 
-        When tracing is disabled this returns a shared no-op handle — the
-        only cost at a disabled call site is this attribute check.  The
-        default ``track`` is the current thread's name.
+        When tracing is disabled and no trace context is active on this
+        thread, this returns a shared no-op handle — the only cost at a
+        disabled call site is an attribute check plus one thread-local
+        read.  The default ``track`` is the current thread's name.
         """
-        if not self.enabled:
+        ctx = getattr(self._local, "ctx", None)
+        if not self.enabled and ctx is None:
             return _NULL_SPAN
-        return _SpanHandle(self, name, category, track, dict(args))
+        return _SpanHandle(self, name, category, track, dict(args),
+                           trace_id=ctx.trace_id if ctx else "")
 
     def record(self, name: str, category: str = "", *, start: float,
                end: float, track: Optional[str] = None,
                **args: Any) -> None:
         """Record an already-timestamped span (e.g. a reaped transfer)."""
-        if not self.enabled:
+        ctx = getattr(self._local, "ctx", None)
+        if not self.enabled and ctx is None:
             return
-        self._buffer().append(Span(
+        self._emit(Span(
             name=name, category=category, start=start,
             end=max(start, end),
             track=track or threading.current_thread().name,
-            args=dict(args)))
+            args=dict(args), trace_id=ctx.trace_id if ctx else ""))
+
+    def adopt(self, payload: List[Dict[str, Any]],
+              proc: Optional[str] = None) -> List[Span]:
+        """Re-emit spans shipped from another process (wire dicts).
+
+        The spans keep their original timestamps, trace ids and ``proc``
+        labels (``proc`` overrides when given); they flow to this
+        process's buffers/collectors/sink exactly like locally recorded
+        spans.  Returns the adopted :class:`Span` objects.
+        """
+        spans = []
+        for data in payload:
+            span = span_from_dict(data)
+            if proc is not None:
+                span.proc = proc
+            self._emit(span)
+            spans.append(span)
+        return spans
 
     # -- harvesting --------------------------------------------------------
 
@@ -198,6 +377,24 @@ class Tracer:
             return sum(len(buf) for buf in self._buffers)
 
     # -- internals ---------------------------------------------------------
+
+    def _emit(self, span: Span) -> None:
+        """Route one finished span: buffer, per-trace collector, sink.
+
+        The thread buffer only fills while the tracer is globally
+        enabled (a context-activated span on a disabled tracer goes to
+        its collector and the sink only, so a long-lived daemon serving
+        traced requests never accumulates undrained buffers).
+        """
+        if self.enabled:
+            self._buffer().append(span)
+        if self._collectors and span.trace_id:
+            sink = self._collectors.get(span.trace_id)
+            if sink is not None:
+                sink.append(span)
+        hook = self.sink
+        if hook is not None:
+            hook(span)
 
     def _buffer(self) -> List[Span]:
         buf: Optional[List[Span]] = getattr(self._local, "buf", None)

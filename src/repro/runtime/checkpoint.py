@@ -346,6 +346,12 @@ class CheckpointManager:
             except CheckpointCorruptError as exc:
                 METRICS.counter("elastic.checkpoint_fallbacks").inc()
                 last_error = exc
+        from ..obs.flight import FLIGHT
+
+        FLIGHT.dump("checkpoint_corrupt",
+                    detail={"archives": len(candidates),
+                            "error": str(last_error) if last_error else
+                            "none were ever written"})
         raise CheckpointCorruptError(
             "no loadable checkpoint: "
             + (str(last_error) if last_error else "none were ever written"))

@@ -16,9 +16,10 @@ import json
 import random
 import socket
 import time
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional
 
 from ..obs.metrics import METRICS
+from ..obs.trace import TraceContext
 from .errors import ServiceRejection, rejection_for
 from .server import Address
 
@@ -88,6 +89,8 @@ class PlannerClient:
 
     def plan(self, config: Mapping[str, Any], *,
              deadline_s: Optional[float] = None,
+             trace: Optional[TraceContext] = None,
+             collect_spans: bool = False,
              retries: int = 0, backoff_s: float = 0.05,
              backoff_factor: float = 2.0, backoff_max_s: float = 2.0,
              jitter: float = 0.25) -> Dict[str, Any]:
@@ -100,6 +103,12 @@ class PlannerClient:
         Args:
             config: the planning request.
             deadline_s: per-request deadline forwarded to the daemon.
+            trace: distributed trace context for this request; the
+                daemon samples its spans under this trace id.
+            collect_spans: ask the daemon to attach the trace's spans to
+                the reply (``spans`` field, wire dicts for
+                :func:`~repro.obs.trace.span_from_dict`); needs
+                ``trace``.
             retries: extra attempts after a *retryable* rejection (a
                 shed request, a chaos-crashed worker) or a dropped
                 connection; deterministic rejections (bad request,
@@ -112,6 +121,10 @@ class PlannerClient:
         fields: Dict[str, Any] = {"config": dict(config)}
         if deadline_s is not None:
             fields["deadline_s"] = float(deadline_s)
+        if trace is not None:
+            fields["trace"] = trace.to_dict()
+            if collect_spans:
+                fields["collect_spans"] = True
         delay = backoff_s
         for attempt in range(retries + 1):
             try:
@@ -146,6 +159,44 @@ class PlannerClient:
     def stats(self) -> Dict[str, Any]:
         """The daemon's JSON stats snapshot (queue, tiers, counters)."""
         return self.call("stats")["stats"]
+
+    def telemetry(self, *, count: int = 1,
+                  interval_s: float = 1.0) -> Iterator[Dict[str, Any]]:
+        """Stream ``count`` live telemetry frames from the daemon.
+
+        Yields one frame dict (queue/budget gauges + the full metrics
+        snapshot, see :meth:`PlannerDaemon.telemetry
+        <repro.service.daemon.PlannerDaemon.telemetry>`) every
+        ``interval_s`` seconds; ``python -m repro top`` renders these.
+        The stream may end early if the server starts shutting down.
+        """
+        request = {"op": "telemetry", "count": int(count),
+                   "interval_s": float(interval_s)}
+        self._sock.sendall(
+            (json.dumps(request, sort_keys=True) + "\n").encode("utf-8"))
+        for _ in range(int(count)):
+            raw = self._rfile.readline()
+            if not raw:
+                return
+            reply = json.loads(raw.decode("utf-8"))
+            if not isinstance(reply, dict) or not reply.get("ok"):
+                err = (reply or {}).get("error") or {}
+                raise rejection_for(
+                    str(err.get("code", "rejected")),
+                    str(err.get("message", "telemetry rejected")))
+            yield reply["telemetry"]
+
+    def dump(self, *, write: bool = False) -> Dict[str, Any]:
+        """Fetch the daemon's flight-recorder snapshot (``dump`` op).
+
+        With ``write=True`` the daemon also persists a dump artifact and
+        the reply carries its ``path``.
+        """
+        reply = self.call("dump", write=bool(write))
+        out = {"flight": reply["flight"]}
+        if "path" in reply:
+            out["path"] = reply["path"]
+        return out
 
     def shutdown(self) -> None:
         """Ask the server to stop accepting connections."""

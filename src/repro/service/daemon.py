@@ -35,14 +35,15 @@ import queue
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..cache.digest import stable_digest
 from ..cache.plan_cache import PlanCache
 from ..core.solver import WorkerBudget
+from ..obs.flight import FLIGHT
 from ..obs.metrics import METRICS
-from ..obs.trace import TRACER
+from ..obs.trace import Span, TRACER, TraceContext, span_to_dict
 from .cluster import ClusterArbiter, JobDemand, JobPlacement
 from .errors import (
     BadRequest,
@@ -126,24 +127,38 @@ class PlanResponse:
     tier: str
     merged: bool
     wall_s: float
+    #: Wire-rendered spans of this request's trace (traced requests
+    #: asking for them only); waiters carry the leader's spans too.
+    spans: Optional[List[Dict[str, Any]]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering for the socket protocol."""
-        return {"record": self.record, "tier": self.tier,
-                "merged": self.merged, "wall_s": round(self.wall_s, 6)}
+        out = {"record": self.record, "tier": self.tier,
+               "merged": self.merged, "wall_s": round(self.wall_s, 6)}
+        if self.spans is not None:
+            out["spans"] = self.spans
+        return out
 
 
 class _Flight:
-    """One in-flight planning key: leader's result shared with waiters."""
+    """One in-flight planning key: leader's result shared with waiters.
 
-    __slots__ = ("key", "event", "response", "error", "waiters")
+    ``trace_id`` is the leader's trace (empty when untraced); ``spans``
+    snapshots the leader's collected spans at resolve time so waiters
+    can ship the planning work they merged onto.
+    """
 
-    def __init__(self, key: str) -> None:
+    __slots__ = ("key", "event", "response", "error", "waiters",
+                 "trace_id", "spans")
+
+    def __init__(self, key: str, trace_id: str = "") -> None:
         self.key = key
         self.event = threading.Event()
         self.response: Optional[PlanResponse] = None
         self.error: Optional[ServiceRejection] = None
         self.waiters = 0
+        self.trace_id = trace_id
+        self.spans: List[Span] = []
 
 
 @dataclass
@@ -155,6 +170,7 @@ class _Job:
     flight: _Flight
     deadline: Optional[float] = None   # monotonic, None = no deadline
     enqueued_at: float = field(default_factory=time.monotonic)
+    trace: Optional[TraceContext] = None   # the leader's request trace
 
 
 #: A planner callable: (config, n_workers) -> plan record.
@@ -208,6 +224,7 @@ class PlannerDaemon:
         self._state_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._running = False
+        self._started_at = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -217,6 +234,7 @@ class PlannerDaemon:
             if self._running:
                 return self
             self._running = True
+            self._started_at = time.monotonic()
             self._threads = [
                 threading.Thread(target=self._worker, daemon=True,
                                  name=f"plan-worker-{i}")
@@ -267,7 +285,9 @@ class PlannerDaemon:
     # -- the request path --------------------------------------------------
 
     def request(self, config: Mapping[str, Any], *,
-                deadline_s: Optional[float] = None) -> PlanResponse:
+                deadline_s: Optional[float] = None,
+                trace: Optional[TraceContext] = None,
+                collect_spans: bool = False) -> PlanResponse:
         """Serve one planning request (blocking).
 
         Resolution order: hot LRU hit (no queue), single-flight merge
@@ -280,6 +300,12 @@ class PlannerDaemon:
                 takes (``model``, ``batch``, ``hierarchy``, ...).
             deadline_s: seconds this caller is willing to wait
                 (overrides the service default; ``None`` defers to it).
+            trace: distributed trace context to serve the request under;
+                daemon + pool-worker spans are sampled for it even when
+                global tracing is off.  Single-flight waiters keep their
+                own trace but inherit the leader's planning spans.
+            collect_spans: attach the trace's wire-rendered spans to the
+                response (requires ``trace``).
         """
         if not self._running:
             raise ServiceClosed("daemon is not running")
@@ -289,45 +315,103 @@ class PlannerDaemon:
         deadline = (None if deadline_s is None
                     else time.monotonic() + float(deadline_s))
         key = request_key(config)
+        if trace is not None and trace.trace_id:
+            with TRACER.collect(trace.trace_id) as collected:
+                with TRACER.activate(trace):
+                    return self._serve(
+                        key, config, deadline, deadline_s, trace,
+                        collected if collect_spans else None)
+        return self._serve(key, config, deadline, deadline_s, None, None)
+
+    def _serve(self, key: str, config: Mapping[str, Any],
+               deadline: Optional[float], deadline_s: Optional[float],
+               trace: Optional[TraceContext],
+               collected: Optional[List[Span]]) -> PlanResponse:
+        """The request path proper (tracing scope set up by ``request``)."""
         t0 = time.perf_counter()
-        with TRACER.span("service.request", "service", key=key[:16]):
+        flight: Optional[_Flight] = None
+        with TRACER.span("service.request", "service", track="service",
+                         key=key[:16]):
             hot = self._hot_get(key)
             if hot is not None:
                 METRICS.counter("service.plans.hot").inc()
                 wall = time.perf_counter() - t0
                 METRICS.histogram("service.request_seconds").observe(wall)
-                return PlanResponse(record=hot, tier="hot", merged=False,
+                resp = PlanResponse(record=hot, tier="hot", merged=False,
                                     wall_s=wall)
-            flight, leader = self._join_flight(key)
-            if leader:
-                job = _Job(key=key, config=dict(config), flight=flight,
-                           deadline=deadline)
-                try:
-                    self._queue.put_nowait(job)
-                except queue.Full:
-                    with self._flights_lock:
-                        self._flights.pop(key, None)
-                    METRICS.counter("service.rejected.queue_full").inc()
-                    raise QueueFull(
-                        f"admission queue at depth "
-                        f"{self.config.queue_depth}; request shed") \
-                        from None
-                METRICS.gauge("service.queue_depth").add(1)
-            remaining = (None if deadline is None
-                         else deadline - time.monotonic())
-            if not flight.event.wait(timeout=remaining):
-                METRICS.counter("service.rejected.deadline").inc()
-                raise DeadlineExpired(
-                    f"deadline of {deadline_s}s expired waiting for plan "
-                    f"{key[:16]}")
-            if flight.error is not None:
-                raise flight.error
-            served = flight.response
-            assert served is not None
-            wall = time.perf_counter() - t0
-            METRICS.histogram("service.request_seconds").observe(wall)
-            return PlanResponse(record=served.record, tier=served.tier,
-                                merged=not leader, wall_s=wall)
+            else:
+                resp, flight = self._serve_queued(key, config, deadline,
+                                                  deadline_s, trace, t0)
+        return self._attach_spans(resp, collected,
+                                  flight if resp.merged else None)
+
+    def _serve_queued(self, key: str, config: Mapping[str, Any],
+                      deadline: Optional[float],
+                      deadline_s: Optional[float],
+                      trace: Optional[TraceContext],
+                      t0: float) -> Tuple[PlanResponse, _Flight]:
+        """Queue-or-merge path of :meth:`_serve` (non-hot requests)."""
+        flight, leader = self._join_flight(key, trace)
+        if leader:
+            job = _Job(key=key, config=dict(config), flight=flight,
+                       deadline=deadline, trace=trace)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                with self._flights_lock:
+                    self._flights.pop(key, None)
+                METRICS.counter("service.rejected.queue_full").inc()
+                raise QueueFull(
+                    f"admission queue at depth "
+                    f"{self.config.queue_depth}; request shed") \
+                    from None
+            METRICS.gauge("service.queue_depth").add(1)
+        t_wait = time.perf_counter()
+        remaining = (None if deadline is None
+                     else deadline - time.monotonic())
+        if not flight.event.wait(timeout=remaining):
+            METRICS.counter("service.rejected.deadline").inc()
+            raise DeadlineExpired(
+                f"deadline of {deadline_s}s expired waiting for plan "
+                f"{key[:16]}")
+        if flight.error is not None:
+            raise flight.error
+        served = flight.response
+        assert served is not None
+        if not leader and trace is not None and flight.trace_id:
+            # waiter: a span covering the merged wait, pointing at the
+            # leader's trace — the stitched exporter renders it as a
+            # single-flight flow arrow
+            TRACER.record("service.merged", "service", start=t_wait,
+                          end=time.perf_counter(), track="service",
+                          key=key[:16], merged_into=flight.trace_id)
+        wall = time.perf_counter() - t0
+        METRICS.histogram("service.request_seconds").observe(wall)
+        return PlanResponse(record=served.record, tier=served.tier,
+                            merged=not leader, wall_s=wall), flight
+
+    @staticmethod
+    def _attach_spans(resp: PlanResponse, collected: Optional[List[Span]],
+                      flight: Optional[_Flight]) -> PlanResponse:
+        """Wire-render a traced request's spans onto its response.
+
+        Spans recorded daemon-side carry no ``proc`` label; they are
+        stamped ``daemon`` here so the client's stitched export groups
+        them into the daemon's process row.  A merged waiter also ships
+        the leader's resolved flight spans.
+        """
+        if collected is None:
+            return resp
+        spans = list(collected)
+        if flight is not None:
+            spans.extend(flight.spans)
+        wire = []
+        for span in spans:
+            data = span_to_dict(span)
+            if not data["proc"]:
+                data["proc"] = "daemon"
+            wire.append(data)
+        return replace(resp, spans=wire)
 
     # -- cluster delegation ------------------------------------------------
 
@@ -376,17 +460,48 @@ class PlannerDaemon:
             out["cluster"] = self.cluster.snapshot()
         return out
 
+    def telemetry(self) -> Dict[str, Any]:
+        """One live telemetry frame for the ``telemetry`` protocol op.
+
+        Unlike :meth:`stats` (a filtered counter view), this carries the
+        *full* :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` —
+        histograms included, so consumers (``python -m repro top``) can
+        render p50/p95/p99 latencies — plus the service gauges.
+        """
+        out: Dict[str, Any] = {
+            "ts": time.time(),
+            "uptime_s": (round(time.monotonic() - self._started_at, 3)
+                         if self._started_at else 0.0),
+            "running": self._running,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_depth,
+            "hot_entries": len(self._hot),
+            "hot_capacity": self.config.hot_capacity,
+            "workers_free": self._budget.free,
+            "pool_workers": self.config.pool_workers,
+            "metrics": METRICS.snapshot(),
+        }
+        if self.cluster is not None:
+            out["cluster"] = self.cluster.snapshot()
+        return out
+
     # -- internals ---------------------------------------------------------
 
-    def _join_flight(self, key: str) -> Tuple[_Flight, bool]:
-        """Attach to an in-flight plan for ``key``, or lead a new one."""
+    def _join_flight(self, key: str,
+                     trace: Optional[TraceContext] = None
+                     ) -> Tuple[_Flight, bool]:
+        """Attach to an in-flight plan for ``key``, or lead a new one.
+
+        A new flight adopts the leader's trace id (when traced) so
+        waiters can inherit the leader's planning spans at resolve time.
+        """
         with self._flights_lock:
             flight = self._flights.get(key)
             if flight is not None:
                 flight.waiters += 1
                 METRICS.counter("service.singleflight_merges").inc()
                 return flight, False
-            flight = _Flight(key)
+            flight = _Flight(key, trace_id=trace.trace_id if trace else "")
             self._flights[key] = flight
             return flight, True
 
@@ -394,6 +509,10 @@ class PlannerDaemon:
                  response: Optional[PlanResponse] = None,
                  error: Optional[ServiceRejection] = None) -> None:
         """Publish a flight's outcome and wake every attached request."""
+        if flight.trace_id:
+            # snapshot the leader's collected spans before waking anyone:
+            # waiters ship these as the planning work they merged onto
+            flight.spans = TRACER.peek_collected(flight.trace_id)
         with self._flights_lock:
             self._flights.pop(flight.key, None)
         flight.response = response
@@ -408,6 +527,8 @@ class PlannerDaemon:
                 if job is _STOP:
                     return
                 METRICS.gauge("service.queue_depth").add(-1)
+                METRICS.histogram("service.latency.queue").observe(
+                    max(0.0, time.monotonic() - job.enqueued_at))
                 if job.deadline is not None \
                         and time.monotonic() > job.deadline:
                     METRICS.counter("service.rejected.deadline").inc()
@@ -420,19 +541,30 @@ class PlannerDaemon:
                     # flight resolves with a retryable rejection instead
                     # of hanging its waiters, and a fresh worker replaces
                     # this thread before it exits
+                    worker_name = threading.current_thread().name
                     METRICS.counter("service.worker_crashes").inc()
+                    FLIGHT.note("worker_crashed", worker=worker_name,
+                                key=job.key[:16])
+                    FLIGHT.dump("worker_crashed",
+                                detail={"worker": worker_name,
+                                        "key": job.key[:16]})
                     self._resolve(job.flight, error=WorkerCrashed(
-                        f"worker {threading.current_thread().name} "
+                        f"worker {worker_name} "
                         f"crashed while serving plan {job.key[:16]}; "
                         "retry against the respawned worker"))
                     self._respawn()
                     return
                 try:
-                    with TRACER.span("service.plan", "service",
-                                     key=job.key[:16]):
-                        with self._budget.lease(
-                                self.config.max_workers_per_request) as n:
-                            record = self._planner(job.config, n)
+                    with TRACER.activate(job.trace):
+                        t_plan = time.perf_counter()
+                        with TRACER.span("service.plan", "service",
+                                         key=job.key[:16]):
+                            with self._budget.lease(
+                                    self.config.max_workers_per_request
+                                    ) as n:
+                                record = self._planner(job.config, n)
+                        METRICS.histogram("service.latency.plan").observe(
+                            time.perf_counter() - t_plan)
                     tier = ("warm" if record.get("cache") == "hit"
                             else "cold")
                     self._hot_insert(job.key, record)

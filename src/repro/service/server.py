@@ -16,11 +16,18 @@ Response::
     {"ok": false, "error": {"code": "queue_full", "message": "..."}}
 
 Ops: ``ping``, ``plan``, ``place``, ``release``, ``stats``,
-``shutdown``.  Rejections cross the wire as their stable ``code``
-(:mod:`repro.service.errors`) and are re-raised as the matching typed
-exception by the client, so remote callers and in-process callers catch
-the same classes.  Each connection is handled on its own thread; the
-daemon underneath is the concurrency boundary.
+``telemetry``, ``dump``, ``shutdown``.  Rejections cross the wire as
+their stable ``code`` (:mod:`repro.service.errors`) and are re-raised as
+the matching typed exception by the client, so remote callers and
+in-process callers catch the same classes.  Each connection is handled
+on its own thread; the daemon underneath is the concurrency boundary.
+
+Two distributed-observability extensions ride on the same line
+protocol: a ``plan`` request may carry a ``trace`` context (its reply
+then ships the daemon/worker spans for that trace — see
+``docs/observability.md``), and ``telemetry`` replies with *several*
+lines, one full metrics frame every ``interval_s`` seconds for
+``count`` frames (the one op that streams).
 """
 
 from __future__ import annotations
@@ -30,9 +37,19 @@ import os
 import socketserver
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple, Union, cast
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    Optional,
+    Tuple,
+    Union,
+    cast,
+)
 
+from ..obs.flight import FLIGHT
 from ..obs.metrics import METRICS
+from ..obs.trace import TraceContext
 from .daemon import PlannerDaemon
 from .errors import BadRequest, ServiceRejection
 
@@ -87,8 +104,11 @@ class _Handler(socketserver.StreamRequestHandler):
                 continue
             reply = server.handle_request(line.decode("utf-8",
                                                       errors="replace"))
-            self.wfile.write((reply + "\n").encode("utf-8"))
-            self.wfile.flush()
+            if isinstance(reply, str):
+                reply = iter((reply,))
+            for chunk in reply:   # streaming ops flush one line per frame
+                self.wfile.write((chunk + "\n").encode("utf-8"))
+                self.wfile.flush()
 
 
 class PlannerServer:
@@ -137,10 +157,22 @@ class PlannerServer:
         return self
 
     def serve_forever(self) -> None:
-        """Bind and serve on the calling thread until :meth:`stop`."""
+        """Bind and serve on the calling thread until :meth:`stop`.
+
+        An unexpected death of the serve loop dumps the flight recorder
+        (the postmortem for "the daemon just vanished") before
+        re-raising; Ctrl-C counts as a requested stop, not a crash.
+        """
         self.bind()
         assert self._server is not None
-        self._server.serve_forever()
+        try:
+            self._server.serve_forever()
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:
+            FLIGHT.dump("daemon_crash",
+                        detail={"error": f"{type(exc).__name__}: {exc}"})
+            raise
 
     @property
     def active_requests(self) -> int:
@@ -187,22 +219,39 @@ class PlannerServer:
 
     # -- protocol ----------------------------------------------------------
 
-    def handle_request(self, line: str) -> str:
-        """Serve one protocol line; always returns a JSON reply line.
+    def handle_request(self, line: str) -> "str | Iterator[str]":
+        """Serve one protocol line; returns one JSON reply line, or (for
+        the streaming ``telemetry`` op) an iterator of reply lines.
 
         Tracked in the in-flight counter so :meth:`stop` can drain
-        running requests before closing the socket.
+        running requests before closing the socket; a streaming reply
+        stays counted until its iterator is exhausted or closed.
         """
         with self._active_cond:
             self._active += 1
+        streaming = False
         try:
-            return self._handle_line(line)
+            result = self._handle_line(line)
+            if isinstance(result, str):
+                return result
+            streaming = True
+            return self._guard_stream(result)
+        finally:
+            if not streaming:
+                with self._active_cond:
+                    self._active -= 1
+                    self._active_cond.notify_all()
+
+    def _guard_stream(self, chunks: Iterator[str]) -> Iterator[str]:
+        """Keep a streaming reply inside the in-flight counter."""
+        try:
+            yield from chunks
         finally:
             with self._active_cond:
                 self._active -= 1
                 self._active_cond.notify_all()
 
-    def _handle_line(self, line: str) -> str:
+    def _handle_line(self, line: str) -> "str | Iterator[str]":
         try:
             msg = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -211,15 +260,20 @@ class PlannerServer:
             return self._error(BadRequest("request must be a JSON object"))
         op = msg.get("op")
         try:
-            return json.dumps(self._dispatch(op, msg), sort_keys=True)
+            result = self._dispatch(op, msg)
+            if isinstance(result, dict):
+                return json.dumps(result, sort_keys=True)
+            return result
         except ServiceRejection as exc:
             return self._error(exc)
         except Exception as exc:  # noqa: BLE001 - typed over the wire
             return self._error(ServiceRejection(
                 f"{type(exc).__name__}: {exc}"))
 
-    def _dispatch(self, op: Any, msg: Dict[str, Any]) -> Dict[str, Any]:
-        """Route one decoded request to the daemon; returns the reply."""
+    def _dispatch(self, op: Any, msg: Dict[str, Any]
+                  ) -> "Dict[str, Any] | Iterator[str]":
+        """Route one decoded request to the daemon; returns the reply
+        object (or an iterator of reply lines for streaming ops)."""
         if op == "ping":
             return {"ok": True, "pong": True,
                     "running": self.daemon.running}
@@ -228,9 +282,28 @@ class PlannerServer:
             if not isinstance(config, dict) or "model" not in config:
                 raise BadRequest(
                     "plan needs a config object with at least 'model'")
-            resp = self.daemon.request(config,
-                                       deadline_s=msg.get("deadline_s"))
+            wire_trace = msg.get("trace")
+            trace = (TraceContext.from_dict(wire_trace)
+                     if isinstance(wire_trace, dict) else None)
+            resp = self.daemon.request(
+                config, deadline_s=msg.get("deadline_s"), trace=trace,
+                collect_spans=bool(msg.get("collect_spans"))
+                and trace is not None)
             return {"ok": True, **resp.to_dict()}
+        if op == "telemetry":
+            count = int(msg.get("count", 1))
+            interval_s = float(msg.get("interval_s", 1.0))
+            if count < 1:
+                raise BadRequest("telemetry count must be >= 1")
+            if interval_s < 0:
+                raise BadRequest("telemetry interval_s must be >= 0")
+            return self._telemetry_stream(count, interval_s)
+        if op == "dump":
+            reply: Dict[str, Any] = {"ok": True,
+                                     "flight": FLIGHT.snapshot("on_demand")}
+            if msg.get("write"):
+                reply["path"] = str(FLIGHT.dump("on_demand"))
+            return reply
         if op == "place":
             job_id = msg.get("job_id")
             if not job_id:
@@ -250,9 +323,23 @@ class PlannerServer:
             self._schedule_shutdown()
             return {"ok": True, "stopping": True}
         raise BadRequest(f"unknown op {op!r}; known: ping, plan, place, "
-                         "release, stats, shutdown")
+                         "release, stats, telemetry, dump, shutdown")
 
     # -- internals ---------------------------------------------------------
+
+    def _telemetry_stream(self, count: int,
+                          interval_s: float) -> Iterator[str]:
+        """Yield ``count`` telemetry frames, one per ``interval_s``.
+
+        Ends early when the server starts shutting down so a slow
+        stream never holds the drain window hostage.
+        """
+        for seq in range(count):
+            frame = {"ok": True, "seq": seq, "of": count,
+                     "telemetry": self.daemon.telemetry()}
+            yield json.dumps(frame, sort_keys=True)
+            if seq + 1 < count and self._stopping.wait(interval_s):
+                break
 
     def _error(self, exc: ServiceRejection) -> str:
         """Serialize a typed rejection as the protocol's error reply."""

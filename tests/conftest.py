@@ -5,6 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _flight_dumps_to_tmp(tmp_path, monkeypatch):
+    """Crash-path tests trigger flight-recorder dumps; keep them in tmp."""
+    monkeypatch.setenv("KARMA_FLIGHT_DIR", str(tmp_path / "flight"))
+
 from repro.costs.profiler import profile_graph
 from repro.hardware import TransferModel, abci_host, karma_swap_link, v100_sxm2_16gb
 

@@ -141,8 +141,67 @@ class TestMetrics:
         reg = MetricsRegistry()
         reg.counter("c").inc()
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "gauges": {},
-                                  "histograms": {}}
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_snapshot_is_stamped_and_versioned(self):
+        from repro.obs.metrics import SNAPSHOT_SCHEMA
+
+        reg = MetricsRegistry()
+        snap = reg.snapshot()
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert isinstance(snap["ts"], float) and snap["ts"] > 0
+
+    def test_histogram_quantiles_exact_under_reservoir(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(100):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p50"] == 50.0 and s["p95"] == 95.0 and s["p99"] == 99.0
+
+    def test_histogram_quantiles_deterministic_past_reservoir(self):
+        from repro.obs.metrics import RESERVOIR_SIZE, Histogram
+
+        def run():
+            h = Histogram()
+            for v in range(RESERVOIR_SIZE * 4):
+                h.observe(float(v))
+            return h.summary()
+
+        a, b = run(), run()
+        assert a == b
+        # sampled quantiles stay ordered and within the observed range
+        assert 0.0 <= a["p50"] <= a["p95"] <= a["p99"] <= a["max"]
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        from repro.obs.metrics import Histogram
+
+        s = Histogram().summary()
+        assert s["p50"] == s["p95"] == s["p99"] == 0.0
+
+    def test_snapshot_never_torn_under_concurrent_observe(self):
+        """count and sum always agree: snapshot holds the locks."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            h = reg.histogram("h")
+            while not stop.is_set():
+                h.observe(1.0)
+
+        th = threading.Thread(target=writer)
+        th.start()
+        try:
+            for _ in range(200):
+                s = reg.snapshot()["histograms"].get("h")
+                if s is None:
+                    continue
+                assert s["count"] == s["sum"]  # every observation is 1.0
+        finally:
+            stop.set()
+            th.join()
 
 
 # ---------------------------------------------------------------------------

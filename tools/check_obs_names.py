@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Observability-name gate: src metric/span names <-> docs tables.
+
+Every metric (``METRICS.counter/gauge/histogram``) and dotted span
+(``TRACER.span/record``) name emitted anywhere under ``src/`` must be
+documented in the metric/span tables of ``docs/observability.md``,
+``docs/service.md`` or ``docs/elastic.md`` — and every dotted name
+those tables promise must actually be emitted by ``src/``.  Both
+directions, so the docs can neither rot behind the code nor advertise
+telemetry that does not exist.
+
+Matching rules (both sides are normalized first):
+
+* f-string interpolations (``{expr}``) and docs placeholders
+  (``<link>``, ``<i>``) normalize to the wildcard segment ``<x>``,
+  which matches any text on the other side;
+* a docs token ending in ``.*`` (e.g. ``service.*``) is a *family
+  pointer* to a detailed table elsewhere — it is exempt from the
+  must-be-emitted check but does **not** blanket-cover src names, so
+  a new ``service.foo`` still needs its own table row;
+* a docs table token starting with ``.`` (the ``/ .warm / .cold``
+  shorthand) expands against the previous full token on its line;
+* only *dotted* names are checked — bare span names like ``plan`` or
+  per-op runtime spans (``F3``, ``fence:<x>``) have no stable dotted
+  family to table.
+
+Exit status: 0 when clean, 1 with findings (one line each).
+
+Usage::
+
+    python tools/check_obs_names.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOCS = [REPO / "docs" / "observability.md",
+        REPO / "docs" / "service.md",
+        REPO / "docs" / "elastic.md"]
+
+_METRIC_RE = re.compile(
+    r"METRICS\.(?:counter|gauge|histogram)\(\s*f?\"([^\"]+)\"")
+_SPAN_RE = re.compile(r"TRACER\.(?:span|record)\(\s*f?\"([^\"]+)\"")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_INTERP_RE = re.compile(r"\{[^{}]*\}")
+_PLACEHOLDER_RE = re.compile(r"<[^<>]+>")
+#: A documentable telemetry name: dotted lowercase segments, with
+#: optional wildcard/placeholder/bracket decorations.
+_NAME_RE = re.compile(r"^\.?[a-z0-9_<>\[\]*x-]+(\.[a-z0-9_<>\[\]*x-]+)+$"
+                      r"|^\.[a-z0-9_<>\[\]*x-]+$")
+
+
+def _normalize(name: str) -> str:
+    """Collapse f-string interpolations and ``<...>`` placeholders."""
+    return _PLACEHOLDER_RE.sub("<x>", _INTERP_RE.sub("<x>", name))
+
+
+def src_names() -> Dict[str, str]:
+    """name -> "file:line" for every dotted telemetry name in src."""
+    out: Dict[str, str] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for regex in (_METRIC_RE, _SPAN_RE):
+            for match in regex.finditer(text):
+                name = _normalize(match.group(1))
+                if "." not in name.replace("<x>", ""):
+                    continue  # no stable dotted family (e.g. fence:<x>)
+                line = text[:match.start()].count("\n") + 1
+                out.setdefault(
+                    name, f"{path.relative_to(REPO)}:{line}")
+    return out
+
+
+def doc_tokens() -> Tuple[Set[str], Dict[str, str]]:
+    """(all backticked dotted tokens, table tokens -> "file:line")."""
+    everywhere: Set[str] = set()
+    tables: Dict[str, str] = {}
+    for doc in DOCS:
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            last_full = ""
+            for raw in _BACKTICK_RE.findall(line):
+                token = raw.strip()
+                if not _NAME_RE.match(token) or "/" in token:
+                    continue
+                if token.startswith("."):
+                    if not last_full:
+                        continue  # shorthand with nothing to expand
+                    head, _, _ = last_full.rpartition(".")
+                    token = head + token
+                else:
+                    last_full = token
+                token = _normalize(token)
+                everywhere.add(token)
+                if line.lstrip().startswith("|"):
+                    tables.setdefault(
+                        token, f"{doc.relative_to(REPO)}:{lineno}")
+    return everywhere, tables
+
+
+def _segments_match(pattern: str, name: str) -> bool:
+    """Dotted-segment match where ``<x>`` wildcards within a segment."""
+    p_segs, n_segs = pattern.split("."), name.split(".")
+    if len(p_segs) != len(n_segs):
+        return False
+    for p, n in zip(p_segs, n_segs):
+        if p == n:
+            continue
+        regex = re.escape(p).replace(re.escape("<x>"), ".+")
+        if not re.fullmatch(regex, n):
+            return False
+    return True
+
+
+def _covered(name: str, tokens: Set[str]) -> bool:
+    for token in tokens:
+        if token.endswith(".*"):
+            continue  # family pointers never blanket-cover names
+        if _segments_match(token, name) or _segments_match(name, token):
+            return True
+    return False
+
+
+def main() -> int:
+    emitted = src_names()
+    documented, tabled = doc_tokens()
+    findings: List[str] = []
+    for name, where in sorted(emitted.items()):
+        if not _covered(name, documented):
+            findings.append(
+                f"{where}: `{name}` is emitted but not documented in "
+                "the observability/service/elastic tables")
+    wildcards = {t for t in tabled if t.endswith(".*")}
+    for token, where in sorted(tabled.items()):
+        if token in wildcards:
+            continue  # family rows point at the detailed tables
+        if not _covered(token, set(emitted)):
+            findings.append(
+                f"{where}: `{token}` is documented but never emitted "
+                "under src/")
+    if findings:
+        print(f"obs-name gate: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    print(f"obs-name gate: {len(emitted)} emitted name(s) documented, "
+          f"{len(tabled)} documented name(s) emitted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
