@@ -653,6 +653,22 @@ def _run_validate(args: argparse.Namespace) -> int:
               f"{sorted(VALIDATION_CONFIGS)}", file=sys.stderr)
         return 2
 
+    calibration = None
+    if args.calibration is not None:
+        from .costs.trace_fit import CalibrationArtifact
+
+        try:
+            artifact = CalibrationArtifact.load(args.calibration)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read calibration artifact "
+                  f"{args.calibration}: {exc}", file=sys.stderr)
+            return 2
+        calibration = artifact.op_scales
+        if not args.json:
+            print(f"applying calibration artifact {args.calibration} "
+                  f"({artifact.model or '?'}, "
+                  f"{len(calibration)} op scales)\n")
+
     traced = args.trace is not None
     if traced:
         from .obs.trace import TRACER
@@ -662,7 +678,7 @@ def _run_validate(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     try:
         reports = validate_many(names, target_wall_s=args.target_wall,
-                                seed=args.seed)
+                                seed=args.seed, calibration=calibration)
         total = time.perf_counter() - t0
         spans = TRACER.drain() if traced else []
     finally:
@@ -699,6 +715,68 @@ def _run_validate(args: argparse.Namespace) -> int:
         print(f"error: stall-fraction error exceeds --max-error "
               f"{args.max_error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    """Fit a calibration artifact from measured validation runs.
+
+    Runs the sim-vs-real loop for each requested config, least-squares
+    fits per-op compute scales and per-link latency/bandwidth from the
+    recorded runtime traces, and writes the merged
+    :class:`~repro.costs.trace_fit.CalibrationArtifact` as JSON.
+    """
+    from .costs.trace_fit import fit_validation_report, merge_artifacts
+    from .eval.validation import (
+        DEFAULT_CONFIGS,
+        VALIDATION_CONFIGS,
+        validate_many,
+    )
+
+    names = args.config or list(DEFAULT_CONFIGS)
+    unknown = [n for n in names if n not in VALIDATION_CONFIGS]
+    if unknown:
+        print(f"error: unknown config(s) {unknown}; known: "
+              f"{sorted(VALIDATION_CONFIGS)}", file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    reports = validate_many(names, target_wall_s=args.target_wall,
+                            seed=args.seed)
+    artifact = merge_artifacts([fit_validation_report(r) for r in reports])
+    artifact.save(args.output)
+    fit_s = time.perf_counter() - t0
+
+    check_rows = []
+    if args.check:
+        calibrated = validate_many(names, target_wall_s=args.target_wall,
+                                   seed=args.seed,
+                                   calibration=artifact.op_scales)
+        check_rows = [
+            {"config": before.config,
+             "uncalibrated_error": round(before.max_abs_error, 4),
+             "calibrated_error": round(after.max_abs_error, 4)}
+            for before, after in zip(reports, calibrated)]
+
+    if args.json:
+        payload: Dict[str, Any] = {"artifact": args.output,
+                                   "configs": list(names),
+                                   "fit_seconds": round(fit_s, 3),
+                                   "summary": artifact.to_json()}
+        if check_rows:
+            payload["check"] = check_rows
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"fitted {len(names)} config(s) in {fit_s:.2f} s")
+        print(artifact.summary())
+        for row in check_rows:
+            print(f"  [{row['config']}] max |error| "
+                  f"uncalibrated {row['uncalibrated_error']:.4f} -> "
+                  f"calibrated {row['calibrated_error']:.4f}")
+        print(f"wrote {args.output}")
+        print("replay with: python -m repro validate "
+              f"--calibration {args.output}")
+    _dump_metrics(args.metrics, json_mode=args.json)
     return 0
 
 
@@ -1105,7 +1183,32 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--metrics", metavar="PATH", default=None,
                    help="write the process metrics snapshot as JSON "
                         "('-' for stdout)")
+    v.add_argument("--calibration", metavar="PATH", default=None,
+                   help="apply a calibration artifact (see 'calibrate') "
+                        "when deriving each config's plan")
     v.set_defaults(func=_run_validate)
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit per-op compute scales and per-link latency/bandwidth "
+             "from measured validation traces")
+    cal.add_argument("--config", nargs="*", default=None,
+                     help="validation config names (default: cnn gpt)")
+    cal.add_argument("-o", "--output", default="calibration.json",
+                     help="artifact path (default: calibration.json)")
+    cal.add_argument("--target-wall", type=float, default=0.4,
+                     help="emulated wall-clock seconds per measured "
+                          "iteration (sets the pacer's time scale)")
+    cal.add_argument("--seed", type=int, default=0)
+    cal.add_argument("--check", action="store_true",
+                     help="re-run validation with the fitted scales and "
+                          "report the error before/after")
+    cal.add_argument("--json", action="store_true",
+                     help="emit the fit summary as JSON")
+    cal.add_argument("--metrics", metavar="PATH", default=None,
+                     help="write the process metrics snapshot as JSON "
+                          "('-' for stdout)")
+    cal.set_defaults(func=_run_calibrate)
 
     t = sub.add_parser(
         "trace",

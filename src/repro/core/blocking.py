@@ -218,6 +218,14 @@ def make_problem(inputs: BlockingInputs, max_span: int = 64
     pair_cost([a,b), [b,c)) = uncovered backward swap-in of the earlier
     block + uncovered forward swap-out, assuming the earlier block swaps —
     an upper bound that residency assignment later relaxes.
+
+    The problem also carries the vectorized twins the DP's batched inner
+    loop consumes: ``pair_cost_batch`` prices one predecessor block
+    against a whole array of successor ends straight off the numpy
+    prefix-sum arrays.  Every array op is an elementwise subtraction of
+    the same IEEE doubles the scalar path reads, a ``np.maximum``
+    selection, or a multiply by 0.5 — all exactly equal to the scalar
+    results, so both paths relax the DP identically.
     """
     ledger = inputs.ledger_capacity
 
@@ -235,10 +243,24 @@ def make_problem(inputs: BlockingInputs, max_span: int = 64
     def first_cost(a: int, b: int) -> float:
         return 0.0
 
+    fw_prefix, bw_prefix, st_prefix = inputs._fw, inputs._bw, inputs._st
+
+    def pair_cost_batch(a: int, b: int, cs: np.ndarray) -> np.ndarray:
+        swap_prev = inputs.swap_time(a, b)
+        bw_next = bw_prefix[cs] - bw_prefix[b]
+        fw_next = fw_prefix[cs] - fw_prefix[b]
+        return np.maximum(0.0, swap_prev - bw_next) \
+            + 0.5 * np.maximum(0.0, swap_prev - fw_next)
+
+    def block_feasible_batch(b: int, cs: np.ndarray) -> np.ndarray:
+        return 2 * (st_prefix[cs] - st_prefix[b]) <= ledger
+
     return PartitionProblem(num_segments=inputs.num_segments,
                             pair_cost=pair_cost,
                             block_feasible=block_feasible,
-                            first_cost=first_cost, max_span=max_span)
+                            first_cost=first_cost, max_span=max_span,
+                            pair_cost_batch=pair_cost_batch,
+                            block_feasible_batch=block_feasible_batch)
 
 
 @dataclass

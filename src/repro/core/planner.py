@@ -203,6 +203,9 @@ def _digest_inputs(graph: LayerGraph, batch_size: int, device: DeviceSpec,
             "act_factor": cost.act_factor,
             "optimizer_slots": cost.optimizer_slots,
             "dtype_bytes": cost.dtype_bytes,
+            # trace-fitted per-layer scale factors (empty without a
+            # calibration artifact) — a recalibration must miss the cache
+            "calibration": dict(cost.calibration),
         })
 
 
@@ -217,7 +220,8 @@ def plan(graph: LayerGraph, batch_size: int, *,
          hierarchy: Optional[MemoryHierarchy] = None,
          placement_policy: str = "auto",
          cache: "Optional[PlanCache]" = None,
-         n_workers: int = 1) -> KarmaPlan:
+         n_workers: int = 1,
+         calibration: Optional[Dict[str, float]] = None) -> KarmaPlan:
     """Derive a KARMA execution plan for ``graph`` at ``batch_size``.
 
     Runs the paper's Fig. 1 workflow end to end: profile the graph into a
@@ -259,6 +263,12 @@ def plan(graph: LayerGraph, batch_size: int, *,
             search's.
         n_workers: shard the portfolio sweep across this many processes
             (bit-identical to the serial sweep).
+        calibration: per-layer compute scale factors (layer name ->
+            multiplier on the analytic forward/backward times), typically
+            the ``op_scales`` of a trace-fitted
+            :class:`~repro.costs.trace_fit.CalibrationArtifact`.  The
+            factors are part of the plan-cache digest, so a recalibrated
+            planner never replays stale decisions.
 
     Returns:
         A :class:`KarmaPlan`: the executable :class:`ExecutionPlan` plus
@@ -275,7 +285,8 @@ def plan(graph: LayerGraph, batch_size: int, *,
     METRICS.counter("planner.plans").inc()
     with TRACER.span("plan.profile", "planner", model=graph.name,
                      batch=batch_size):
-        cost = profile_graph(graph, device, transfer, batch_size)
+        cost = profile_graph(graph, device, transfer, batch_size,
+                             calibration=calibration)
 
     key: Optional[str] = None
     if cache is not None:

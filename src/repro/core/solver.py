@@ -69,6 +69,18 @@ class PartitionProblem:
     block_feasible: Callable[[int, int], bool]
     first_cost: Callable[[int, int], float]  # cost of the first block
     max_span: int = 64
+    #: Optional vectorized twins of ``pair_cost`` / ``block_feasible``.
+    #: ``pair_cost_batch(a, b, cs)`` prices block [a, b) against *every*
+    #: successor end in the array ``cs`` at once; ``block_feasible_batch``
+    #: returns the feasibility mask for ``cs``.  Both must be elementwise
+    #: value-identical to their scalar twins (selection/broadcast float
+    #: ops only — :func:`solve_dp` relies on exact equality to keep its
+    #: relaxation order, and therefore its answer, unchanged).  When
+    #: absent the DP falls back to the scalar calls.
+    pair_cost_batch: Optional[
+        Callable[[int, int, np.ndarray], np.ndarray]] = None
+    block_feasible_batch: Optional[
+        Callable[[int, np.ndarray], np.ndarray]] = None
 
     def spans(self, start: int) -> range:
         """Candidate next-boundary positions from ``start`` (span-capped)."""
@@ -81,33 +93,68 @@ def solve_dp(problem: PartitionProblem) -> List[int]:
 
     Returns the boundary list (exclusive segment end indices, final element
     = num_segments).  Raises ValueError when no feasible partition exists.
+
+    When the problem carries batch hooks (``pair_cost_batch``), each
+    state expansion prices its whole feasible span in one array call
+    instead of ~``max_span`` scalar ``pair_cost`` calls — the relax loop
+    over the ``best`` dict stays scalar (and identical), so the answer
+    is bit-for-bit the same as the scalar path.  Feasible spans depend
+    only on the block start, so they are computed once per start.
     """
     u = problem.num_segments
     if u <= 0:
         raise ValueError("empty problem")
     INF = math.inf
+
+    # per-start feasible span ends: feasibility of [b, c) is independent
+    # of the previous boundary a, so each start's span survey is shared
+    # by every (a, b) state expanded from it
+    span_cache: Dict[int, Tuple[List[int], np.ndarray]] = {}
+    batch_feasible = problem.block_feasible_batch
+
+    def feasible_span(b: int) -> Tuple[List[int], np.ndarray]:
+        hit = span_cache.get(b)
+        if hit is None:
+            if batch_feasible is not None:
+                cs = np.arange(b + 1,
+                               min(u, b + problem.max_span) + 1,
+                               dtype=np.int64)
+                arr = cs[batch_feasible(b, cs)]
+            else:
+                arr = np.asarray([c for c in problem.spans(b)
+                                  if problem.block_feasible(b, c)],
+                                 dtype=np.int64)
+            hit = (arr.tolist(), arr)
+            span_cache[b] = hit
+        return hit
+
     # best[(a, b)] = min cost of a partition prefix ending with block [a, b)
     best: Dict[Tuple[int, int], float] = {}
     parent: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
-    for b in problem.spans(0):
-        if problem.block_feasible(0, b):
-            best[(0, b)] = problem.first_cost(0, b)
-            parent[(0, b)] = None
+    for b in feasible_span(0)[0]:
+        best[(0, b)] = problem.first_cost(0, b)
+        parent[(0, b)] = None
     # process states in increasing b, then a (topological for appends)
     states = sorted(best.keys())
     queue = list(states)
     seen = set(states)
     qi = 0
+    pair_cost_batch = problem.pair_cost_batch
+    pair_cost = problem.pair_cost
     while qi < len(queue):
         a, b = queue[qi]
         qi += 1
         if b == u:
             continue
         base = best[(a, b)]
-        for c in problem.spans(b):
-            if not problem.block_feasible(b, c):
-                continue
-            cost = base + problem.pair_cost(a, b, c)
+        cs, cs_arr = feasible_span(b)
+        if not cs:
+            continue
+        if pair_cost_batch is not None:
+            costs = (base + pair_cost_batch(a, b, cs_arr)).tolist()
+        else:
+            costs = [base + pair_cost(a, b, c) for c in cs]
+        for c, cost in zip(cs, costs):
             key = (b, c)
             if cost < best.get(key, INF) - 1e-18:
                 best[key] = cost

@@ -26,6 +26,16 @@ from .memory import (
     projected_memory,
 )
 from .profiler import CostModel, LayerCost, calibration_from_measurements, profile_graph
+from .trace_fit import (
+    CALIBRATION_SCHEMA_VERSION,
+    CalibrationArtifact,
+    LinkFit,
+    fit_link,
+    fit_op_scales,
+    fit_trace,
+    fit_validation_report,
+    merge_artifacts,
+)
 
 __all__ = [
     "forward_flops", "backward_flops", "param_count", "BACKWARD_FACTOR",
@@ -34,6 +44,9 @@ __all__ = [
     "block_memory", "model_memory_total", "fits_in_core",
     "max_in_core_batch", "projected_memory",
     "CostModel", "LayerCost", "profile_graph", "calibration_from_measurements",
+    "CALIBRATION_SCHEMA_VERSION", "CalibrationArtifact", "LinkFit",
+    "fit_link", "fit_op_scales", "fit_trace", "fit_validation_report",
+    "merge_artifacts",
     "PROFILED_ACT_FACTOR", "OPTIMIZER_SLOTS", "act_factor_for",
     "optimizer_slots_for",
 ]

@@ -155,6 +155,10 @@ class ValidationReport:
     sim_ops: Optional[object] = field(default=None, repr=False)
     sim_result: Optional[object] = field(default=None, repr=False)
     runtime_trace: Optional[object] = field(default=None, repr=False)
+    #: planner output and bound block costs — the inputs
+    #: :func:`repro.costs.trace_fit.fit_validation_report` fits from
+    karma_plan: Optional[object] = field(default=None, repr=False)
+    block_costs: Optional[object] = field(default=None, repr=False)
 
     @property
     def max_abs_error(self) -> float:
@@ -224,7 +228,9 @@ def validate_config(name: str, *,
                     target_wall_s: float = 0.4,
                     hierarchy: Optional[MemoryHierarchy] = None,
                     prefetch_stages: int = 0,
-                    seed: int = 0) -> ValidationReport:
+                    seed: int = 0,
+                    calibration: Optional[Dict[str, float]] = None) \
+        -> ValidationReport:
     """Run the sim-vs-real loop for one named configuration.
 
     Args:
@@ -238,6 +244,9 @@ def validate_config(name: str, *,
             mirrors the simulator's issue discipline exactly, which is
             what a validation run wants.
         seed: RNG seed for model weights and the batch.
+        calibration: optional per-layer compute scales (a
+            :class:`~repro.costs.trace_fit.CalibrationArtifact`'s
+            ``op_scales``) applied when the plan is derived.
 
     Returns:
         A :class:`ValidationReport` with both profiles and the diff rows.
@@ -258,7 +267,8 @@ def validate_config(name: str, *,
     kp: KarmaPlan = plan(graph, batch_size=config.batch_size, device=device,
                          transfer=transfer, hierarchy=hierarchy,
                          capacity=_tight_capacity(graph, device, transfer,
-                                                  config))
+                                                  config),
+                         calibration=calibration)
     exec_plan = kp.plan
 
     # -- predict -----------------------------------------------------------
@@ -309,7 +319,8 @@ def validate_config(name: str, *,
         time_scale=time_scale, predicted=predicted, measured=measured,
         rows=compare_profiles(predicted, measured),
         top_stalls=top_stall_intervals(ops, sim),
-        sim_ops=ops, sim_result=sim, runtime_trace=executor.trace)
+        sim_ops=ops, sim_result=sim, runtime_trace=executor.trace,
+        karma_plan=kp, block_costs=costs)
 
 
 def _sim_peak_ledger_usage(sim) -> int:
@@ -346,8 +357,11 @@ def _tight_capacity(graph: LayerGraph, device, transfer,
 def validate_many(names=DEFAULT_CONFIGS, *,
                   target_wall_s: float = 0.4,
                   hierarchy: Optional[MemoryHierarchy] = None,
-                  seed: int = 0) -> List[ValidationReport]:
+                  seed: int = 0,
+                  calibration: Optional[Dict[str, float]] = None) \
+        -> List[ValidationReport]:
     """Run :func:`validate_config` over several named configurations."""
     return [validate_config(n, target_wall_s=target_wall_s,
-                            hierarchy=hierarchy, seed=seed)
+                            hierarchy=hierarchy, seed=seed,
+                            calibration=calibration)
             for n in names]

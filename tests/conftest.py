@@ -1,9 +1,28 @@
-"""Shared fixtures: small graphs, the default platform, canned plans."""
+"""Shared fixtures: small graphs, the default platform, canned plans.
+
+Also registers the deterministic hypothesis profiles:
+
+* ``dev`` (default) — a modest example budget for fast local runs;
+* ``ci`` — more examples and ``derandomize=True``, so a CI failure
+  reproduces locally from the printed ``@reproduce_failure`` seed
+  instead of depending on a random run-to-run state.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (the CI workflow does).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=50, deadline=None,
+                          derandomize=True)
+settings.register_profile("ci", max_examples=200, deadline=None,
+                          derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(autouse=True)

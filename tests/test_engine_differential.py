@@ -1,18 +1,25 @@
-"""Differential tests: the event-heap engine must be bit-identical to the
-seed round-robin engine (``sim.reference_engine``), and the batched
-lowering cache must be value-transparent."""
+"""Differential tests: the event-heap engine, the seed round-robin engine
+(``sim.reference_engine``), and the vectorized structure-of-arrays engine
+(``simulate_table``) must be bit-identical on every op stream — randomized
+DAGs, plan-shaped pipeline lowerings with multi-hop tiered swaps,
+distributed pipelines, and the compiled streams of every registry model.
+The batched lowering cache must be value-transparent."""
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BlockPolicy, make_plan
 from repro.costs import profile_graph
+from repro.hardware import three_tier_hierarchy
+from repro.models.registry import REGISTRY, build
 from repro.runtime.executor import OutOfCorePlanError
 from repro.sim import (
     LoweringCache,
+    OpTable,
     ScheduleBuilder,
     SimOp,
     SimulationDeadlock,
@@ -20,7 +27,9 @@ from repro.sim import (
     compile_plan,
     simulate,
     simulate_plan,
+    simulate_portfolio,
     simulate_reference,
+    simulate_table,
 )
 
 R, S, C, K = (BlockPolicy.RESIDENT, BlockPolicy.SWAPPED,
@@ -30,21 +39,26 @@ RESOURCES = ("gpu", "h2d", "d2h", "d2s", "s2d", "cpu")
 
 
 def assert_bit_identical(ops, capacity):
-    """Both engines agree exactly — timings, summaries, or the deadlock."""
+    """All three engines agree exactly — timings, summaries, or the
+    deadlock.  Returns the event-heap result (None when all deadlock)."""
     try:
         ref = simulate_reference(ops, capacity)
     except SimulationDeadlock:
         with pytest.raises(SimulationDeadlock):
             simulate(ops, capacity)
+        with pytest.raises(SimulationDeadlock):
+            simulate_table(OpTable.from_ops(ops), capacity)
         return None
     new = simulate(ops, capacity)
-    assert new.timings == ref.timings          # exact float equality
-    assert new.makespan == ref.makespan
-    assert new.resource_busy == ref.resource_busy
-    assert new.resource_span == ref.resource_span
-    for r in RESOURCES:
-        assert new.idle_gaps(r) == ref.idle_gaps(r)
-        assert new.occupancy(r) == ref.occupancy(r)
+    vec = simulate_table(OpTable.from_ops(ops), capacity)
+    for got in (new, vec):
+        assert got.timings == ref.timings      # exact float equality
+        assert got.makespan == ref.makespan
+        assert got.resource_busy == ref.resource_busy
+        assert got.resource_span == ref.resource_span
+        for r in RESOURCES:
+            assert got.idle_gaps(r) == ref.idle_gaps(r)
+            assert got.occupancy(r) == ref.occupancy(r)
     return new
 
 
@@ -72,10 +86,112 @@ def op_dags(draw):
     return ops, capacity
 
 
+@st.composite
+def pipeline_lowerings(draw):
+    """Plan-shaped op streams mirroring ``compile_plan``'s emission: a
+    forward chain acquiring stash, per-block swap-out/swap-in hop chains
+    (optionally two-legged through the storage link, like an NVMe
+    placement), recompute, and a reverse backward chain releasing stash
+    — under an optional tight ledger."""
+    n_blocks = draw(st.integers(min_value=2, max_value=8))
+    stash = [draw(st.sampled_from([10, 20, 50, 90])) for _ in range(n_blocks)]
+    # S = swapped, C = recomputed, R = resident; last block resident as
+    # in real plans
+    policy = [draw(st.sampled_from("SSCR")) for _ in range(n_blocks - 1)]
+    policy.append("R")
+    tiered = [p == "S" and draw(st.booleans()) for p in policy]
+    dur = st.floats(min_value=0.1, max_value=2.0, allow_nan=False)
+
+    ops = []
+    fw_of, swapin_tail = {}, {}
+    prev_gpu = None
+
+    def emit(resource, duration, deps=(), acq=0, rel=0):
+        ops.append(SimOp(len(ops), resource, duration,
+                         deps=tuple(deps), mem_acquire=acq,
+                         mem_release=rel))
+        return ops[-1].op_id
+
+    for b in range(n_blocks):
+        deps = [prev_gpu] if prev_gpu is not None else []
+        fw_of[b] = prev_gpu = emit("gpu", draw(dur), deps,
+                                   acq=stash[b])
+        if policy[b] == "S":
+            out = emit("d2h", draw(dur), [fw_of[b]], rel=stash[b])
+            if tiered[b]:
+                out = emit("d2s", draw(dur), [out])
+            swapin_tail[b] = out
+        elif policy[b] == "C":
+            # dropped immediately after forward, like FW_DROP
+            ops[-1] = SimOp(fw_of[b], "gpu", ops[fw_of[b]].duration,
+                            deps=ops[fw_of[b]].deps,
+                            mem_acquire=stash[b], mem_release=stash[b])
+    for b in reversed(range(n_blocks)):
+        deps = [prev_gpu]
+        if policy[b] == "S":
+            sin = swapin_tail[b]
+            if tiered[b]:
+                sin = emit("s2d", draw(dur), [sin])
+            sin = emit("h2d", draw(dur), [sin, prev_gpu],
+                       acq=stash[b])
+            deps.append(sin)
+        elif policy[b] == "C":
+            deps.append(emit("gpu", draw(dur), [prev_gpu],
+                             acq=stash[b]))
+        prev_gpu = emit("gpu", draw(dur), deps, rel=stash[b])
+    ledger = draw(st.sampled_from([None, 100, 150, 250, 10 ** 6]))
+    return ops, ledger
+
+
+@st.composite
+def distributed_dags(draw):
+    """Multi-worker pipeline DAGs: per-worker GPU chains, cross-worker
+    activations hops, and a shared allreduce resource — unledgered, so
+    the vectorized wave path (not the delegating ledger path) runs."""
+    workers = draw(st.integers(min_value=2, max_value=4))
+    depth = draw(st.integers(min_value=2, max_value=6))
+    dur = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+    ops = []
+
+    def emit(resource, duration, deps=()):
+        ops.append(SimOp(len(ops), resource, duration,
+                         deps=tuple(deps)))
+        return ops[-1].op_id
+
+    stage = {}
+    for p in range(depth):
+        for w in range(workers):
+            deps = []
+            if p:
+                deps.append(stage[p - 1, w])
+            if w:
+                # activations hop from the previous pipeline stage
+                deps.append(emit("h2d", draw(dur), [stage[p, w - 1]]))
+            stage[p, w] = emit(f"gpu{w}", draw(dur), deps)
+    # phased allreduce: every worker's last stage meets on the wire
+    reduce_deps = [stage[depth - 1, w] for w in range(workers)]
+    tail = emit("cpu", draw(dur), reduce_deps)
+    for w in range(workers):
+        emit(f"gpu{w}", draw(dur), [tail])
+    return ops, None
+
+
 class TestDifferential:
     @given(op_dags())
-    @settings(max_examples=300, deadline=None)
+    @settings(deadline=None)
     def test_property_randomized_dags(self, case):
+        ops, capacity = case
+        assert_bit_identical(ops, capacity)
+
+    @given(pipeline_lowerings())
+    @settings(deadline=None)
+    def test_property_pipeline_lowerings(self, case):
+        ops, ledger = case
+        assert_bit_identical(ops, ledger)
+
+    @given(distributed_dags())
+    @settings(deadline=None)
+    def test_property_distributed_pipelines(self, case):
         ops, capacity = case
         assert_bit_identical(ops, capacity)
 
@@ -137,6 +253,191 @@ class TestDifferential:
             ops = compile_plan(plan, costs)
             for ledger in (None, 2 ** 40, 2 ** 34):
                 assert_bit_identical(ops, ledger)
+
+    def test_tiered_multi_hop_lowering(self, small_cnn, platform):
+        """NVMe placements produce chained d2h->d2s / s2d->h2d hops; all
+        three engines must still agree exactly."""
+        device, _, transfer = platform
+        cost = profile_graph(small_cnn, device, transfer, 64)
+        hier = three_tier_hierarchy(device=device)
+        n = len(small_cnn)
+        blocks = [(0, n // 3), (n // 3, 2 * n // 3), (2 * n // 3, n)]
+        plan = make_plan(small_cnn.name, 64, blocks, [S, S, R],
+                         placements={0: 2, 1: 1})
+        costs = block_costs(plan.blocks, cost, hierarchy=hier,
+                            placements=plan.placements)
+        ops = compile_plan(plan, costs)
+        assert any(op.resource in ("d2s", "s2d") for op in ops)
+        for ledger in (None, 2 ** 40, 2 ** 34):
+            assert_bit_identical(ops, ledger)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestRegistryPlanStreams:
+    """Plan-level bit-identity for every registered model's op stream."""
+
+    def _compiled(self, name, platform, placements=None, hierarchy=None):
+        device, _, transfer = platform
+        graph = build(name)
+        cost = profile_graph(graph, device, transfer, 16)
+        n = len(graph)
+        bounds = np.linspace(0, n, 9).astype(int)
+        blocks = [(int(s), int(e)) for s, e in zip(bounds, bounds[1:])
+                  if e > s]
+        # alternate swap/recompute, keep the tail resident (real plans do)
+        policies = [S if i % 2 == 0 else C for i in range(len(blocks))]
+        policies[-1] = R
+        plan = make_plan(graph.name, 16, blocks, policies,
+                         placements=placements)
+        costs = block_costs(plan.blocks, cost, hierarchy=hierarchy,
+                            placements=plan.placements)
+        return compile_plan(plan, costs)
+
+    def test_two_tier_stream_bit_identical(self, name, platform):
+        ops = self._compiled(name, platform)
+        for ledger in (None, 2 ** 40):
+            assert_bit_identical(ops, ledger)
+
+    def test_tiered_stream_bit_identical(self, name, platform):
+        device, _, _ = platform
+        hier = three_tier_hierarchy(device=device)
+        ops = self._compiled(name, platform, placements={0: 2},
+                             hierarchy=hier)
+        assert_bit_identical(ops, None)
+
+
+class TestOpTable:
+    def test_from_ops_round_trip(self):
+        ops = [SimOp(7, "gpu", 1.0, mem_acquire=5, label="F1"),
+               SimOp(9, "d2h", 2.0, deps=(7,), mem_release=5)]
+        table = OpTable.from_ops(ops)
+        assert table.n == 2
+        assert table.to_ops() == ops
+        assert table.label_of(0) == "F1"
+        assert table.label_of(1) == "1"  # unlabeled: dense position
+
+    def test_duplicate_and_unknown_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OpTable.from_ops([SimOp(0, "gpu", 1.0), SimOp(0, "gpu", 1.0)])
+        with pytest.raises(ValueError, match="unknown op"):
+            OpTable.from_ops([SimOp(0, "gpu", 1.0, deps=(3,))])
+
+    def test_empty_table(self):
+        res = simulate_table(OpTable.from_ops([]))
+        assert res.makespan == 0.0 and res.timings == {}
+
+    def test_cycle_deadlocks_like_scalar_engines(self):
+        ops = [SimOp(0, "gpu", 1.0, deps=(1,)),
+               SimOp(1, "h2d", 1.0, deps=(0,))]
+        for run in (lambda: simulate(ops),
+                    lambda: simulate_reference(ops),
+                    lambda: simulate_table(OpTable.from_ops(ops))):
+            with pytest.raises(SimulationDeadlock):
+                run()
+
+    def test_ledgered_table_delegates_to_greedy_order(self):
+        """A capacity plus acquires must reproduce the scalar engine's
+        (order-dependent) ledger placement exactly."""
+        ops = [SimOp(0, "gpu", 1.0, mem_acquire=60),
+               SimOp(1, "h2d", 0.5, deps=(0,), mem_release=60),
+               SimOp(2, "gpu", 2.0, mem_acquire=60, deps=(1,),
+                     mem_release=60)]
+        vec = simulate_table(OpTable.from_ops(ops), 100)
+        ref = simulate(ops, 100)
+        assert vec.timings == ref.timings
+        assert vec.makespan == ref.makespan
+
+
+class TestPortfolio:
+    """simulate_portfolio: per-variant columns must reproduce the scalar
+    engine float for float, and OpTable.concat must keep merged
+    candidates independent."""
+
+    @staticmethod
+    def _variant_makespans(ops, scales):
+        out = []
+        for sc in scales:
+            scaled = [SimOp(o.op_id, o.resource, o.duration * sc, o.deps,
+                            o.mem_acquire, o.mem_release, o.label)
+                      for o in ops]
+            out.append(simulate(scaled).makespan)
+        return np.asarray(out)
+
+    @given(op_dags(), st.lists(st.floats(min_value=0.0, max_value=4.0,
+                                         allow_nan=False),
+                               min_size=1, max_size=5))
+    @settings(deadline=None)
+    def test_property_columns_match_scalar_engine(self, case, scales):
+        ops, _ = case
+        table = OpTable.from_ops(ops)
+        D = table.durations[:, None] * np.asarray(scales)[None, :]
+        res = simulate_portfolio(table, D)
+        assert res.starts.shape == res.finishes.shape == (table.n,
+                                                          len(scales))
+        for j, sc in enumerate(scales):
+            scaled = [SimOp(o.op_id, o.resource, o.duration * sc, o.deps,
+                            label=o.label) for o in ops]
+            ref = simulate(scaled)
+            for i, op in enumerate(ops):
+                t = ref.timing(op.op_id)
+                assert res.starts[i, j] == t.start      # exact
+                assert res.finishes[i, j] == t.finish
+            assert res.makespans[j] == ref.makespan
+
+    @given(st.lists(pipeline_lowerings(), min_size=2, max_size=4),
+           st.lists(st.floats(min_value=0.25, max_value=4.0,
+                              allow_nan=False),
+                    min_size=1, max_size=4))
+    @settings(deadline=None)
+    def test_property_concat_portfolio_prices_candidates_independently(
+            self, cases, scales):
+        tables = [OpTable.from_ops(ops) for ops, _ in cases]
+        merged = OpTable.concat(tables)
+        assert merged.n == sum(t.n for t in tables)
+        offsets = np.cumsum([0] + [t.n for t in tables])[:-1]
+        D = merged.durations[:, None] * np.asarray(scales)[None, :]
+        res = simulate_portfolio(merged, D)
+        got = np.maximum.reduceat(res.finishes, offsets, axis=0)
+        for t, (ops, _) in enumerate(cases):
+            want = self._variant_makespans(ops, scales)
+            assert np.array_equal(got[t], want)        # bit-identical
+
+    def test_deadlock_propagates(self):
+        table = OpTable.from_ops([SimOp(0, "gpu", 1.0, deps=(1,)),
+                                  SimOp(1, "h2d", 1.0, deps=(0,))])
+        with pytest.raises(SimulationDeadlock):
+            simulate_portfolio(table, np.ones((2, 3)))
+
+    def test_shape_and_sign_validated(self):
+        table = OpTable.from_ops([SimOp(0, "gpu", 1.0)])
+        with pytest.raises(ValueError, match="n_variants"):
+            simulate_portfolio(table, np.ones(1))
+        with pytest.raises(ValueError, match="n_variants"):
+            simulate_portfolio(table, np.ones((2, 2)))
+        with pytest.raises(ValueError, match="negative"):
+            simulate_portfolio(table, -np.ones((1, 2)))
+
+    def test_empty_table_and_zero_variants(self):
+        empty = simulate_portfolio(OpTable.from_ops([]),
+                                   np.zeros((0, 4)))
+        assert np.array_equal(empty.makespans, np.zeros(4))
+        none = simulate_portfolio(
+            OpTable.from_ops([SimOp(0, "gpu", 1.0)]), np.zeros((1, 0)))
+        assert none.makespans.shape == (0,)
+
+    def test_concat_of_zero_tables_rejected(self):
+        with pytest.raises(ValueError, match="zero tables"):
+            OpTable.concat([])
+
+    def test_concat_namespaces_resources(self):
+        a = OpTable.from_ops([SimOp(0, "gpu", 1.0, label="A")])
+        b = OpTable.from_ops([SimOp(0, "gpu", 2.0)])
+        merged = OpTable.concat([a, b])
+        assert merged.resources == ["0:gpu", "1:gpu"]
+        assert merged.label_of(0) == "A"
+        # same-named queues stay independent: both start at t=0
+        res = simulate_portfolio(merged, merged.durations[:, None])
+        assert res.starts[0, 0] == res.starts[1, 0] == 0.0
 
 
 class TestScheduleBuilder:
